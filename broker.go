@@ -1,0 +1,104 @@
+package noncanon
+
+import (
+	"fmt"
+
+	"noncanon/internal/broker"
+	"noncanon/internal/core"
+	"noncanon/internal/subtree"
+)
+
+// Broker is a single-process publish/subscribe broker: subscribers register
+// Boolean subscriptions with handlers or channels and receive matching
+// events asynchronously. It is safe for concurrent use.
+//
+// Delivery never blocks publishers: each subscription owns a bounded queue
+// drained by its own goroutine, and events beyond the queue are dropped and
+// counted (BrokerSubscription.Dropped).
+type Broker struct {
+	b *broker.Broker
+}
+
+// BrokerSubscription is a live broker registration.
+type BrokerSubscription = broker.Subscription
+
+// BrokerStats is a broker activity snapshot.
+type BrokerStats = broker.Stats
+
+// BrokerOption configures a Broker.
+type BrokerOption func(*brokerConfig)
+
+type brokerConfig struct {
+	queueSize int
+	engine    core.Options
+}
+
+// WithQueueSize sets the per-subscription delivery queue capacity.
+func WithQueueSize(n int) BrokerOption {
+	return func(c *brokerConfig) { c.queueSize = n }
+}
+
+// WithBrokerCompactEncoding stores subscription trees in the compact varint
+// encoding.
+func WithBrokerCompactEncoding() BrokerOption {
+	return func(c *brokerConfig) { c.engine.Encoding = subtree.CompactEncoding }
+}
+
+// WithBrokerReorder enables cheapest-first subscription-tree child
+// reordering.
+func WithBrokerReorder() BrokerOption {
+	return func(c *brokerConfig) { c.engine.Reorder = true }
+}
+
+// NewBroker builds a broker backed by the non-canonical matching engine.
+func NewBroker(opts ...BrokerOption) *Broker {
+	var cfg brokerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Broker{b: broker.New(broker.Options{
+		QueueSize: cfg.queueSize,
+		Engine:    cfg.engine,
+	})}
+}
+
+// Subscribe parses and registers a textual subscription with a handler. The
+// handler runs on the subscription's delivery goroutine.
+func (br *Broker) Subscribe(sub string, h func(ev Event)) (*BrokerSubscription, error) {
+	x, err := Parse(sub)
+	if err != nil {
+		return nil, fmt.Errorf("noncanon: %w", err)
+	}
+	return br.b.Subscribe(x, broker.Handler(h))
+}
+
+// SubscribeChan parses and registers a textual subscription, returning the
+// event stream. The channel closes after Unsubscribe (or broker Close) once
+// queued events drain.
+func (br *Broker) SubscribeChan(sub string) (*BrokerSubscription, <-chan Event, error) {
+	x, err := Parse(sub)
+	if err != nil {
+		return nil, nil, fmt.Errorf("noncanon: %w", err)
+	}
+	s, ch, err := br.b.SubscribeChan(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, ch, nil
+}
+
+// SubscribeExpr registers an already-parsed subscription with a handler.
+func (br *Broker) SubscribeExpr(x Expr, h func(ev Event)) (*BrokerSubscription, error) {
+	return br.b.Subscribe(x, broker.Handler(h))
+}
+
+// Publish routes an event to all matching subscriptions; it returns how
+// many subscriptions it was enqueued for and never blocks on slow
+// consumers.
+func (br *Broker) Publish(ev Event) (int, error) { return br.b.Publish(ev) }
+
+// Stats returns an activity snapshot.
+func (br *Broker) Stats() BrokerStats { return br.b.Stats() }
+
+// Close stops intake and waits for all deliveries to drain.
+func (br *Broker) Close() error { return br.b.Close() }

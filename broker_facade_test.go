@@ -1,0 +1,88 @@
+package noncanon_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"noncanon"
+)
+
+func TestBrokerHandler(t *testing.T) {
+	br := noncanon.NewBroker()
+	defer br.Close()
+
+	var got atomic.Int64
+	sub, err := br.Subscribe(`price > 100`, func(ev noncanon.Event) { got.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := br.Publish(noncanon.NewEvent().Set("price", 150)); err != nil || n != 1 {
+		t.Fatalf("Publish = %d, %v", n, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 1 {
+		t.Fatalf("delivered = %d", got.Load())
+	}
+	if err := sub.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := br.Publish(noncanon.NewEvent().Set("price", 150)); n != 0 {
+		t.Errorf("matched %d after unsubscribe", n)
+	}
+}
+
+func TestBrokerChannel(t *testing.T) {
+	br := noncanon.NewBroker(noncanon.WithQueueSize(8), noncanon.WithBrokerCompactEncoding(), noncanon.WithBrokerReorder())
+	defer br.Close()
+
+	_, ch, err := br.SubscribeChan(`sym = "A" and not halted = true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.Publish(noncanon.NewEvent().Set("sym", "A").Set("halted", false))
+	br.Publish(noncanon.NewEvent().Set("sym", "A").Set("halted", true))
+	select {
+	case ev := <-ch:
+		if v, _ := ev.Get("halted"); v.Bool() {
+			t.Errorf("halted event delivered: %s", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event")
+	}
+	st := br.Stats()
+	if st.Published != 2 || st.Subscriptions != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestBrokerBadSubscription(t *testing.T) {
+	br := noncanon.NewBroker()
+	defer br.Close()
+	if _, err := br.Subscribe(`nope =`, func(noncanon.Event) {}); err == nil {
+		t.Error("bad subscription accepted")
+	}
+	if _, _, err := br.SubscribeChan(`(`); err == nil {
+		t.Error("bad channel subscription accepted")
+	}
+}
+
+func TestBrokerSubscribeExpr(t *testing.T) {
+	br := noncanon.NewBroker()
+	defer br.Close()
+	var got atomic.Int64
+	if _, err := br.SubscribeExpr(noncanon.MustParse(`a = 1`), func(noncanon.Event) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	br.Publish(noncanon.NewEvent().Set("a", 1))
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 1 {
+		t.Fatal("expr subscription not delivered")
+	}
+}

@@ -1,0 +1,63 @@
+// Command ncbroker runs a TCP publish/subscribe broker speaking the wire
+// protocol (see internal/wire). Clients connect with ncsub and ncpub.
+//
+// Usage:
+//
+//	ncbroker -addr :7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"noncanon/internal/broker"
+	"noncanon/internal/core"
+	"noncanon/internal/netbroker"
+	"noncanon/internal/subtree"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7070", "listen address")
+		queue   = flag.Int("queue", broker.DefaultQueueSize, "per-subscription delivery queue size")
+		compact = flag.Bool("compact", false, "use the compact subscription-tree encoding")
+		reorder = flag.Bool("reorder", false, "reorder subscription-tree children cheapest-first")
+		quiet   = flag.Bool("quiet", false, "suppress connection diagnostics")
+	)
+	flag.Parse()
+
+	enc := subtree.PaperEncoding
+	if *compact {
+		enc = subtree.CompactEncoding
+	}
+	opts := netbroker.ServerOptions{
+		Broker: broker.Options{
+			QueueSize: *queue,
+			Engine:    core.Options{Encoding: enc, Reorder: *reorder},
+		},
+	}
+	if !*quiet {
+		opts.Logf = log.Printf
+	}
+	srv := netbroker.NewServer(opts)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Println("ncbroker: shutting down")
+		if err := srv.Close(); err != nil {
+			log.Printf("ncbroker: close: %v", err)
+		}
+	}()
+
+	log.Printf("ncbroker: listening on %s", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil && err != netbroker.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "ncbroker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// Command ncoverlay runs a broker-overlay simulation: N brokers in a
+// line/star/tree topology, random Boolean subscriptions spread over the
+// brokers, random events published at random brokers, routing statistics
+// printed at the end.
+//
+// Usage:
+//
+//	ncoverlay -nodes 15 -topology tree -subs 200 -events 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/event"
+	"noncanon/internal/overlay"
+	"noncanon/internal/predicate"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 15, "broker count")
+		topology = flag.String("topology", "tree", "line | star | tree")
+		fanout   = flag.Int("fanout", 2, "tree fanout")
+		subs     = flag.Int("subs", 200, "subscription count")
+		events   = flag.Int("events", 1000, "events to publish")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if err := run(*nodes, *topology, *fanout, *subs, *events, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ncoverlay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes int, topology string, fanout, subs, events int, seed int64) error {
+	var (
+		nw  *overlay.Network
+		err error
+	)
+	cfg := overlay.Config{}
+	switch topology {
+	case "line":
+		nw, err = overlay.NewLine(nodes, cfg)
+	case "star":
+		nw, err = overlay.NewStar(nodes, cfg)
+	case "tree":
+		nw, err = overlay.NewTree(nodes, fanout, cfg)
+	default:
+		return fmt.Errorf("unknown topology %q", topology)
+	}
+	if err != nil {
+		return err
+	}
+	defer nw.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	var delivered atomic.Int64
+
+	// Random subscriptions: interest in a price band of one of a few
+	// symbols, optionally requiring an alert flag.
+	symbols := []string{"ACME", "GLOBEX", "INITECH", "UMBRELLA"}
+	for i := 0; i < subs; i++ {
+		sym := symbols[rng.Intn(len(symbols))]
+		lo := rng.Intn(80)
+		expr := boolexpr.NewAnd(
+			boolexpr.Pred("sym", predicate.Eq, sym),
+			boolexpr.NewOr(
+				boolexpr.Pred("price", predicate.Lt, lo),
+				boolexpr.Pred("price", predicate.Gt, lo+20),
+			),
+		)
+		at := overlay.NodeID(rng.Intn(nodes))
+		if _, err := nw.Subscribe(at, expr, func(event.Event) { delivered.Add(1) }); err != nil {
+			return err
+		}
+	}
+	nw.Flush()
+
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		ev := event.New().
+			Set("sym", symbols[rng.Intn(len(symbols))]).
+			Set("price", rng.Intn(100)).
+			Set("seq", i)
+		if err := nw.Publish(overlay.NodeID(rng.Intn(nodes)), ev); err != nil {
+			return err
+		}
+	}
+	nw.Flush()
+	elapsed := time.Since(start)
+
+	st := nw.Stats()
+	fmt.Printf("topology        %s (%d brokers)\n", topology, nodes)
+	fmt.Printf("subscriptions   %d\n", subs)
+	fmt.Printf("events          %d in %v (%.0f events/s)\n",
+		events, elapsed.Round(time.Millisecond), float64(events)/elapsed.Seconds())
+	fmt.Printf("deliveries      %d (%.2f per event)\n",
+		delivered.Load(), float64(delivered.Load())/float64(events))
+	fmt.Printf("link crossings  %d (%.2f per event; filtering prunes the rest)\n",
+		st.Forwarded, float64(st.Forwarded)/float64(events))
+	fmt.Printf("sub flood msgs  %d\n", st.SubscriptionMsgs)
+	return nil
+}

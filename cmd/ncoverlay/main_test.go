@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunTopologies(t *testing.T) {
+	for _, topo := range []string{"line", "star", "tree"} {
+		if err := run(7, topo, 2, 20, 100, 1); err != nil {
+			t.Errorf("%s: %v", topo, err)
+		}
+	}
+}
+
+func TestRunUnknownTopology(t *testing.T) {
+	if err := run(7, "ring", 2, 20, 100, 1); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestRunSingleNode(t *testing.T) {
+	if err := run(1, "line", 2, 5, 20, 1); err != nil {
+		t.Errorf("single node: %v", err)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"noncanon/internal/value"
+)
+
+func TestParseValue(t *testing.T) {
+	tests := []struct {
+		in   string
+		want value.Value
+	}{
+		{"42", value.OfInt(42)},
+		{"-7", value.OfInt(-7)},
+		{"2.5", value.OfFloat(2.5)},
+		{"true", value.OfBool(true)},
+		{"false", value.OfBool(false)},
+		{"hello", value.OfString("hello")},
+		{"", value.OfString("")},
+	}
+	for _, tt := range tests {
+		got := value.Of(parseValue(tt.in, 9))
+		if !got.Equal(tt.want) && got.Kind() != tt.want.Kind() {
+			t.Errorf("parseValue(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	if got := value.Of(parseValue("auto", 9)); !got.Equal(value.OfInt(9)) {
+		t.Errorf("auto = %v, want 9", got)
+	}
+}
+
+func TestBuildEvent(t *testing.T) {
+	ev, err := buildEvent([]string{"price=150", "sym=ACME", "seq=auto"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ev.Get("price"); v.Int() != 150 {
+		t.Errorf("price = %v", v)
+	}
+	if v, _ := ev.Get("sym"); v.Str() != "ACME" {
+		t.Errorf("sym = %v", v)
+	}
+	if v, _ := ev.Get("seq"); v.Int() != 3 {
+		t.Errorf("seq = %v", v)
+	}
+	if _, err := buildEvent([]string{"novalue"}, 0); err == nil {
+		t.Error("missing '=' accepted")
+	}
+	if _, err := buildEvent([]string{"=x"}, 0); err == nil {
+		t.Error("empty key accepted")
+	}
+}

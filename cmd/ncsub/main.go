@@ -1,0 +1,68 @@
+// Command ncsub subscribes to a broker and prints matching events.
+//
+// Usage:
+//
+//	ncsub -addr localhost:7070 'price > 100 and sym = "ACME"'
+//	ncsub -n 5 'exists alert'      # exit after five events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"noncanon/internal/netbroker"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "localhost:7070", "broker address")
+		n    = flag.Int("n", 0, "exit after n events (0 = run until interrupted)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ncsub [flags] '<subscription>'")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(*addr, flag.Arg(0), *n); err != nil {
+		fmt.Fprintln(os.Stderr, "ncsub:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, subText string, limit int) error {
+	cli, err := netbroker.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	sub, err := cli.Subscribe(subText)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ncsub: subscription %d registered, waiting for events\n", sub.ID())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	seen := 0
+	for {
+		select {
+		case ev, ok := <-sub.C():
+			if !ok {
+				return fmt.Errorf("connection lost")
+			}
+			fmt.Println(ev)
+			seen++
+			if limit > 0 && seen >= limit {
+				return sub.Unsubscribe()
+			}
+		case <-sig:
+			return sub.Unsubscribe()
+		}
+	}
+}

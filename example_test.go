@@ -1,0 +1,91 @@
+package noncanon_test
+
+import (
+	"fmt"
+	"sort"
+
+	"noncanon"
+)
+
+// ExampleEngine demonstrates registering an arbitrary Boolean subscription
+// and matching events against it.
+func ExampleEngine() {
+	eng := noncanon.NewEngine()
+	id, err := eng.Subscribe(`(price < 20 or price > 90) and sym = "ACME"`)
+	if err != nil {
+		panic(err)
+	}
+	cheap := noncanon.NewEvent().Set("price", 10).Set("sym", "ACME")
+	mid := noncanon.NewEvent().Set("price", 50).Set("sym", "ACME")
+	fmt.Println(len(eng.Match(cheap)) == 1 && eng.Match(cheap)[0] == id)
+	fmt.Println(len(eng.Match(mid)))
+	// Output:
+	// true
+	// 0
+}
+
+// ExampleEngine_negation shows full logical negation, which canonical
+// (DNF-based) matchers cannot express.
+func ExampleEngine_negation() {
+	eng := noncanon.NewEngine()
+	if _, err := eng.Subscribe(`kind = "alert" and not muted = true`); err != nil {
+		panic(err)
+	}
+	unmuted := noncanon.NewEvent().Set("kind", "alert").Set("muted", false)
+	noFlag := noncanon.NewEvent().Set("kind", "alert") // muted absent → not muted
+	muted := noncanon.NewEvent().Set("kind", "alert").Set("muted", true)
+	fmt.Println(len(eng.Match(unmuted)), len(eng.Match(noFlag)), len(eng.Match(muted)))
+	// Output:
+	// 1 1 0
+}
+
+// ExampleEngine_stats contrasts the storage of the non-canonical engine
+// with a canonical baseline: the same subscription costs the counting
+// algorithm 2^(|p|/2) conjunctive units.
+func ExampleEngine_stats() {
+	sub := `(a > 1 or a <= 0) and (b > 1 or b <= 0) and (c > 1 or c <= 0)`
+	nc := noncanon.NewEngine()
+	cnt := noncanon.NewEngine(noncanon.WithAlgorithm(noncanon.Counting))
+	if _, err := nc.Subscribe(sub); err != nil {
+		panic(err)
+	}
+	if _, err := cnt.Subscribe(sub); err != nil {
+		panic(err)
+	}
+	fmt.Println("non-canonical units:", nc.Stats().StoredUnits)
+	fmt.Println("counting units:     ", cnt.Stats().StoredUnits)
+	// Output:
+	// non-canonical units: 1
+	// counting units:      8
+}
+
+// ExampleParse shows the subscription language and its printed normal form.
+func ExampleParse() {
+	expr, err := noncanon.Parse(`A >= 3 AND (sym PREFIX "AC" OR exists override)`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(expr)
+	// Output:
+	// A >= 3 and (sym prefix "AC" or exists override)
+}
+
+// ExampleBroker wires a subscription channel to a publication.
+func ExampleBroker() {
+	br := noncanon.NewBroker()
+	defer br.Close()
+
+	_, events, err := br.SubscribeChan(`sev >= 3`)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := br.Publish(noncanon.NewEvent().Set("sev", 5).Set("svc", "db")); err != nil {
+		panic(err)
+	}
+	ev := <-events
+	attrs := ev.Attrs()
+	sort.Strings(attrs)
+	fmt.Println(attrs)
+	// Output:
+	// [sev svc]
+}

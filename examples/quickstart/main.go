@@ -1,0 +1,46 @@
+// Quickstart: register arbitrary Boolean subscriptions and match events,
+// entirely through the public API.
+package main
+
+import (
+	"fmt"
+
+	"noncanon"
+)
+
+func main() {
+	eng := noncanon.NewEngine()
+
+	// The paper's Fig. 1 subscription: an AND of ORs no conjunctive-only
+	// matcher can store without DNF-expanding it into nine subscriptions.
+	fig1, err := eng.Subscribe(
+		`(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)`)
+	if err != nil {
+		panic(err)
+	}
+	// Negation is first-class — impossible in canonical matchers.
+	quiet, err := eng.Subscribe(`kind = "alert" and not muted = true`)
+	if err != nil {
+		panic(err)
+	}
+
+	events := []noncanon.Event{
+		noncanon.NewEvent().Set("a", 3).Set("c", 30),
+		noncanon.NewEvent().Set("a", 7).Set("c", 30),
+		noncanon.NewEvent().Set("kind", "alert").Set("muted", false),
+		noncanon.NewEvent().Set("kind", "alert").Set("muted", true),
+		noncanon.NewEvent().Set("kind", "alert"), // muted absent → not muted
+	}
+	names := map[noncanon.SubID]string{fig1: "fig1", quiet: "unmuted-alerts"}
+	for _, ev := range events {
+		var hit []string
+		for _, id := range eng.Match(ev) {
+			hit = append(hit, names[id])
+		}
+		fmt.Printf("%-46s -> %v\n", ev, hit)
+	}
+
+	st := eng.Stats()
+	fmt.Printf("\nengine: %s, %d subscriptions, %d predicates, ~%d bytes\n",
+		st.Algorithm, st.Subscriptions, st.Predicates, st.MemBytes)
+}

@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"noncanon/internal/memmodel"
+)
+
+// tinyConfig keeps harness tests fast: ~2000 subscriptions max.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{Out: buf, Scale: 0.0005, Points: 4, Trials: 2, Seed: 7}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	wantIDs := []string{
+		"table1", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f",
+		"memory", "crossover", "ablation-reorder", "ablation-encoding",
+	}
+	if len(exps) != len(wantIDs) {
+		t.Fatalf("%d experiments, want %d", len(exps), len(wantIDs))
+	}
+	for i, want := range wantIDs {
+		if exps[i].ID != want {
+			t.Errorf("experiment %d = %s, want %s", i, exps[i].ID, want)
+		}
+	}
+	if _, ok := Lookup("fig3c"); !ok {
+		t.Error("Lookup(fig3c) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) should fail")
+	}
+}
+
+func TestFig3VariantsMatchPaper(t *testing.T) {
+	vs := Fig3Variants()
+	if len(vs) != 6 {
+		t.Fatalf("%d variants", len(vs))
+	}
+	for _, v := range vs {
+		switch v.PredsPerSub {
+		case 6:
+			if v.PaperMaxSubs != 5_000_000 {
+				t.Errorf("%s: max %d", v.ID, v.PaperMaxSubs)
+			}
+		case 8:
+			if v.PaperMaxSubs != 4_000_000 {
+				t.Errorf("%s: max %d", v.ID, v.PaperMaxSubs)
+			}
+		case 10:
+			if v.PaperMaxSubs != 2_500_000 {
+				t.Errorf("%s: max %d", v.ID, v.PaperMaxSubs)
+			}
+		}
+		if v.Fulfilled != 5000 && v.Fulfilled != 10000 {
+			t.Errorf("%s: fulfilled %d", v.ID, v.Fulfilled)
+		}
+		if !strings.Contains(v.Title(), "predicates") {
+			t.Errorf("%s title: %s", v.ID, v.Title())
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunTable1(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "6 to 10", "8 to 32", "AND, OR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureFig3SmallScale(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	v := Fig3Variants()[0] // fig3a
+	res, err := MeasureFig3(cfg, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.Subs != scaleCount(v.PaperMaxSubs, cfg.Scale) {
+		t.Errorf("last point subs = %d", last.Subs)
+	}
+	for _, p := range res.Points {
+		if p.NonCanonical < 0 || p.Counting <= 0 || p.CountingVariant <= 0 {
+			t.Errorf("non-positive duration at %d: %+v", p.Subs, p)
+		}
+	}
+	// No shape assertion here: at tiny scale the classic counting algorithm
+	// legitimately wins (the paper's own small-N observation, §4.1);
+	// TestFig3ShapeAtModerateScale checks the headline ordering.
+}
+
+// TestFig3ShapeAtModerateScale verifies claim C2 where it is expected to
+// hold: past the small-N crossover region, the non-canonical engine beats
+// the classic counting scan, and the counting variant sits in between or
+// above the non-canonical engine.
+func TestFig3ShapeAtModerateScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale sweep skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Scale: 0.02, Points: 2, Trials: 3, Seed: 7}
+	res, err := MeasureFig3(cfg, Fig3Variants()[2]) // fig3c: |p|=10, 32× blow-up
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Points[len(res.Points)-1] // 50k subscriptions, 1.6M units
+	if last.NonCanonical >= last.Counting {
+		t.Errorf("non-canonical (%v) should beat classic counting (%v) at %d subs",
+			last.NonCanonical, last.Counting, last.Subs)
+	}
+	if last.NonCanonical > last.CountingVariant {
+		t.Errorf("non-canonical (%v) should not lose to the counting variant (%v)",
+			last.NonCanonical, last.CountingVariant)
+	}
+}
+
+func TestRunFig3Formats(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	if err := RunFig3(cfg, Fig3Variants()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "non-canonical") {
+		t.Errorf("table output:\n%s", buf.String())
+	}
+	buf.Reset()
+	cfg.CSV = true
+	if err := RunFig3(cfg, Fig3Variants()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "subs,non_canonical_s") {
+		t.Errorf("csv output:\n%s", buf.String())
+	}
+}
+
+func TestMeasureFig3WithSwapModel(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	// A budget of zero bytes forces the swap penalty everywhere.
+	cfg.Swap = &memmodel.SwapModel{BudgetBytes: 1, Penalty: 10}
+	res, err := MeasureFig3(cfg, Fig3Variants()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Swap = nil
+	raw, err := MeasureFig3(cfg, Fig3Variants()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swapped runs must be slower than raw runs at the same points.
+	if res.Points[len(res.Points)-1].Counting <= raw.Points[len(raw.Points)-1].Counting {
+		t.Error("swap model did not inflate counting time")
+	}
+}
+
+func TestMeasureMemory(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	rows, err := MeasureMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	prevRatio := 0.0
+	for _, r := range rows {
+		if r.Counting.Units != r.Counting.Subscriptions*(1<<(r.PredsPerSub/2)) {
+			t.Errorf("|p|=%d: units=%d subs=%d", r.PredsPerSub, r.Counting.Units, r.Counting.Subscriptions)
+		}
+		if r.Ratio() <= 1 {
+			t.Errorf("|p|=%d: counting should need more memory per sub (ratio %.2f)", r.PredsPerSub, r.Ratio())
+		}
+		if r.Ratio() < prevRatio {
+			t.Errorf("ratio should grow with |p|: %v", rows)
+		}
+		prevRatio = r.Ratio()
+		if r.CapacityNonCanon <= r.CapacityCounting {
+			t.Errorf("|p|=%d: non-canonical capacity %d should exceed counting %d",
+				r.PredsPerSub, r.CapacityNonCanon, r.CapacityCounting)
+		}
+	}
+	// C1: at |p|=10 the paper reports a ≥4× capacity advantage; the
+	// analytic §3.3 byte model reproduces that factor exactly. The measured
+	// Go structures carry slice-header and bookkeeping overhead a 2005 C
+	// implementation lacks, which flattens the measured ratio — assert the
+	// direction (>2×) here; EXPERIMENTS.md records both numbers.
+	last := rows[2]
+	if f := float64(last.CapacityNonCanon) / float64(last.CapacityCounting); f < 2 {
+		t.Errorf("|p|=10 measured capacity factor = %.2f, want >= 2", f)
+	}
+	if f := last.PaperCountingPerSub / last.PaperNonCanonPerSub; f < 4 {
+		t.Errorf("|p|=10 analytic model factor = %.2f, want >= 4 (paper §4.1)", f)
+	}
+	if err := RunMemory(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "capacity") {
+		t.Errorf("memory output:\n%s", buf.String())
+	}
+}
+
+func TestMeasureCrossover(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	res, err := MeasureCrossover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	if err := RunCrossover(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "crossover") && !strings.Contains(buf.String(), "counting") {
+		t.Errorf("crossover output:\n%s", buf.String())
+	}
+}
+
+func TestMeasureAblationReorder(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	res, err := MeasureAblationReorder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reordering must reduce inspected leaves on the unbalanced workload.
+	if res.ReorderedLeaves >= res.PlainLeaves {
+		t.Errorf("reorder did not reduce leaf inspections: plain=%.2f reordered=%.2f",
+			res.PlainLeaves, res.ReorderedLeaves)
+	}
+	if err := RunAblationReorder(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reorder") {
+		t.Errorf("ablation output:\n%s", buf.String())
+	}
+}
+
+func TestMeasureAblationEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	res, err := MeasureAblationEncoding(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompactBytes >= res.PaperBytes {
+		t.Errorf("compact encoding should be smaller: paper=%d compact=%d",
+			res.PaperBytes, res.CompactBytes)
+	}
+	if err := RunAblationEncoding(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "encoding") {
+		t.Errorf("ablation output:\n%s", buf.String())
+	}
+}
+
+func TestSweepPoints(t *testing.T) {
+	pts := sweepPoints(1000, 4)
+	want := []int{250, 500, 750, 1000}
+	if len(pts) != len(want) {
+		t.Fatalf("sweepPoints = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("sweepPoints = %v, want %v", pts, want)
+		}
+	}
+	// Tiny max: no zero or duplicate points.
+	pts = sweepPoints(3, 10)
+	for i, p := range pts {
+		if p <= 0 {
+			t.Errorf("non-positive point %d", p)
+		}
+		if i > 0 && pts[i] <= pts[i-1] {
+			t.Errorf("non-increasing points %v", pts)
+		}
+	}
+}
+
+func TestAllExperimentsRunTiny(t *testing.T) {
+	// Smoke: every registered experiment completes at tiny scale.
+	for _, exp := range Experiments() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := exp.Run(tinyConfig(&buf)); err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", exp.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"noncanon/internal/core"
+	"noncanon/internal/predicate"
+	"noncanon/internal/workload"
+)
+
+// CrossoverResult captures the small-N sweep of claim C4: "for small
+// subscription numbers the counting algorithm behaves most efficient …
+// due to the small number of required comparisons" (paper §4.1, e.g. up to
+// ~700,000 subscriptions in Fig. 3(d)).
+type CrossoverResult struct {
+	Points []Fig3Point
+	// CrossoverSubs is the start of the stable suffix of sweep points where
+	// the non-canonical engine is at least as fast as the classic counting
+	// algorithm, or 0 if counting still wins at the largest point. The
+	// suffix rule tolerates single-point timing noise.
+	CrossoverSubs int
+}
+
+// MeasureCrossover sweeps small subscription counts at fine granularity.
+func MeasureCrossover(cfg Config) (CrossoverResult, error) {
+	cfg = cfg.withDefaults()
+	// The paper's crossover region is below ~700k subscriptions at |p|=6;
+	// sweep the scaled equivalent with doubled point density.
+	maxSubs := scaleCount(700_000, cfg.Scale)
+	params := workload.Params{
+		NumSubscriptions:  maxSubs,
+		PredsPerSub:       6,
+		FulfilledPerEvent: 10000,
+		Seed:              cfg.Seed,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	es := newEngines(core.Options{})
+	var res CrossoverResult
+	cur := 0
+	for _, n := range sweepPoints(maxSubs, cfg.Points*2) {
+		if err := es.grow(params, cur, n); err != nil {
+			return CrossoverResult{}, err
+		}
+		cur = n
+		drawParams := params
+		drawParams.NumSubscriptions = n
+		draws := make([][]predicate.ID, cfg.Trials)
+		for t := range draws {
+			draws[t] = drawParams.FulfilledDraw(rng)
+		}
+		pt := Fig3Point{
+			Subs:            n,
+			NonCanonical:    timeMatch(es.nc.MatchPredicates, draws),
+			CountingVariant: timeMatch(variantFn(es.cnt), draws),
+			Counting:        timeMatch(classicFn(es.cnt), draws),
+		}
+		res.Points = append(res.Points, pt)
+	}
+	// Stable crossover: the earliest point from which non-canonical never
+	// loses to classic counting again.
+	for i := len(res.Points) - 1; i >= 0; i-- {
+		if res.Points[i].NonCanonical > res.Points[i].Counting {
+			break
+		}
+		res.CrossoverSubs = res.Points[i].Subs
+	}
+	return res, nil
+}
+
+// RunCrossover prints the C4 sweep.
+func RunCrossover(cfg Config) error {
+	cfg = cfg.withDefaults()
+	res, err := MeasureCrossover(cfg)
+	if err != nil {
+		return err
+	}
+	w := cfg.Out
+	if cfg.CSV {
+		fmt.Fprintln(w, "subs,non_canonical_s,counting_variant_s,counting_s")
+		for _, p := range res.Points {
+			fmt.Fprintf(w, "%d,%.9f,%.9f,%.9f\n", p.Subs,
+				p.NonCanonical.Seconds(), p.CountingVariant.Seconds(), p.Counting.Seconds())
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "C4: crossover sweep, 6 predicates, 10000 fulfilled (scaled small-N region)\n\n")
+	fmt.Fprintf(w, "%-12s %-16s %-18s %-16s\n", "subs", "non-canonical", "counting-variant", "counting")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%-12d %-16.9f %-18.9f %-16.9f\n", p.Subs,
+			p.NonCanonical.Seconds(), p.CountingVariant.Seconds(), p.Counting.Seconds())
+	}
+	if res.CrossoverSubs > 0 {
+		fmt.Fprintf(w, "\nnon-canonical overtakes counting at ~%d subscriptions\n\n", res.CrossoverSubs)
+	} else {
+		fmt.Fprintf(w, "\ncounting still fastest at the largest swept point (paper: crossover below ~700k unscaled)\n\n")
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+
+	"noncanon/internal/core"
+	"noncanon/internal/memmodel"
+	"noncanon/internal/predicate"
+	"noncanon/internal/subtree"
+	"noncanon/internal/workload"
+)
+
+// MemoryRow summarises memory behaviour for one predicate count.
+type MemoryRow struct {
+	PredsPerSub int
+	NonCanon    memmodel.Report
+	Counting    memmodel.Report
+	// Analytic §3.3 models, per original subscription.
+	PaperNonCanonPerSub float64
+	PaperCountingPerSub float64
+	// Capacity within the 512 MB paper machine (marginal-cost
+	// extrapolation).
+	CapacityNonCanon int
+	CapacityCounting int
+}
+
+// Ratio is counting memory per subscription over non-canonical memory per
+// subscription — the scalability factor of claim C1.
+func (r MemoryRow) Ratio() float64 {
+	d := r.NonCanon.BytesPerSubscription()
+	if d == 0 {
+		return 0
+	}
+	return r.Counting.BytesPerSubscription() / d
+}
+
+// MeasureMemory builds both engines at a probe size for each |p| and
+// extrapolates capacities.
+func MeasureMemory(cfg Config) ([]MemoryRow, error) {
+	cfg = cfg.withDefaults()
+	probe := scaleCount(200_000, cfg.Scale)
+	var rows []MemoryRow
+	for _, preds := range []int{6, 8, 10} {
+		params := workload.Params{NumSubscriptions: probe, PredsPerSub: preds, Seed: cfg.Seed}
+		es := newEngines(core.Options{})
+		if err := es.grow(params, 0, probe); err != nil {
+			return nil, err
+		}
+		row := MemoryRow{
+			PredsPerSub: preds,
+			NonCanon: memmodel.Report{
+				Name:          es.nc.Name(),
+				Subscriptions: es.nc.NumSubscriptions(),
+				Units:         es.nc.NumUnits(),
+				EngineBytes:   es.nc.MemBytes(),
+				RegistryBytes: es.reg.MemBytes(),
+				IndexBytes:    es.idx.MemBytes(),
+			},
+			Counting: memmodel.Report{
+				Name:          es.cnt.Name(),
+				Subscriptions: es.cnt.NumSubscriptions(),
+				Units:         es.cnt.NumUnits(),
+				EngineBytes:   es.cnt.MemBytes(),
+				RegistryBytes: es.reg.MemBytes(),
+				IndexBytes:    es.idx.MemBytes(),
+			},
+		}
+		// Analytic paper models per original subscription.
+		units := params.TransformedPerSub()
+		assocCounting := units * params.PredsPerTransformed()
+		row.PaperCountingPerSub = float64(memmodel.PaperCountingBytes(units, preds, assocCounting))
+		treeBytes := paperTreeBytes(params)
+		row.PaperNonCanonPerSub = float64(memmodel.PaperNonCanonicalBytes(treeBytes, 1, preds))
+		// Capacity extrapolation from measured marginal engine bytes. The
+		// shared phase-one structures (registry, index) are identical for
+		// every algorithm — the paper's comparison is about the phase-two
+		// subscription storage, so capacities are computed over the
+		// differing structures only. (A Go registry entry also carries map
+		// overhead a 2005 C implementation would not; folding it in equally
+		// would only mask the algorithmic difference.)
+		row.CapacityNonCanon = memmodel.MaxSubscriptions(
+			memmodel.PaperBudgetBytes, 0, row.NonCanon.BytesPerSubscription())
+		row.CapacityCounting = memmodel.MaxSubscriptions(
+			memmodel.PaperBudgetBytes, 0, row.Counting.BytesPerSubscription())
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// paperTreeBytes computes the paper-encoding size of one workload
+// subscription tree.
+func paperTreeBytes(p workload.Params) int {
+	n := predicate.ID(0)
+	intern := func(predicate.P) predicate.ID { n++; return n }
+	compiled, err := subtree.Compile(p.Sub(0), intern, subtree.Options{})
+	if err != nil {
+		return 0
+	}
+	return len(compiled.Code)
+}
+
+// RunMemory prints the M1 table.
+func RunMemory(cfg Config) error {
+	cfg = cfg.withDefaults()
+	rows, err := MeasureMemory(cfg)
+	if err != nil {
+		return err
+	}
+	w := cfg.Out
+	if cfg.CSV {
+		fmt.Fprintln(w, "preds,nc_bytes_per_sub,counting_bytes_per_sub,ratio,nc_capacity_512mb,counting_capacity_512mb")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d,%.1f,%.1f,%.2f,%d,%d\n", r.PredsPerSub,
+				r.NonCanon.BytesPerSubscription(), r.Counting.BytesPerSubscription(),
+				r.Ratio(), r.CapacityNonCanon, r.CapacityCounting)
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "M1: engine memory per original subscription and capacity within %s\n\n",
+		memmodel.FormatBytes(memmodel.PaperBudgetBytes))
+	fmt.Fprintf(w, "%-6s %-14s %-14s %-7s %-22s %-22s\n",
+		"preds", "non-canonical", "counting", "ratio", "capacity non-canon", "capacity counting")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %-14.1f %-14.1f %-7.2f %-22d %-22d\n",
+			r.PredsPerSub, r.NonCanon.BytesPerSubscription(), r.Counting.BytesPerSubscription(),
+			r.Ratio(), r.CapacityNonCanon, r.CapacityCounting)
+	}
+	fmt.Fprintf(w, "\nAnalytic §3.3 per-subscription models (bytes):\n")
+	fmt.Fprintf(w, "%-6s %-14s %-14s\n", "preds", "non-canonical", "counting")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %-14.1f %-14.1f\n", r.PredsPerSub, r.PaperNonCanonPerSub, r.PaperCountingPerSub)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

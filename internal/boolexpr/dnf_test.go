@@ -1,0 +1,325 @@
+package boolexpr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"noncanon/internal/predicate"
+)
+
+func TestToNNFPushesNegation(t *testing.T) {
+	// not(a < 5 and b = 1) → (not a < 5) or (not b = 1); negation stays on
+	// the literal, it is NOT folded into the operator.
+	e := NewNot(NewAnd(Pred("a", predicate.Lt, 5), Pred("b", predicate.Eq, 1)))
+	nnf := ToNNF(e)
+	want := NewOr(Not{X: Pred("a", predicate.Lt, 5)}, Not{X: Pred("b", predicate.Eq, 1)})
+	if !Equal(nnf, want) {
+		t.Errorf("NNF = %s, want %s", nnf, want)
+	}
+	// Not nodes may only sit directly above leaves.
+	Walk(nnf, func(x Expr) bool {
+		if n, ok := x.(Not); ok {
+			if _, leaf := n.X.(Leaf); !leaf {
+				t.Errorf("Not above non-leaf survives NNF: %s", nnf)
+			}
+		}
+		return true
+	})
+}
+
+func TestToNNFDoubleNegation(t *testing.T) {
+	e := Not{X: Not{X: Pred("a", predicate.Gt, 1)}}
+	nnf := ToNNF(e)
+	want := Pred("a", predicate.Gt, 1)
+	if !Equal(nnf, want) {
+		t.Errorf("NNF = %s, want %s", nnf, want)
+	}
+	// Triple negation leaves one Not.
+	e3 := Not{X: Not{X: Not{X: Pred("a", predicate.Gt, 1)}}}
+	if !Equal(ToNNF(e3), Not{X: Pred("a", predicate.Gt, 1)}) {
+		t.Errorf("triple-negation NNF = %s", ToNNF(e3))
+	}
+}
+
+func TestDNFFig1(t *testing.T) {
+	// Fig. 1 subscription: DNF has 3*3 = 9 disjuncts of 2 predicates each,
+	// exactly as the paper states ("s results in 9 disjunctions").
+	e := NewAnd(
+		NewOr(Pred("a", predicate.Gt, 10), Pred("a", predicate.Le, 5), Pred("b", predicate.Eq, 1)),
+		NewOr(Pred("c", predicate.Le, 20), Pred("c", predicate.Eq, 30), Pred("d", predicate.Eq, 5)),
+	)
+	d, err := ToDNF(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 9 {
+		t.Fatalf("DNF size = %d, want 9", len(d))
+	}
+	for _, c := range d {
+		if len(c) != 2 {
+			t.Errorf("disjunct size = %d, want 2: %v", len(c), c)
+		}
+		if !c.AllPositive() {
+			t.Errorf("unexpected negative literal in %v", c)
+		}
+	}
+	if got := DNFSize(e); got != 9 {
+		t.Errorf("DNFSize = %d, want 9", got)
+	}
+	if got := d.NumPredicates(); got != 18 {
+		t.Errorf("NumPredicates = %d, want 18", got)
+	}
+	if !d.AllPositive() {
+		t.Error("AllPositive = false for positive expression")
+	}
+}
+
+func TestDNFPaperTransformedCounts(t *testing.T) {
+	// Table 1: |p| ∈ {6,8,10} predicates as AND of OR-pairs transform into
+	// 2^(|p|/2) ∈ {8,16,32} conjunctions of |p|/2 predicates.
+	for _, np := range []int{6, 8, 10} {
+		pairs := make([]Expr, np/2)
+		for i := range pairs {
+			a := "a" + string(rune('0'+i))
+			pairs[i] = NewOr(Pred(a, predicate.Gt, 2*i), Pred(a, predicate.Le, 2*i+1))
+		}
+		e := NewAnd(pairs...)
+		d, err := ToDNF(e, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 << (np / 2)
+		if len(d) != want {
+			t.Errorf("|p|=%d: DNF size = %d, want %d", np, len(d), want)
+		}
+		for _, c := range d {
+			if len(c) != np/2 {
+				t.Errorf("|p|=%d: disjunct size = %d, want %d", np, len(c), np/2)
+			}
+		}
+	}
+}
+
+func TestToDNFLimit(t *testing.T) {
+	pairs := make([]Expr, 10)
+	for i := range pairs {
+		a := "a" + string(rune('0'+i))
+		pairs[i] = NewOr(Pred(a, predicate.Gt, 0), Pred(a, predicate.Le, -1))
+	}
+	e := NewAnd(pairs...) // 2^10 = 1024 disjuncts
+	if _, err := ToDNF(e, 100); !errors.Is(err, ErrDNFTooLarge) {
+		t.Errorf("err = %v, want ErrDNFTooLarge", err)
+	}
+	if d, err := ToDNF(e, 1024); err != nil || len(d) != 1024 {
+		t.Errorf("DNF at limit: len=%d err=%v", len(d), err)
+	}
+}
+
+func TestDNFNegativeLiterals(t *testing.T) {
+	e := NewNot(Pred("s", predicate.Contains, "x"))
+	d, err := ToDNF(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 || len(d[0]) != 1 || !d[0][0].Neg {
+		t.Fatalf("DNF = %v, want single negated literal", d)
+	}
+	if d.AllPositive() {
+		t.Error("AllPositive must be false")
+	}
+	if got, want := d[0][0].String(), `not s contains "x"`; got != want {
+		t.Errorf("literal String = %q, want %q", got, want)
+	}
+}
+
+func TestDNFContradictionDropped(t *testing.T) {
+	p := Pred("a", predicate.Eq, 1)
+	// a=1 and not a=1 → unsatisfiable → empty DNF.
+	e := NewAnd(p, NewNot(p))
+	d, err := ToDNF(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 0 {
+		t.Errorf("DNF = %v, want empty (unsatisfiable)", d)
+	}
+	// (a=1 or b=2) and not a=1 → {b=2, ¬a=1}.
+	e2 := NewAnd(NewOr(p, Pred("b", predicate.Eq, 2)), NewNot(p))
+	d2, err := ToDNF(e2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2) != 1 || len(d2[0]) != 2 {
+		t.Errorf("DNF = %v, want one disjunct of two literals", d2)
+	}
+}
+
+func TestDNFDedup(t *testing.T) {
+	// (a=1 or a=1) and a=1 → one disjunct {a=1}.
+	p := Pred("a", predicate.Eq, 1)
+	e := NewAnd(NewOr(p, p), p)
+	d, err := ToDNF(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 || len(d[0]) != 1 {
+		t.Errorf("DNF = %v, want single {a=1}", d)
+	}
+}
+
+func TestComplementLiterals(t *testing.T) {
+	mk := func(op predicate.Op) DNF {
+		return DNF{Conjunction{{Pred: predicate.New("a", op, 5), Neg: true}}}
+	}
+	wants := map[predicate.Op]predicate.Op{
+		predicate.Eq: predicate.Ne,
+		predicate.Ne: predicate.Eq,
+		predicate.Lt: predicate.Ge,
+		predicate.Le: predicate.Gt,
+		predicate.Gt: predicate.Le,
+		predicate.Ge: predicate.Lt,
+	}
+	for op, comp := range wants {
+		out, err := ComplementLiterals(mk(op))
+		if err != nil {
+			t.Fatalf("op %s: %v", op, err)
+		}
+		if got := out[0][0]; got.Neg || got.Pred.Op != comp {
+			t.Errorf("complement of ¬(a %s 5) = %s, want a %s 5", op, got, comp)
+		}
+	}
+	for _, op := range []predicate.Op{predicate.Prefix, predicate.Suffix, predicate.Contains, predicate.Exists} {
+		if _, err := ComplementLiterals(mk(op)); !errors.Is(err, ErrNotNegatable) {
+			t.Errorf("op %s: err = %v, want ErrNotNegatable", op, err)
+		}
+	}
+	// Positive literals pass through untouched.
+	d := DNF{Conjunction{{Pred: predicate.New("a", predicate.Prefix, "x")}}}
+	out, err := ComplementLiterals(d)
+	if err != nil || out[0][0].Neg || out[0][0].Pred.Op != predicate.Prefix {
+		t.Errorf("positive literal mangled: %v, %v", out, err)
+	}
+}
+
+func TestDNFEvalAgainstASTProperty(t *testing.T) {
+	// Semantics preservation: for random expressions (including NOT over
+	// arbitrary subtrees) and random assignments, DNF.Eval == Expr.EvalWith.
+	// This is the correctness core of the canonical baseline path.
+	rng := rand.New(rand.NewSource(99))
+	cfg := RandomConfig{MaxDepth: 4, MaxFanout: 3, AllowNot: true, Domain: 20}
+	checked := 0
+	for i := 0; i < 400; i++ {
+		e := RandomExpr(rng, cfg)
+		d, err := ToDNF(e, 1<<16)
+		if errors.Is(err, ErrDNFTooLarge) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		checked++
+		for trial := 0; trial < 20; trial++ {
+			// Random truth assignment keyed on the predicate fingerprint so
+			// that duplicated predicates receive a consistent value.
+			seed := rng.Int63()
+			assign := func(p predicate.P) bool {
+				h := int64(0)
+				for _, b := range []byte(p.String()) {
+					h = h*131 + int64(b)
+				}
+				return (h^seed)%3 == 0
+			}
+			if got, want := d.Eval(assign), e.EvalWith(assign); got != want {
+				t.Fatalf("iter %d: DNF=%v AST=%v\nexpr: %s", i, got, want, e)
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d expressions checked; generator too explosive", checked)
+	}
+}
+
+func TestNNFEvalPreservedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := RandomConfig{MaxDepth: 5, MaxFanout: 3, AllowNot: true, Domain: 10}
+	for i := 0; i < 400; i++ {
+		e := RandomExpr(rng, cfg)
+		nnf := ToNNF(e)
+		ev := randomEvent(rng)
+		if got, want := nnf.Eval(ev), e.Eval(ev); got != want {
+			t.Fatalf("iter %d: NNF=%v orig=%v\nexpr: %s\nnnf: %s\nev: %s", i, got, want, e, nnf, ev)
+		}
+	}
+}
+
+func TestDNFEvalOnEventsProperty(t *testing.T) {
+	// DNF evaluation under the event-derived assignment equals direct AST
+	// evaluation — including events with missing attributes, which is
+	// exactly the case operator complementation would get wrong.
+	rng := rand.New(rand.NewSource(17))
+	cfg := RandomConfig{MaxDepth: 4, MaxFanout: 3, AllowNot: true, Domain: 20}
+	for i := 0; i < 300; i++ {
+		e := RandomExpr(rng, cfg)
+		d, err := ToDNF(e, 1<<16)
+		if err != nil {
+			continue
+		}
+		ev := randomEvent(rng)
+		assign := func(p predicate.P) bool { return p.Eval(ev) }
+		if got, want := d.Eval(assign), e.Eval(ev); got != want {
+			t.Fatalf("iter %d: DNF=%v AST=%v\nexpr: %s\nev: %s", i, got, want, e, ev)
+		}
+	}
+}
+
+func TestDNFSizeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := RandomConfig{MaxDepth: 4, MaxFanout: 3, AllowNot: true}
+	for i := 0; i < 200; i++ {
+		e := RandomExpr(rng, cfg)
+		size := DNFSize(e)
+		d, err := ToDNF(e, 1<<18)
+		if err != nil {
+			continue
+		}
+		// Dedup and contradiction-dropping can only shrink the DNF.
+		if len(d) > size {
+			t.Fatalf("materialised DNF %d > computed size %d for %s", len(d), size, e)
+		}
+	}
+}
+
+func TestDNFExprRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := RandomConfig{MaxDepth: 4, MaxFanout: 3, AllowNot: true, Domain: 20}
+	for i := 0; i < 100; i++ {
+		e := RandomExpr(rng, cfg)
+		d, err := ToDNF(e, 1<<14)
+		if err != nil {
+			continue
+		}
+		back := d.Expr()
+		if back == nil {
+			// Unsatisfiable: original must be false everywhere we try.
+			for trial := 0; trial < 20; trial++ {
+				if ev := randomEvent(rng); e.Eval(ev) {
+					t.Fatalf("iter %d: empty DNF but expr true on %s: %s", i, ev, e)
+				}
+			}
+			continue
+		}
+		for trial := 0; trial < 20; trial++ {
+			ev := randomEvent(rng)
+			if back.Eval(ev) != e.Eval(ev) {
+				t.Fatalf("iter %d: round-tripped DNF differs on %s\nexpr: %s\nback: %s", i, ev, e, back)
+			}
+		}
+	}
+}
+
+func TestEmptyDNFExpr(t *testing.T) {
+	if (DNF{}).Expr() != nil {
+		t.Error("empty DNF should convert to nil Expr")
+	}
+}

@@ -1,0 +1,208 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+
+	"noncanon/internal/event"
+	"noncanon/internal/predicate"
+)
+
+// exampleExpr builds the paper's Fig. 1 subscription:
+// (a > 10 ∨ a ≤ 5 ∨ b = 1) ∧ (c ≤ 20 ∨ c = 30 ∨ d = 5).
+func exampleExpr() Expr {
+	return NewAnd(
+		NewOr(Pred("a", predicate.Gt, 10), Pred("a", predicate.Le, 5), Pred("b", predicate.Eq, 1)),
+		NewOr(Pred("c", predicate.Le, 20), Pred("c", predicate.Eq, 30), Pred("d", predicate.Eq, 5)),
+	)
+}
+
+func TestEvalFig1(t *testing.T) {
+	e := exampleExpr()
+	tests := []struct {
+		ev   event.Event
+		want bool
+	}{
+		{event.New().Set("a", 11).Set("c", 15), true},
+		{event.New().Set("a", 3).Set("c", 30), true},
+		{event.New().Set("b", 1).Set("d", 5), true},
+		{event.New().Set("a", 7).Set("c", 15), false},  // left OR fails
+		{event.New().Set("a", 11).Set("c", 25), false}, // right OR fails
+		{event.New(), false},
+	}
+	for i, tt := range tests {
+		if got := e.Eval(tt.ev); got != tt.want {
+			t.Errorf("case %d: Eval(%s) = %v, want %v", i, tt.ev, got, tt.want)
+		}
+	}
+}
+
+func TestConstructorsFlatten(t *testing.T) {
+	a := NewAnd(Pred("a", predicate.Eq, 1), NewAnd(Pred("b", predicate.Eq, 2), Pred("c", predicate.Eq, 3)))
+	and, ok := a.(And)
+	if !ok || len(and.Xs) != 3 {
+		t.Fatalf("NewAnd did not flatten: %v", a)
+	}
+	o := NewOr(NewOr(Pred("a", predicate.Eq, 1), Pred("b", predicate.Eq, 2)), Pred("c", predicate.Eq, 3))
+	or, ok := o.(Or)
+	if !ok || len(or.Xs) != 3 {
+		t.Fatalf("NewOr did not flatten: %v", o)
+	}
+}
+
+func TestConstructorsSingleChildCollapse(t *testing.T) {
+	l := Pred("a", predicate.Eq, 1)
+	if _, ok := NewAnd(l).(Leaf); !ok {
+		t.Error("NewAnd of one child should collapse to the child")
+	}
+	if _, ok := NewOr(l).(Leaf); !ok {
+		t.Error("NewOr of one child should collapse to the child")
+	}
+}
+
+func TestNewNotDoubleNegation(t *testing.T) {
+	l := Pred("a", predicate.Eq, 1)
+	if !Equal(NewNot(NewNot(l)), l) {
+		t.Error("not not x should collapse to x")
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want string
+	}{
+		{Pred("a", predicate.Gt, 10), "a > 10"},
+		{exampleExpr(), "(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)"},
+		{NewNot(Pred("a", predicate.Eq, 1)), "not a = 1"},
+		{NewNot(NewAnd(Pred("a", predicate.Eq, 1), Pred("b", predicate.Eq, 2))), "not (a = 1 and b = 2)"},
+		{NewOr(NewAnd(Pred("a", predicate.Eq, 1), Pred("b", predicate.Eq, 2)), Pred("c", predicate.Eq, 3)),
+			"a = 1 and b = 2 or c = 3"},
+		{Pred("s", predicate.Prefix, "AB"), `s prefix "AB"`},
+	}
+	for _, tt := range tests {
+		if got := tt.e.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestWalkAndLeaves(t *testing.T) {
+	e := exampleExpr()
+	if got := Size(e); got != 9 { // 1 And + 2 Or + 6 leaves
+		t.Errorf("Size = %d, want 9", got)
+	}
+	ls := Leaves(e)
+	if len(ls) != 6 {
+		t.Fatalf("Leaves = %d, want 6", len(ls))
+	}
+	if ls[0].Attr != "a" || ls[5].Attr != "d" {
+		t.Errorf("leaf order wrong: first=%s last=%s", ls[0], ls[5])
+	}
+	// Early termination.
+	n := 0
+	Walk(e, func(Expr) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("Walk visited %d nodes after early stop, want 3", n)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if d := Depth(Pred("a", predicate.Eq, 1)); d != 1 {
+		t.Errorf("leaf depth = %d", d)
+	}
+	if d := Depth(exampleExpr()); d != 3 {
+		t.Errorf("fig1 depth = %d, want 3", d)
+	}
+	if d := Depth(NewNot(exampleExpr())); d != 4 {
+		t.Errorf("not(fig1) depth = %d, want 4", d)
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	e := exampleExpr()
+	c := Clone(e)
+	if !Equal(e, c) {
+		t.Error("clone must equal original")
+	}
+	if Equal(e, Pred("a", predicate.Gt, 10)) {
+		t.Error("different shapes must differ")
+	}
+	other := NewAnd(
+		NewOr(Pred("a", predicate.Gt, 10), Pred("a", predicate.Le, 5), Pred("b", predicate.Eq, 2)),
+		NewOr(Pred("c", predicate.Le, 20), Pred("c", predicate.Eq, 30), Pred("d", predicate.Eq, 5)),
+	)
+	if Equal(e, other) {
+		t.Error("different operand must differ")
+	}
+	// Numeric unification: b = 1 equals b = 1.0.
+	if !Equal(Pred("b", predicate.Eq, 1), Pred("b", predicate.Eq, 1.0)) {
+		t.Error("1 and 1.0 operands should be structurally equal")
+	}
+}
+
+func TestZeroSatisfiable(t *testing.T) {
+	if ZeroSatisfiable(exampleExpr()) {
+		t.Error("fig1 is not zero-satisfiable")
+	}
+	if !ZeroSatisfiable(NewNot(Pred("a", predicate.Eq, 1))) {
+		t.Error("not(a=1) is zero-satisfiable")
+	}
+	e := NewOr(Pred("a", predicate.Eq, 1), NewNot(Pred("b", predicate.Eq, 2)))
+	if !ZeroSatisfiable(e) {
+		t.Error("a=1 or not(b=2) is zero-satisfiable")
+	}
+}
+
+func TestEvalWithMatchesEval(t *testing.T) {
+	// EvalWith under the event-derived assignment must agree with Eval.
+	rng := rand.New(rand.NewSource(7))
+	cfg := RandomConfig{MaxDepth: 5, AllowNot: true}
+	for i := 0; i < 300; i++ {
+		e := RandomExpr(rng, cfg)
+		ev := randomEvent(rng)
+		direct := e.Eval(ev)
+		viaAssign := e.EvalWith(func(p predicate.P) bool { return p.Eval(ev) })
+		if direct != viaAssign {
+			t.Fatalf("iter %d: Eval=%v EvalWith=%v for %s on %s", i, direct, viaAssign, e, ev)
+		}
+	}
+}
+
+func randomEvent(rng *rand.Rand) event.Event {
+	ev := event.New()
+	for i := 0; i < 8; i++ {
+		if rng.Intn(2) == 0 {
+			continue // leave some attributes absent
+		}
+		attr := "a" + string(rune('0'+i))
+		if rng.Intn(4) == 0 {
+			ev = ev.Set(attr, "s"+string(rune('0'+rng.Intn(10))))
+		} else {
+			ev = ev.Set(attr, rng.Intn(100))
+		}
+	}
+	return ev
+}
+
+func TestRandomExprRespectsConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		e := RandomExpr(rng, RandomConfig{MaxDepth: 3, MaxFanout: 3, NegatableOnly: true})
+		if d := Depth(e); d > 3 {
+			t.Fatalf("depth %d exceeds max 3: %s", d, e)
+		}
+		Walk(e, func(x Expr) bool {
+			switch n := x.(type) {
+			case Not:
+				t.Fatalf("Not generated with AllowNot=false: %s", e)
+			case Leaf:
+				switch n.Pred.Op {
+				case predicate.Prefix, predicate.Suffix, predicate.Contains, predicate.Exists:
+					t.Fatalf("non-negatable op with NegatableOnly: %s", n.Pred)
+				}
+			}
+			return true
+		})
+	}
+}

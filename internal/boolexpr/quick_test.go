@@ -1,0 +1,128 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"noncanon/internal/predicate"
+)
+
+// genExpr adapts RandomExpr to testing/quick's Generator interface so that
+// expression invariants can be stated as quick.Check properties.
+type genExpr struct {
+	E    Expr
+	Seed int64
+}
+
+// Generate implements quick.Generator.
+func (genExpr) Generate(r *rand.Rand, size int) reflect.Value {
+	cfg := RandomConfig{
+		MaxDepth:  2 + size%4,
+		MaxFanout: 3,
+		AllowNot:  true,
+		Domain:    20,
+	}
+	return reflect.ValueOf(genExpr{E: RandomExpr(r, cfg), Seed: r.Int63()})
+}
+
+// assignFor derives a deterministic truth assignment from a seed, keyed on
+// the predicate fingerprint (duplicated predicates get consistent values).
+func assignFor(seed int64) func(predicate.P) bool {
+	return func(p predicate.P) bool {
+		h := seed
+		for _, b := range []byte(p.String()) {
+			h = h*131 + int64(b)
+		}
+		return h%3 == 0
+	}
+}
+
+func TestQuickSimplifyPreservesSemantics(t *testing.T) {
+	f := func(g genExpr) bool {
+		s := Simplify(g.E)
+		assign := assignFor(g.Seed)
+		return s.EvalWith(assign) == g.E.EvalWith(assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSimplifyNeverGrows(t *testing.T) {
+	f := func(g genExpr) bool {
+		return Size(Simplify(g.E)) <= Size(g.E)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNNFShapeAndSemantics(t *testing.T) {
+	f := func(g genExpr) bool {
+		nnf := ToNNF(g.E)
+		// Shape: Not only directly above leaves.
+		ok := true
+		Walk(nnf, func(x Expr) bool {
+			if n, isNot := x.(Not); isNot {
+				if _, leaf := n.X.(Leaf); !leaf {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		assign := assignFor(g.Seed)
+		return nnf.EvalWith(assign) == g.E.EvalWith(assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneEqualIndependent(t *testing.T) {
+	f := func(g genExpr) bool {
+		c := Clone(g.E)
+		return Equal(g.E, c) && Size(c) == Size(g.E) && Depth(c) == Depth(g.E)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDNFSoundness(t *testing.T) {
+	f := func(g genExpr) bool {
+		d, err := ToDNF(g.E, 1<<14)
+		if err != nil {
+			return true // blow-up guard tripped; nothing to check
+		}
+		assign := assignFor(g.Seed)
+		return d.Eval(assign) == g.E.EvalWith(assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickZeroSatConsistency(t *testing.T) {
+	// ZeroSatisfiable must equal evaluation under the all-false assignment,
+	// before and after every transformation.
+	f := func(g genExpr) bool {
+		allFalse := func(predicate.P) bool { return false }
+		want := g.E.EvalWith(allFalse)
+		if ZeroSatisfiable(g.E) != want {
+			return false
+		}
+		if ZeroSatisfiable(Simplify(g.E)) != want {
+			return false
+		}
+		return ZeroSatisfiable(ToNNF(g.E)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"strconv"
+
+	"noncanon/internal/predicate"
+)
+
+// RandomConfig controls RandomExpr.
+type RandomConfig struct {
+	// MaxDepth bounds tree height (≥1). Depth 1 yields a single leaf.
+	MaxDepth int
+	// MaxFanout bounds the child count of And/Or nodes (≥2).
+	MaxFanout int
+	// AllowNot permits Not nodes.
+	AllowNot bool
+	// NegatableOnly restricts leaf operators to the complement-closed set
+	// {=, !=, <, <=, >, >=} so that the expression is DNF-transformable.
+	NegatableOnly bool
+	// Attrs is the attribute-name pool; defaults to a0..a7.
+	Attrs []string
+	// Domain is the operand value range [0, Domain); defaults to 100.
+	Domain int
+}
+
+func (c RandomConfig) withDefaults() RandomConfig {
+	if c.MaxDepth < 1 {
+		c.MaxDepth = 4
+	}
+	if c.MaxFanout < 2 {
+		c.MaxFanout = 4
+	}
+	if len(c.Attrs) == 0 {
+		c.Attrs = make([]string, 8)
+		for i := range c.Attrs {
+			c.Attrs[i] = "a" + strconv.Itoa(i)
+		}
+	}
+	if c.Domain <= 0 {
+		c.Domain = 100
+	}
+	return c
+}
+
+var negatableOps = []predicate.Op{
+	predicate.Eq, predicate.Ne, predicate.Lt, predicate.Le, predicate.Gt, predicate.Ge,
+}
+
+var allOps = append(append([]predicate.Op{}, negatableOps...),
+	predicate.Prefix, predicate.Suffix, predicate.Contains, predicate.Exists)
+
+// RandomExpr generates a random subscription expression. It is used by the
+// property-based tests to cross-check the three evaluators (AST, DNF,
+// encoded tree) and by fuzz-style workload generation.
+func RandomExpr(rng *rand.Rand, cfg RandomConfig) Expr {
+	cfg = cfg.withDefaults()
+	return randomNode(rng, cfg, cfg.MaxDepth)
+}
+
+func randomNode(rng *rand.Rand, cfg RandomConfig, depth int) Expr {
+	if depth <= 1 {
+		return randomLeaf(rng, cfg)
+	}
+	roll := rng.Intn(10)
+	switch {
+	case roll < 3:
+		return randomLeaf(rng, cfg)
+	case roll < 6:
+		return NewAnd(randomChildren(rng, cfg, depth)...)
+	case roll < 9:
+		return NewOr(randomChildren(rng, cfg, depth)...)
+	default:
+		if cfg.AllowNot {
+			return NewNot(randomNode(rng, cfg, depth-1))
+		}
+		return NewAnd(randomChildren(rng, cfg, depth)...)
+	}
+}
+
+func randomChildren(rng *rand.Rand, cfg RandomConfig, depth int) []Expr {
+	n := 2 + rng.Intn(cfg.MaxFanout-1)
+	xs := make([]Expr, n)
+	for i := range xs {
+		xs[i] = randomNode(rng, cfg, depth-1)
+	}
+	return xs
+}
+
+func randomLeaf(rng *rand.Rand, cfg RandomConfig) Expr {
+	ops := allOps
+	if cfg.NegatableOnly {
+		ops = negatableOps
+	}
+	op := ops[rng.Intn(len(ops))]
+	attr := cfg.Attrs[rng.Intn(len(cfg.Attrs))]
+	switch op {
+	case predicate.Prefix, predicate.Suffix, predicate.Contains:
+		return Pred(attr, op, "s"+strconv.Itoa(rng.Intn(cfg.Domain)))
+	case predicate.Exists:
+		return Pred(attr, op, nil)
+	default:
+		if rng.Intn(4) == 0 {
+			return Pred(attr, op, float64(rng.Intn(cfg.Domain))+0.5)
+		}
+		return Pred(attr, op, rng.Intn(cfg.Domain))
+	}
+}

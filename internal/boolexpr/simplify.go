@@ -1,0 +1,132 @@
+package boolexpr
+
+// Simplify applies cheap structural rewrites that never change semantics:
+//
+//   - flatten nested conjunctions/disjunctions (binary → n-ary, paper §3.1)
+//   - collapse single-child And/Or
+//   - eliminate double negation
+//   - deduplicate structurally identical siblings (idempotence)
+//   - absorption: A ∧ (A ∨ B) → A and A ∨ (A ∧ B) → A
+//
+// The paper notes that current matching approaches "do not optimise
+// subscriptions"; Simplify is the modest optimisation pass applied before
+// registration in this implementation, and the ablation benches measure its
+// effect.
+func Simplify(e Expr) Expr {
+	switch t := e.(type) {
+	case Leaf:
+		return t
+	case Not:
+		x := Simplify(t.X)
+		if inner, ok := x.(Not); ok {
+			return inner.X
+		}
+		return Not{X: x}
+	case And:
+		xs := simplifyChildren(t.Xs, true)
+		xs = dedupSiblings(xs)
+		xs = absorb(xs, true)
+		if len(xs) == 1 {
+			return xs[0]
+		}
+		return And{Xs: xs}
+	case Or:
+		xs := simplifyChildren(t.Xs, false)
+		xs = dedupSiblings(xs)
+		xs = absorb(xs, false)
+		if len(xs) == 1 {
+			return xs[0]
+		}
+		return Or{Xs: xs}
+	default:
+		return e
+	}
+}
+
+// simplifyChildren simplifies each child and flattens same-operator nesting.
+func simplifyChildren(xs []Expr, isAnd bool) []Expr {
+	out := make([]Expr, 0, len(xs))
+	for _, x := range xs {
+		s := Simplify(x)
+		switch c := s.(type) {
+		case And:
+			if isAnd {
+				out = append(out, c.Xs...)
+				continue
+			}
+		case Or:
+			if !isAnd {
+				out = append(out, c.Xs...)
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func dedupSiblings(xs []Expr) []Expr {
+	out := xs[:0]
+	for _, x := range xs {
+		dup := false
+		for _, y := range out {
+			if Equal(x, y) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// absorb removes siblings made redundant by absorption. For an And parent
+// (isAnd=true): a sibling that is an Or containing some other sibling is
+// redundant (A ∧ (A ∨ B) = A). Symmetrically for Or parents.
+func absorb(xs []Expr, isAnd bool) []Expr {
+	if len(xs) < 2 {
+		return xs
+	}
+	keep := make([]bool, len(xs))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i, x := range xs {
+		var inner []Expr
+		switch c := x.(type) {
+		case Or:
+			if isAnd {
+				inner = c.Xs
+			}
+		case And:
+			if !isAnd {
+				inner = c.Xs
+			}
+		}
+		if inner == nil {
+			continue
+		}
+		for j, y := range xs {
+			if i == j || !keep[i] {
+				continue
+			}
+			// If y (kept sibling) appears inside x's operand list, x is
+			// absorbed by y.
+			for _, z := range inner {
+				if Equal(y, z) {
+					keep[i] = false
+					break
+				}
+			}
+		}
+	}
+	out := xs[:0]
+	for i, x := range xs {
+		if keep[i] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+
+	"noncanon/internal/predicate"
+)
+
+func TestSimplifyFlattens(t *testing.T) {
+	inner := And{Xs: []Expr{Pred("a", predicate.Eq, 1), Pred("b", predicate.Eq, 2)}}
+	e := And{Xs: []Expr{inner, Pred("c", predicate.Eq, 3)}}
+	s := Simplify(e)
+	and, ok := s.(And)
+	if !ok || len(and.Xs) != 3 {
+		t.Fatalf("Simplify did not flatten: %s", s)
+	}
+}
+
+func TestSimplifySingleChild(t *testing.T) {
+	e := And{Xs: []Expr{Pred("a", predicate.Eq, 1)}}
+	if _, ok := Simplify(e).(Leaf); !ok {
+		t.Error("single-child And should collapse")
+	}
+	o := Or{Xs: []Expr{Pred("a", predicate.Eq, 1)}}
+	if _, ok := Simplify(o).(Leaf); !ok {
+		t.Error("single-child Or should collapse")
+	}
+}
+
+func TestSimplifyDoubleNegation(t *testing.T) {
+	e := Not{X: Not{X: Pred("a", predicate.Eq, 1)}}
+	if _, ok := Simplify(e).(Leaf); !ok {
+		t.Errorf("double negation should vanish: %s", Simplify(e))
+	}
+}
+
+func TestSimplifyIdempotence(t *testing.T) {
+	p := Pred("a", predicate.Eq, 1)
+	e := And{Xs: []Expr{p, p, Pred("b", predicate.Eq, 2), p}}
+	s := Simplify(e)
+	and, ok := s.(And)
+	if !ok || len(and.Xs) != 2 {
+		t.Fatalf("duplicate siblings not removed: %s", s)
+	}
+	// a or a → a
+	if _, ok := Simplify(Or{Xs: []Expr{p, p}}).(Leaf); !ok {
+		t.Error("a or a should collapse to a")
+	}
+}
+
+func TestSimplifyAbsorption(t *testing.T) {
+	a := Pred("a", predicate.Eq, 1)
+	b := Pred("b", predicate.Eq, 2)
+	// a and (a or b) → a
+	e := And{Xs: []Expr{a, Or{Xs: []Expr{a, b}}}}
+	if got := Simplify(e); !Equal(got, a) {
+		t.Errorf("a and (a or b) = %s, want a = 1", got)
+	}
+	// a or (a and b) → a
+	e2 := Or{Xs: []Expr{a, And{Xs: []Expr{a, b}}}}
+	if got := Simplify(e2); !Equal(got, a) {
+		t.Errorf("a or (a and b) = %s, want a = 1", got)
+	}
+}
+
+func TestSimplifyPreservesSemanticsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cfg := RandomConfig{MaxDepth: 5, MaxFanout: 4, AllowNot: true}
+	for i := 0; i < 500; i++ {
+		e := RandomExpr(rng, cfg)
+		s := Simplify(e)
+		for trial := 0; trial < 10; trial++ {
+			ev := randomEvent(rng)
+			if s.Eval(ev) != e.Eval(ev) {
+				t.Fatalf("iter %d: Simplify changed semantics\nbefore: %s\nafter: %s\nev: %s", i, e, s, ev)
+			}
+		}
+		if Size(s) > Size(e) {
+			t.Fatalf("iter %d: Simplify grew the tree: %d → %d", i, Size(e), Size(s))
+		}
+	}
+}
+
+func TestSimplifyIdempotentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	cfg := RandomConfig{MaxDepth: 5, MaxFanout: 4, AllowNot: true}
+	for i := 0; i < 300; i++ {
+		s := Simplify(RandomExpr(rng, cfg))
+		ss := Simplify(s)
+		if !Equal(s, ss) {
+			t.Fatalf("iter %d: Simplify not idempotent\nonce: %s\ntwice: %s", i, s, ss)
+		}
+	}
+}

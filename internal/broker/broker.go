@@ -1,0 +1,257 @@
+// Package broker implements a single-process publish/subscribe broker on
+// top of the non-canonical matching engine: subscribers register Boolean
+// subscriptions and receive matching events asynchronously.
+//
+// Delivery model: every subscriber owns a bounded queue drained by a
+// dedicated goroutine. Publish never blocks on a slow subscriber — when a
+// queue is full the event is dropped for that subscriber and counted
+// (Subscription.Dropped), which is the standard back-pressure posture for
+// notification services. Close stops intake and waits for all delivery
+// goroutines to drain.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/core"
+	"noncanon/internal/event"
+	"noncanon/internal/index"
+	"noncanon/internal/matcher"
+	"noncanon/internal/predicate"
+)
+
+// ErrClosed is returned by operations on a closed broker.
+var ErrClosed = errors.New("broker: closed")
+
+// DefaultQueueSize is the per-subscriber event queue capacity.
+const DefaultQueueSize = 64
+
+// Handler consumes delivered events. Handlers run on the subscription's
+// delivery goroutine; a slow handler delays (and eventually drops) only its
+// own subscription's events.
+type Handler func(ev event.Event)
+
+// Options configures a broker.
+type Options struct {
+	// QueueSize is the per-subscriber queue capacity
+	// (default DefaultQueueSize).
+	QueueSize int
+	// Engine configures the underlying non-canonical engine.
+	Engine core.Options
+}
+
+// Broker routes published events to matching subscribers.
+type Broker struct {
+	opts Options
+	eng  *core.Engine
+
+	mu     sync.RWMutex
+	subs   map[matcher.SubID]*Subscription
+	closed bool
+
+	wg        sync.WaitGroup
+	published atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// Subscription is a live registration with its delivery pipeline.
+type Subscription struct {
+	id      matcher.SubID
+	b       *Broker
+	queue   chan event.Event
+	out     chan event.Event // non-nil for channel subscriptions
+	dropped atomic.Uint64
+
+	cancelOnce sync.Once
+}
+
+// New builds an empty broker.
+func New(opts Options) *Broker {
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = DefaultQueueSize
+	}
+	reg := predicate.NewRegistry()
+	idx := index.New()
+	return &Broker{
+		opts: opts,
+		eng:  core.New(reg, idx, opts.Engine),
+		subs: make(map[matcher.SubID]*Subscription, 64),
+	}
+}
+
+// Subscribe registers an expression with a handler. The handler runs on a
+// dedicated goroutine owned by the subscription.
+func (b *Broker) Subscribe(expr boolexpr.Expr, h Handler) (*Subscription, error) {
+	if h == nil {
+		return nil, fmt.Errorf("broker: nil handler")
+	}
+	s, err := b.subscribe(expr, nil)
+	if err != nil {
+		return nil, err
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for ev := range s.queue {
+			h(ev)
+			b.delivered.Add(1)
+		}
+	}()
+	return s, nil
+}
+
+// SubscribeChan registers an expression and returns a receive channel. The
+// channel is closed after Unsubscribe (or broker Close) once queued events
+// are drained.
+func (b *Broker) SubscribeChan(expr boolexpr.Expr) (*Subscription, <-chan event.Event, error) {
+	out := make(chan event.Event, b.opts.QueueSize)
+	s, err := b.subscribe(expr, out)
+	if err != nil {
+		return nil, nil, err
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		defer close(out)
+		for ev := range s.queue {
+			out <- ev
+			b.delivered.Add(1)
+		}
+	}()
+	return s, out, nil
+}
+
+func (b *Broker) subscribe(expr boolexpr.Expr, out chan event.Event) (*Subscription, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	id, err := b.eng.Subscribe(expr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Subscription{
+		id:    id,
+		b:     b,
+		queue: make(chan event.Event, b.opts.QueueSize),
+		out:   out,
+	}
+	b.subs[id] = s
+	return s, nil
+}
+
+// ID returns the engine subscription ID.
+func (s *Subscription) ID() matcher.SubID { return s.id }
+
+// Dropped returns how many events were discarded because this
+// subscription's queue was full.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Unsubscribe removes the subscription and ends its delivery goroutine
+// after draining queued events. It is idempotent.
+func (s *Subscription) Unsubscribe() error {
+	var err error
+	didCancel := false
+	s.cancelOnce.Do(func() {
+		didCancel = true
+		s.b.mu.Lock()
+		if _, live := s.b.subs[s.id]; live {
+			delete(s.b.subs, s.id)
+			err = s.b.eng.Unsubscribe(s.id)
+		}
+		s.b.mu.Unlock()
+		// No publisher can hold s.queue once the map entry is gone (Publish
+		// enqueues under the read lock), so closing is safe.
+		close(s.queue)
+	})
+	if !didCancel {
+		return nil
+	}
+	return err
+}
+
+// Publish matches the event and enqueues it to every matching subscriber.
+// It returns the number of subscriptions the event was enqueued for and
+// never blocks on slow consumers.
+func (b *Broker) Publish(ev event.Event) (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return 0, ErrClosed
+	}
+	b.published.Add(1)
+	n := 0
+	for _, id := range b.eng.Match(ev) {
+		s, ok := b.subs[id]
+		if !ok {
+			continue
+		}
+		select {
+		case s.queue <- ev:
+			n++
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+	return n, nil
+}
+
+// NumSubscriptions returns the live subscription count.
+func (b *Broker) NumSubscriptions() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs)
+}
+
+// Stats is a broker activity snapshot.
+type Stats struct {
+	Subscriptions int
+	Published     uint64
+	Delivered     uint64
+	Dropped       uint64
+}
+
+// Stats returns a snapshot of broker activity.
+func (b *Broker) Stats() Stats {
+	return Stats{
+		Subscriptions: b.NumSubscriptions(),
+		Published:     b.published.Load(),
+		Delivered:     b.delivered.Load(),
+		Dropped:       b.dropped.Load(),
+	}
+}
+
+// Close stops intake, cancels all subscriptions and waits for delivery
+// goroutines to drain. Subsequent Publish/Subscribe calls fail with
+// ErrClosed. Close is idempotent.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	remaining := make([]*Subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		remaining = append(remaining, s)
+	}
+	b.mu.Unlock()
+
+	for _, s := range remaining {
+		s.cancelOnce.Do(func() {
+			b.mu.Lock()
+			delete(b.subs, s.id)
+			b.mu.Unlock()
+			close(s.queue)
+		})
+	}
+	b.wg.Wait()
+	return nil
+}

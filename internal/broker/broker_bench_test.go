@@ -1,0 +1,55 @@
+package broker
+
+import (
+	"testing"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/event"
+	"noncanon/internal/predicate"
+)
+
+// BenchmarkPublish measures end-to-end publication (match + enqueue) with
+// 1000 subscriptions of which ~10 match each event.
+func BenchmarkPublish(b *testing.B) {
+	br := New(Options{QueueSize: 1024})
+	defer br.Close()
+	for i := 0; i < 1000; i++ {
+		expr := boolexpr.NewAnd(
+			boolexpr.Pred("bucket", predicate.Eq, i/10),
+			boolexpr.NewOr(
+				boolexpr.Pred("price", predicate.Gt, i),
+				boolexpr.Pred("price", predicate.Le, i-500),
+			),
+		)
+		if _, err := br.Subscribe(expr, func(event.Event) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	evs := make([]event.Event, 32)
+	for i := range evs {
+		evs[i] = event.New().Set("bucket", i%100).Set("price", 2000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.Publish(evs[i%len(evs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubscribeUnsubscribe measures registration churn.
+func BenchmarkSubscribeUnsubscribe(b *testing.B) {
+	br := New(Options{})
+	defer br.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expr := boolexpr.Pred("a", predicate.Gt, i)
+		sub, err := br.Subscribe(expr, func(event.Event) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sub.Unsubscribe(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

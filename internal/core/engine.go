@@ -1,0 +1,386 @@
+// Package core implements the paper's contribution: the non-canonical
+// matching engine, which filters arbitrary Boolean subscriptions directly —
+// no transformation into DNF — using the four data structures of Fig. 2:
+//
+//  1. one-dimensional predicate indexes (shared, internal/index),
+//  2. a predicate-subscription association table (id(p) → {id(s)}),
+//  3. a subscription location table (id(s) → loc(s)),
+//  4. encoded subscription trees (internal/subtree).
+//
+// Event filtering (paper §3.2): phase one determines the fulfilled
+// predicates via the indexes; phase two collects candidate subscriptions —
+// those containing at least one fulfilled predicate — through the
+// association table, locates their encoded trees through the location
+// table, and evaluates each candidate's Boolean expression over the
+// fulfilled set.
+//
+// One correctness extension beyond the paper: subscriptions whose expression
+// is satisfiable with zero fulfilled predicates (possible once NOT is
+// allowed, e.g. `not a = 1`) can match events for which they are never
+// candidates. Such subscriptions are kept on an always-evaluate list. The
+// paper's workloads (AND/OR only) never hit this path.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/event"
+	"noncanon/internal/index"
+	"noncanon/internal/matcher"
+	"noncanon/internal/predicate"
+	"noncanon/internal/subtree"
+)
+
+// Options configures the engine.
+type Options struct {
+	// Encoding selects the subscription-tree layout (default PaperEncoding).
+	Encoding subtree.Encoding
+	// Reorder enables cheapest-first child ordering at compile time (the A1
+	// ablation; paper §3.2 future work).
+	Reorder bool
+	// Simplify applies boolexpr.Simplify before compilation.
+	Simplify bool
+}
+
+// Engine is the non-canonical matcher. It is safe for concurrent use; a
+// single mutex serialises all operations (matching mutates epoch-stamped
+// scratch state, so even reads are exclusive).
+type Engine struct {
+	mu   sync.Mutex
+	reg  *predicate.Registry
+	idx  *index.Index
+	opts Options
+
+	// assoc is the predicate-subscription association table, dense-indexed
+	// by predicate ID (the registry hands out dense IDs). Array storage
+	// follows the paper's memory-friendly implementation note ("since we
+	// know the number of subscriptions per predicate we use arrays").
+	assoc [][]matcher.SubID // assoc[pid-1] = subscriptions containing pid
+
+	// slots is the subscription location table fused with subscription
+	// storage: slots[id-1].compiled.Code is loc(s).
+	slots []slot
+	free  []matcher.SubID
+	live  int
+
+	// always lists zero-satisfiable subscriptions, evaluated on every event.
+	always []matcher.SubID
+
+	// Epoch-stamped scratch for Match (no per-event clearing). The mark
+	// tables are dense uint32 arrays separated from the slot structs so the
+	// per-event random accesses touch minimal cache footprint; on epoch
+	// wrap-around both tables are zeroed.
+	epoch    uint32
+	predMark []uint32 // indexed by predicate.ID-1: epoch when fulfilled
+	subMark  []uint32 // indexed by SubID-1: epoch when enlisted as candidate
+	predBuf  []predicate.ID
+	candBuf  []matcher.SubID
+	memTrees int // running sum of compiled.MemBytes()
+}
+
+type slot struct {
+	compiled subtree.Compiled
+	live     bool
+}
+
+var _ matcher.Matcher = (*Engine)(nil)
+
+// New builds an engine over the shared registry and index.
+func New(reg *predicate.Registry, idx *index.Index, opts Options) *Engine {
+	if opts.Encoding == 0 {
+		opts.Encoding = subtree.PaperEncoding
+	}
+	return &Engine{reg: reg, idx: idx, opts: opts}
+}
+
+// Name implements matcher.Matcher.
+func (e *Engine) Name() string { return "non-canonical" }
+
+// Subscribe compiles and registers an arbitrary Boolean subscription.
+func (e *Engine) Subscribe(expr boolexpr.Expr) (matcher.SubID, error) {
+	if expr == nil {
+		return 0, fmt.Errorf("core: nil subscription expression")
+	}
+	if e.opts.Simplify {
+		expr = boolexpr.Simplify(expr)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Record interned predicates so a late compile failure (encoding limits)
+	// can roll back reference counts and index entries.
+	var interned []predicate.ID
+	intern := func(p predicate.P) predicate.ID {
+		id := e.internLocked(p)
+		interned = append(interned, id)
+		return id
+	}
+	compiled, err := subtree.Compile(expr, intern, subtree.Options{
+		Encoding: e.opts.Encoding,
+		Reorder:  e.opts.Reorder,
+	})
+	if err != nil {
+		for _, pid := range interned {
+			p, gerr := e.reg.Get(pid)
+			if gerr != nil {
+				continue
+			}
+			if died, _ := e.reg.Release(pid); died {
+				e.idx.Remove(pid, p)
+			}
+		}
+		return 0, fmt.Errorf("core: compile subscription: %w", err)
+	}
+
+	id := e.allocLocked()
+	s := &e.slots[id-1]
+	s.compiled = compiled
+	s.live = true
+	e.live++
+	e.memTrees += compiled.MemBytes()
+
+	for _, pid := range compiled.PredIDs {
+		i := int(pid) - 1
+		if i >= len(e.assoc) {
+			e.assoc = append(e.assoc, make([][]matcher.SubID, i+1-len(e.assoc))...)
+		}
+		e.assoc[i] = append(e.assoc[i], id)
+	}
+	if compiled.ZeroSat {
+		e.always = append(e.always, id)
+	}
+	return id, nil
+}
+
+// internLocked interns p in the shared registry and indexes it on first use.
+func (e *Engine) internLocked(p predicate.P) predicate.ID {
+	id := e.reg.Intern(p)
+	if e.reg.Refs(id) == 1 {
+		e.idx.Add(id, p)
+	}
+	return id
+}
+
+func (e *Engine) allocLocked() matcher.SubID {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		return id
+	}
+	e.slots = append(e.slots, slot{})
+	e.subMark = append(e.subMark, 0)
+	return matcher.SubID(len(e.slots))
+}
+
+// Unsubscribe removes a subscription, releasing its predicates and shrinking
+// the association table (the operation the paper argues requires explicit
+// subscription storage, §2.1/§3.2).
+func (e *Engine) Unsubscribe(id matcher.SubID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.aliveLocked(id) {
+		return fmt.Errorf("%w: %d", matcher.ErrUnknownSubscription, id)
+	}
+	s := &e.slots[id-1]
+	for _, pid := range s.compiled.PredIDs {
+		i := int(pid) - 1
+		e.assoc[i] = removeSub(e.assoc[i], id)
+		if len(e.assoc[i]) == 0 {
+			e.assoc[i] = nil // release backing storage for dead predicates
+		}
+		p, err := e.reg.Get(pid)
+		if err != nil {
+			return fmt.Errorf("core: unsubscribe %d: %w", id, err)
+		}
+		died, err := e.reg.Release(pid)
+		if err != nil {
+			return fmt.Errorf("core: unsubscribe %d: %w", id, err)
+		}
+		if died {
+			e.idx.Remove(pid, p)
+		}
+	}
+	if s.compiled.ZeroSat {
+		e.always = removeSub(e.always, id)
+	}
+	e.memTrees -= s.compiled.MemBytes()
+	*s = slot{}
+	e.free = append(e.free, id)
+	e.live--
+	return nil
+}
+
+func removeSub(s []matcher.SubID, id matcher.SubID) []matcher.SubID {
+	for i, x := range s {
+		if x == id {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+func (e *Engine) aliveLocked(id matcher.SubID) bool {
+	return id >= 1 && int(id) <= len(e.slots) && e.slots[id-1].live
+}
+
+// Match runs both filtering phases.
+func (e *Engine) Match(ev event.Event) []matcher.SubID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.predBuf = e.idx.Match(ev, e.predBuf[:0])
+	return e.matchPredicatesLocked(e.predBuf)
+}
+
+// MatchPredicates runs phase two only.
+func (e *Engine) MatchPredicates(fulfilled []predicate.ID) []matcher.SubID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.matchPredicatesLocked(fulfilled)
+}
+
+// prepareLocked stamps the fulfilled set into predMark and collects the
+// deduplicated candidate subscriptions into candBuf (paper §3.2, step two:
+// "subscriptions including at least one of the matching predicates").
+func (e *Engine) prepareLocked(fulfilled []predicate.ID) (epoch uint32) {
+	e.epoch++
+	if e.epoch == 0 { // wrap-around: stale stamps become ambiguous, clear
+		clear(e.predMark)
+		clear(e.subMark)
+		e.epoch = 1
+	}
+	epoch = e.epoch
+	for _, pid := range fulfilled {
+		i := int(pid) - 1
+		if i >= len(e.predMark) {
+			e.predMark = append(e.predMark, make([]uint32, i+1-len(e.predMark))...)
+		}
+		e.predMark[i] = epoch
+	}
+	e.candBuf = e.candBuf[:0]
+	for _, pid := range fulfilled {
+		i := int(pid) - 1
+		if i >= len(e.assoc) {
+			continue // predicate registered by another engine only
+		}
+		for _, sid := range e.assoc[i] {
+			if e.subMark[sid-1] == epoch {
+				continue
+			}
+			e.subMark[sid-1] = epoch
+			e.candBuf = append(e.candBuf, sid)
+		}
+	}
+	return epoch
+}
+
+// matchedFn returns the fulfilled-set membership test for the given epoch.
+func (e *Engine) matchedFn(epoch uint32) func(predicate.ID) bool {
+	return func(pid predicate.ID) bool {
+		i := int(pid) - 1
+		return i < len(e.predMark) && e.predMark[i] == epoch
+	}
+}
+
+func (e *Engine) matchPredicatesLocked(fulfilled []predicate.ID) []matcher.SubID {
+	epoch := e.prepareLocked(fulfilled)
+	var out []matcher.SubID
+	for _, sid := range e.candBuf {
+		if subtree.EvalMarked(e.slots[sid-1].compiled.Code, e.predMark, epoch) {
+			out = append(out, sid)
+		}
+	}
+	// Zero-satisfiable subscriptions are evaluated even without candidacy.
+	for _, sid := range e.always {
+		if e.subMark[sid-1] == epoch {
+			continue // already evaluated as a candidate
+		}
+		e.subMark[sid-1] = epoch
+		if subtree.EvalMarked(e.slots[sid-1].compiled.Code, e.predMark, epoch) {
+			out = append(out, sid)
+		}
+	}
+	return out
+}
+
+// InstrumentedMatch runs phase two like MatchPredicates but returns the
+// total number of leaf predicates inspected and the number of candidate
+// evaluations performed, instead of the match set. The A1 ablation uses it
+// to quantify how much work child reordering saves.
+func (e *Engine) InstrumentedMatch(fulfilled []predicate.ID) (leaves, evals int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	epoch := e.prepareLocked(fulfilled)
+	matched := e.matchedFn(epoch)
+	for _, sid := range e.candBuf {
+		_, n := subtree.CountEvaluatedLeaves(e.slots[sid-1].compiled.Code, matched)
+		leaves += n
+		evals++
+	}
+	return leaves, evals
+}
+
+// TreeBytes returns the total encoded size of all live subscription trees —
+// the storage the A2 encoding ablation compares.
+func (e *Engine) TreeBytes() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := 0
+	for i := range e.slots {
+		if e.slots[i].live {
+			total += len(e.slots[i].compiled.Code)
+		}
+	}
+	return total
+}
+
+// NumSubscriptions implements matcher.Matcher.
+func (e *Engine) NumSubscriptions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.live
+}
+
+// NumUnits implements matcher.Matcher: the non-canonical engine stores one
+// unit per subscription.
+func (e *Engine) NumUnits() int { return e.NumSubscriptions() }
+
+// Expr reconstructs the registered expression of a subscription (primarily
+// for introspection and tests).
+func (e *Engine) Expr(id matcher.SubID) (boolexpr.Expr, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.aliveLocked(id) {
+		return nil, fmt.Errorf("%w: %d", matcher.ErrUnknownSubscription, id)
+	}
+	return subtree.Decode(e.slots[id-1].compiled.Code, e.reg.Get)
+}
+
+// MemBytes estimates phase-two memory: encoded trees, the association table
+// and the location table (paper §3.2: "unlike current algorithms, we
+// explicitly store subscriptions and thus require memory for their
+// storage").
+func (e *Engine) MemBytes() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.memBytesLocked()
+}
+
+func (e *Engine) memBytesLocked() int {
+	const (
+		sliceHeader  = 24
+		subIDSize    = 8
+		slotOverhead = 1 /* live */ + 4 /* subMark entry */
+	)
+	total := e.memTrees
+	total += len(e.assoc) * sliceHeader
+	for _, subs := range e.assoc {
+		total += len(subs) * subIDSize
+	}
+	total += len(e.slots) * slotOverhead
+	total += len(e.free) * subIDSize
+	total += len(e.always) * subIDSize
+	return total
+}

@@ -1,0 +1,419 @@
+package counting
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/core"
+	"noncanon/internal/event"
+	"noncanon/internal/index"
+	"noncanon/internal/matcher"
+	"noncanon/internal/predicate"
+)
+
+func newEngine(opts Options) (*Engine, *predicate.Registry, *index.Index) {
+	reg := predicate.NewRegistry()
+	idx := index.New()
+	return New(reg, idx, opts), reg, idx
+}
+
+func fig1() boolexpr.Expr {
+	return boolexpr.NewAnd(
+		boolexpr.NewOr(
+			boolexpr.Pred("a", predicate.Gt, 10),
+			boolexpr.Pred("a", predicate.Le, 5),
+			boolexpr.Pred("b", predicate.Eq, 1),
+		),
+		boolexpr.NewOr(
+			boolexpr.Pred("c", predicate.Le, 20),
+			boolexpr.Pred("c", predicate.Eq, 30),
+			boolexpr.Pred("d", predicate.Eq, 5),
+		),
+	)
+}
+
+func sameSubs(got []matcher.SubID, want map[matcher.SubID]bool) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for _, id := range got {
+		if !want[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDNFExpansion(t *testing.T) {
+	e, _, _ := newEngine(Options{})
+	id, err := e.Subscribe(fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: fig1 "results in 9 disjunctions that are required to be
+	// treated separately".
+	if e.NumUnits() != 9 {
+		t.Errorf("NumUnits = %d, want 9", e.NumUnits())
+	}
+	if e.NumSubscriptions() != 1 {
+		t.Errorf("NumSubscriptions = %d, want 1", e.NumSubscriptions())
+	}
+	_ = id
+}
+
+func TestMatchFig1BothAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{Classic, Variant} {
+		t.Run(alg.String(), func(t *testing.T) {
+			e, _, _ := newEngine(Options{Algorithm: alg})
+			id, err := e.Subscribe(fig1())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tests := []struct {
+				ev   event.Event
+				want bool
+			}{
+				{event.New().Set("a", 11).Set("c", 15), true},
+				{event.New().Set("a", 3).Set("c", 30), true},
+				{event.New().Set("b", 1).Set("d", 5), true},
+				{event.New().Set("a", 7).Set("c", 15), false},
+				{event.New().Set("a", 11).Set("c", 25), false},
+			}
+			for i, tt := range tests {
+				got := e.Match(tt.ev)
+				if tt.want && !sameSubs(got, map[matcher.SubID]bool{id: true}) {
+					t.Errorf("case %d: Match = %v, want [%d]", i, got, id)
+				}
+				if !tt.want && len(got) != 0 {
+					t.Errorf("case %d: Match = %v, want none", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestMatchDedupsAcrossUnits(t *testing.T) {
+	// An event fulfilling several disjuncts must report the original
+	// subscription once.
+	e, _, _ := newEngine(Options{})
+	id, _ := e.Subscribe(boolexpr.NewOr(
+		boolexpr.Pred("a", predicate.Gt, 1),
+		boolexpr.Pred("a", predicate.Gt, 2),
+		boolexpr.Pred("a", predicate.Gt, 3),
+	))
+	got := e.Match(event.New().Set("a", 10)) // all three disjuncts fulfilled
+	if len(got) != 1 || got[0] != id {
+		t.Errorf("Match = %v, want exactly [%d]", got, id)
+	}
+}
+
+func TestNegationRejectedByDefault(t *testing.T) {
+	e, _, _ := newEngine(Options{})
+	_, err := e.Subscribe(boolexpr.NewNot(boolexpr.Pred("a", predicate.Eq, 1)))
+	if !errors.Is(err, boolexpr.ErrNegativeLiteral) {
+		t.Errorf("err = %v, want ErrNegativeLiteral", err)
+	}
+	// Non-complementable operators fail even with ComplementNegations.
+	e2, _, _ := newEngine(Options{ComplementNegations: true})
+	_, err = e2.Subscribe(boolexpr.NewNot(boolexpr.Pred("s", predicate.Prefix, "x")))
+	if !errors.Is(err, boolexpr.ErrNotNegatable) {
+		t.Errorf("err = %v, want ErrNotNegatable", err)
+	}
+}
+
+func TestComplementNegations(t *testing.T) {
+	e, _, _ := newEngine(Options{ComplementNegations: true})
+	id, err := e.Subscribe(boolexpr.NewAnd(
+		boolexpr.Pred("a", predicate.Gt, 0),
+		boolexpr.NewNot(boolexpr.Pred("a", predicate.Gt, 10)), // → a <= 10
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attribute-complete events: strong semantics coincides with negation.
+	if got := e.Match(event.New().Set("a", 5)); len(got) != 1 || got[0] != id {
+		t.Errorf("a=5: %v", got)
+	}
+	if got := e.Match(event.New().Set("a", 15)); len(got) != 0 {
+		t.Errorf("a=15: %v", got)
+	}
+}
+
+func TestUnsatisfiableRejected(t *testing.T) {
+	e, _, _ := newEngine(Options{ComplementNegations: true})
+	p := boolexpr.Pred("a", predicate.Eq, 1)
+	if _, err := e.Subscribe(boolexpr.NewAnd(p, boolexpr.NewNot(p))); err == nil {
+		t.Error("unsatisfiable subscription should be rejected")
+	}
+}
+
+func TestMaxDisjunctsLimit(t *testing.T) {
+	e, _, _ := newEngine(Options{MaxDisjuncts: 8})
+	pairs := make([]boolexpr.Expr, 4) // 2^4 = 16 disjuncts > 8
+	for i := range pairs {
+		a := "a" + fmt.Sprint(i)
+		pairs[i] = boolexpr.NewOr(
+			boolexpr.Pred(a, predicate.Gt, 10),
+			boolexpr.Pred(a, predicate.Le, 5),
+		)
+	}
+	if _, err := e.Subscribe(boolexpr.NewAnd(pairs...)); !errors.Is(err, boolexpr.ErrDNFTooLarge) {
+		t.Errorf("err = %v, want ErrDNFTooLarge", err)
+	}
+}
+
+func TestConjTooWideRejected(t *testing.T) {
+	e, _, _ := newEngine(Options{})
+	xs := make([]boolexpr.Expr, MaxConjPredicates+1)
+	for i := range xs {
+		xs[i] = boolexpr.Pred("a", predicate.Eq, i)
+	}
+	if _, err := e.Subscribe(boolexpr.And{Xs: xs}); err == nil {
+		t.Error("256-predicate conjunction must exceed the 1-byte counter")
+	}
+}
+
+func TestUnsubscribeUnsupportedByDefault(t *testing.T) {
+	e, _, _ := newEngine(Options{})
+	id, _ := e.Subscribe(fig1())
+	if err := e.Unsubscribe(id); !errors.Is(err, matcher.ErrUnsubscribeUnsupported) {
+		t.Errorf("err = %v, want ErrUnsubscribeUnsupported", err)
+	}
+}
+
+func TestUnsubscribeWithSupport(t *testing.T) {
+	e, reg, idx := newEngine(Options{SupportUnsubscribe: true})
+	id1, _ := e.Subscribe(fig1())
+	id2, _ := e.Subscribe(boolexpr.Pred("a", predicate.Gt, 10))
+
+	if err := e.Unsubscribe(id1); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumSubscriptions() != 1 || e.NumUnits() != 1 {
+		t.Errorf("after unsub: subs=%d units=%d", e.NumSubscriptions(), e.NumUnits())
+	}
+	if reg.Len() != 1 || idx.NumPredicates() != 1 {
+		t.Errorf("after unsub: reg=%d idx=%d, want 1/1", reg.Len(), idx.NumPredicates())
+	}
+	got := e.Match(event.New().Set("a", 11).Set("c", 15))
+	if len(got) != 1 || got[0] != id2 {
+		t.Errorf("Match = %v, want [%d]", got, id2)
+	}
+	if err := e.Unsubscribe(id1); !errors.Is(err, matcher.ErrUnknownSubscription) {
+		t.Errorf("double unsub err = %v", err)
+	}
+	if err := e.Unsubscribe(id2); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 0 || idx.NumPredicates() != 0 || e.NumUnits() != 0 {
+		t.Error("engine not empty after last unsubscribe")
+	}
+	// Unit slots are reused.
+	id3, _ := e.Subscribe(fig1())
+	if e.NumUnits() != 9 {
+		t.Errorf("NumUnits = %d after reuse", e.NumUnits())
+	}
+	_ = id3
+}
+
+func TestMemBytesUnsubscribeSupportCostsMemory(t *testing.T) {
+	// The paper (§2.1 fn.1, §3.3) points out that supporting unsubscription
+	// requires storing per-subscription predicate lists. Verify the memory
+	// accounting reflects that.
+	without, _, _ := newEngine(Options{})
+	with, _, _ := newEngine(Options{SupportUnsubscribe: true})
+	for i := 0; i < 50; i++ {
+		expr := boolexpr.NewAnd(
+			boolexpr.NewOr(boolexpr.Pred("a", predicate.Gt, i), boolexpr.Pred("a", predicate.Le, i-10)),
+			boolexpr.NewOr(boolexpr.Pred("b", predicate.Gt, i), boolexpr.Pred("b", predicate.Le, i-10)),
+		)
+		if _, err := without.Subscribe(expr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := with.Subscribe(expr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if with.MemBytes() <= without.MemBytes() {
+		t.Errorf("unsubscription support should cost memory: with=%d without=%d",
+			with.MemBytes(), without.MemBytes())
+	}
+}
+
+func TestAlgorithmName(t *testing.T) {
+	if Classic.String() != "counting" || Variant.String() != "counting-variant" {
+		t.Error("algorithm names wrong")
+	}
+	e, _, _ := newEngine(Options{Algorithm: Variant})
+	if e.Name() != "counting-variant" {
+		t.Errorf("Name = %q", e.Name())
+	}
+}
+
+// TestEnginesAgreeProperty is the central cross-validation of the
+// reproduction: the non-canonical engine and both counting baselines are
+// registered with the same random subscriptions over a SHARED registry and
+// index (the paper's setup) and must produce identical match sets on random
+// events — and identical phase-two results on random fulfilled-predicate
+// draws.
+func TestEnginesAgreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	cfg := boolexpr.RandomConfig{MaxDepth: 4, MaxFanout: 3, NegatableOnly: true, Domain: 25}
+
+	reg := predicate.NewRegistry()
+	idx := index.New()
+	nc := core.New(reg, idx, core.Options{})
+	classic := New(reg, idx, Options{Algorithm: Classic})
+	variant := New(reg, idx, Options{Algorithm: Variant, SupportUnsubscribe: true})
+
+	type entry struct {
+		expr boolexpr.Expr
+		nc   matcher.SubID
+		cl   matcher.SubID
+		va   matcher.SubID
+	}
+	var subs []entry
+	for len(subs) < 60 {
+		x := boolexpr.RandomExpr(rng, cfg)
+		// Skip expressions the canonical engines cannot register; the
+		// non-canonical engine accepts them all — that asymmetry is the
+		// paper's expressiveness point, covered elsewhere.
+		d, err := boolexpr.ToDNF(x, DefaultMaxDisjuncts)
+		if err != nil || !d.AllPositive() || len(d) == 0 {
+			continue
+		}
+		ncID, err := nc.Subscribe(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clID, err := classic.Subscribe(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vaID, err := variant.Subscribe(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, entry{expr: x, nc: ncID, cl: clID, va: vaID})
+	}
+
+	// Full-pipeline agreement on random events.
+	for trial := 0; trial < 300; trial++ {
+		ev := randomEvent(rng)
+		want := map[int]bool{} // index into subs
+		for i, s := range subs {
+			if s.expr.Eval(ev) {
+				want[i] = true
+			}
+		}
+		checkMatch(t, "non-canonical", nc.Match(ev), want, func(i int) matcher.SubID { return subs[i].nc }, ev)
+		checkMatch(t, "counting", classic.Match(ev), want, func(i int) matcher.SubID { return subs[i].cl }, ev)
+		checkMatch(t, "variant", variant.Match(ev), want, func(i int) matcher.SubID { return subs[i].va }, ev)
+	}
+
+	// Phase-two agreement on random fulfilled-predicate draws.
+	maxID := reg.Cap()
+	for trial := 0; trial < 200; trial++ {
+		var fulfilled []predicate.ID
+		assign := map[predicate.ID]bool{}
+		for id := 1; id <= maxID; id++ {
+			if rng.Intn(4) == 0 {
+				fulfilled = append(fulfilled, predicate.ID(id))
+				assign[predicate.ID(id)] = true
+			}
+		}
+		evalWith := func(x boolexpr.Expr) bool {
+			return x.EvalWith(func(p predicate.P) bool {
+				// Identify the predicate's ID by re-interning.
+				pid := reg.Intern(p)
+				reg.Release(pid)
+				return assign[pid]
+			})
+		}
+		want := map[int]bool{}
+		for i, s := range subs {
+			if evalWith(s.expr) {
+				want[i] = true
+			}
+		}
+		checkMatch(t, "non-canonical/p2", nc.MatchPredicates(fulfilled), want, func(i int) matcher.SubID { return subs[i].nc }, event.Event{})
+		checkMatch(t, "counting/p2", classic.MatchPredicates(fulfilled), want, func(i int) matcher.SubID { return subs[i].cl }, event.Event{})
+		checkMatch(t, "variant/p2", variant.MatchPredicates(fulfilled), want, func(i int) matcher.SubID { return subs[i].va }, event.Event{})
+	}
+}
+
+// TestConcurrentAccess exercises the counting engine under parallel
+// subscribe, unsubscribe and match; run with -race.
+func TestConcurrentAccess(t *testing.T) {
+	e, _, _ := newEngine(Options{SupportUnsubscribe: true})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []matcher.SubID
+			for i := 0; i < 200; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					id, err := e.Subscribe(boolexpr.NewOr(
+						boolexpr.Pred("a", predicate.Gt, rng.Intn(50)),
+						boolexpr.Pred("b", predicate.Lt, rng.Intn(50)),
+					))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mine = append(mine, id)
+				case 1:
+					if len(mine) > 0 {
+						id := mine[len(mine)-1]
+						mine = mine[:len(mine)-1]
+						if err := e.Unsubscribe(id); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				default:
+					e.Match(event.New().Set("a", rng.Intn(50)).Set("b", rng.Intn(50)))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func checkMatch(t *testing.T, name string, got []matcher.SubID, want map[int]bool, idOf func(int) matcher.SubID, ev event.Event) {
+	t.Helper()
+	wantIDs := map[matcher.SubID]bool{}
+	for i := range want {
+		wantIDs[idOf(i)] = true
+	}
+	if !sameSubs(got, wantIDs) {
+		t.Fatalf("%s: Match(%s) = %v, want %v", name, ev, got, wantIDs)
+	}
+}
+
+func randomEvent(rng *rand.Rand) event.Event {
+	ev := event.New()
+	for i := 0; i < 8; i++ {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		attr := "a" + string(rune('0'+i))
+		switch rng.Intn(4) {
+		case 0:
+			ev = ev.Set(attr, "s"+fmt.Sprint(rng.Intn(25)))
+		case 1:
+			ev = ev.Set(attr, float64(rng.Intn(25))+0.5)
+		default:
+			ev = ev.Set(attr, rng.Intn(25))
+		}
+	}
+	return ev
+}

@@ -1,0 +1,134 @@
+// Package event defines the event (notification message) model: a set of
+// named, typed attributes published into the system and matched against
+// subscriptions.
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"noncanon/internal/value"
+)
+
+// Event is an immutable-by-convention collection of attribute→value pairs.
+// Construct with New and the fluent Set calls, or FromMap. Matching never
+// mutates an event, and events handed to subscribers must not be modified.
+type Event struct {
+	attrs map[string]value.Value
+}
+
+// New returns an empty event.
+func New() Event {
+	return Event{attrs: make(map[string]value.Value, 8)}
+}
+
+// FromMap builds an event from native Go values. Unsupported value types are
+// dropped (they would never match any predicate anyway).
+func FromMap(m map[string]any) Event {
+	e := Event{attrs: make(map[string]value.Value, len(m))}
+	for k, v := range m {
+		if val := value.Of(v); val.IsValid() {
+			e.attrs[k] = val
+		}
+	}
+	return e
+}
+
+// Set assigns an attribute and returns the event for chaining. A nil-map
+// (zero) event is upgraded to an initialised one so that
+// `var e event.Event; e = e.Set(...)` works.
+func (e Event) Set(attr string, v any) Event {
+	if e.attrs == nil {
+		e.attrs = make(map[string]value.Value, 8)
+	}
+	if val := value.Of(v); val.IsValid() {
+		e.attrs[attr] = val
+	}
+	return e
+}
+
+// Get returns the value of an attribute; the second result reports presence.
+func (e Event) Get(attr string) (value.Value, bool) {
+	v, ok := e.attrs[attr]
+	return v, ok
+}
+
+// Has reports whether the attribute is present.
+func (e Event) Has(attr string) bool {
+	_, ok := e.attrs[attr]
+	return ok
+}
+
+// Len returns the number of attributes.
+func (e Event) Len() int { return len(e.attrs) }
+
+// Attrs returns the attribute names in sorted order. The slice is freshly
+// allocated; callers may keep it.
+func (e Event) Attrs() []string {
+	names := make([]string, 0, len(e.attrs))
+	for k := range e.attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Range calls fn for every attribute until fn returns false. Iteration order
+// is unspecified.
+func (e Event) Range(fn func(attr string, v value.Value) bool) {
+	for k, v := range e.attrs {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy. Events cross goroutine and broker boundaries,
+// so the broker clones at trust boundaries per the
+// copy-slices-and-maps-at-boundaries rule.
+func (e Event) Clone() Event {
+	c := Event{attrs: make(map[string]value.Value, len(e.attrs))}
+	for k, v := range e.attrs {
+		c.attrs[k] = v
+	}
+	return c
+}
+
+// Equal reports attribute-wise equality of two events.
+func (e Event) Equal(o Event) bool {
+	if len(e.attrs) != len(o.attrs) {
+		return false
+	}
+	for k, v := range e.attrs {
+		w, ok := o.attrs[k]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the event as {attr=value, ...} with sorted attributes.
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range e.Attrs() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", k, e.attrs[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MemBytes estimates resident bytes of the event for the memory model.
+func (e Event) MemBytes() int {
+	const mapOverheadPerEntry = 48
+	n := 0
+	for k, v := range e.attrs {
+		n += mapOverheadPerEntry + len(k) + v.MemBytes()
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package event
+
+import (
+	"testing"
+
+	"noncanon/internal/value"
+)
+
+func TestNewAndSet(t *testing.T) {
+	e := New().Set("price", 12).Set("sym", "ACME").Set("hot", true).Set("ratio", 1.5)
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", e.Len())
+	}
+	if v, ok := e.Get("price"); !ok || v.Int() != 12 {
+		t.Errorf("price = %v,%v", v, ok)
+	}
+	if v, ok := e.Get("sym"); !ok || v.Str() != "ACME" {
+		t.Errorf("sym = %v,%v", v, ok)
+	}
+	if !e.Has("hot") || e.Has("missing") {
+		t.Error("Has misreports")
+	}
+}
+
+func TestZeroEventSet(t *testing.T) {
+	var e Event
+	e = e.Set("a", 1)
+	if !e.Has("a") {
+		t.Error("Set on zero Event must initialise the map")
+	}
+	if e.Len() != 1 {
+		t.Errorf("Len = %d, want 1", e.Len())
+	}
+}
+
+func TestSetDropsUnsupported(t *testing.T) {
+	e := New().Set("bad", struct{}{})
+	if e.Has("bad") {
+		t.Error("unsupported types must be dropped")
+	}
+}
+
+func TestFromMap(t *testing.T) {
+	e := FromMap(map[string]any{"a": 1, "b": "x", "c": struct{}{}})
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (unsupported dropped)", e.Len())
+	}
+	if v, _ := e.Get("a"); v.Kind() != value.Int {
+		t.Error("a should be int")
+	}
+}
+
+func TestAttrsSorted(t *testing.T) {
+	e := New().Set("z", 1).Set("a", 2).Set("m", 3)
+	got := e.Attrs()
+	want := []string{"a", "m", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("Attrs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Attrs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	e := New().Set("a", 1).Set("b", 2).Set("c", 3)
+	count := 0
+	e.Range(func(string, value.Value) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("Range visited %d attrs after early stop, want 1", count)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := New().Set("a", 1)
+	c := e.Clone()
+	c = c.Set("a", 2).Set("b", 3)
+	if v, _ := e.Get("a"); v.Int() != 1 {
+		t.Error("mutating clone leaked into original")
+	}
+	if e.Has("b") {
+		t.Error("clone Set leaked new key into original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New().Set("x", 1).Set("y", "s")
+	b := New().Set("y", "s").Set("x", 1)
+	if !a.Equal(b) {
+		t.Error("order-independent equality failed")
+	}
+	c := New().Set("x", 1)
+	if a.Equal(c) {
+		t.Error("different lengths must be unequal")
+	}
+	d := New().Set("x", 2).Set("y", "s")
+	if a.Equal(d) {
+		t.Error("different values must be unequal")
+	}
+	e := New().Set("x", 1).Set("z", "s")
+	if a.Equal(e) {
+		t.Error("different keys must be unequal")
+	}
+	// Int/float numeric equality carries through.
+	f := New().Set("x", 1.0).Set("y", "s")
+	if !a.Equal(f) {
+		t.Error("1 and 1.0 should be equal attribute values")
+	}
+}
+
+func TestString(t *testing.T) {
+	e := New().Set("b", 2).Set("a", "x")
+	if got, want := e.String(), `{a="x", b=2}`; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got := New().String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	small := New().Set("a", 1)
+	big := New().Set("a", 1).Set("b", "something-long-here")
+	if small.MemBytes() <= 0 || big.MemBytes() <= small.MemBytes() {
+		t.Errorf("MemBytes: small=%d big=%d", small.MemBytes(), big.MemBytes())
+	}
+}

@@ -1,0 +1,445 @@
+// Package btree implements an in-memory B+ tree used as the one-dimensional
+// index for range predicates (paper §3.2: "point predicates utilise hash
+// tables, for range predicates we deploy B+ trees").
+//
+// The tree is a multi-map: each key holds a list of values (several
+// predicates may use the same constant). Leaves are linked for ordered
+// scans. The tree is not safe for concurrent mutation; engines serialise
+// access.
+package btree
+
+import (
+	"cmp"
+	"fmt"
+)
+
+// DefaultOrder is the default maximum number of children per internal node.
+const DefaultOrder = 32
+
+// Tree is a B+ tree multi-map from K to lists of V.
+type Tree[K cmp.Ordered, V comparable] struct {
+	root    *node[K, V]
+	order   int // max children per internal node
+	numKeys int // distinct keys
+	numVals int // total values
+}
+
+// node is either an internal node (children parallel to keys+1) or a leaf
+// (vals parallel to keys, next links leaves in key order).
+type node[K cmp.Ordered, V comparable] struct {
+	leaf     bool
+	keys     []K
+	children []*node[K, V] // internal only: len(children) == len(keys)+1
+	vals     [][]V         // leaf only: vals[i] are the values of keys[i]
+	next     *node[K, V]   // leaf only
+}
+
+// New returns an empty tree with the given order (maximum children per
+// internal node). Orders below 4 are raised to 4.
+func New[K cmp.Ordered, V comparable](order int) *Tree[K, V] {
+	if order < 4 {
+		order = 4
+	}
+	return &Tree[K, V]{
+		root:  &node[K, V]{leaf: true},
+		order: order,
+	}
+}
+
+// maxKeys is the maximum number of keys any node may hold.
+func (t *Tree[K, V]) maxKeys() int { return t.order - 1 }
+
+// minKeys is the minimum fill of any non-root node.
+func (t *Tree[K, V]) minKeys() int { return t.maxKeys() / 2 }
+
+// Len returns the number of distinct keys.
+func (t *Tree[K, V]) Len() int { return t.numKeys }
+
+// NumValues returns the total number of stored values.
+func (t *Tree[K, V]) NumValues() int { return t.numVals }
+
+// Get returns the values stored under k. The returned slice is internal
+// storage; callers must not modify it.
+func (t *Tree[K, V]) Get(k K) []V {
+	n := t.root
+	for !n.leaf {
+		n = n.children[upperBound(n.keys, k)]
+	}
+	i, ok := find(n.keys, k)
+	if !ok {
+		return nil
+	}
+	return n.vals[i]
+}
+
+// Insert adds v under k. Duplicate (k, v) pairs are stored multiple times;
+// predicate indexes never insert duplicates because predicates are interned.
+func (t *Tree[K, V]) Insert(k K, v V) {
+	up, sep := t.insert(t.root, k, v)
+	if up != nil {
+		t.root = &node[K, V]{
+			keys:     []K{sep},
+			children: []*node[K, V]{t.root, up},
+		}
+	}
+	t.numVals++
+}
+
+// insert adds (k,v) below n. If n splits, the new right sibling and the
+// separator key are returned.
+func (t *Tree[K, V]) insert(n *node[K, V], k K, v V) (*node[K, V], K) {
+	var zero K
+	if n.leaf {
+		i, ok := find(n.keys, k)
+		if ok {
+			n.vals[i] = append(n.vals[i], v)
+			return nil, zero
+		}
+		i = upperBound(n.keys, k)
+		n.keys = insertAt(n.keys, i, k)
+		n.vals = insertAt(n.vals, i, []V{v})
+		t.numKeys++
+		if len(n.keys) <= t.maxKeys() {
+			return nil, zero
+		}
+		return t.splitLeaf(n)
+	}
+	idx := upperBound(n.keys, k)
+	up, sep := t.insert(n.children[idx], k, v)
+	if up == nil {
+		return nil, zero
+	}
+	n.keys = insertAt(n.keys, idx, sep)
+	n.children = insertAt(n.children, idx+1, up)
+	if len(n.keys) <= t.maxKeys() {
+		return nil, zero
+	}
+	return t.splitInternal(n)
+}
+
+func (t *Tree[K, V]) splitLeaf(n *node[K, V]) (*node[K, V], K) {
+	mid := len(n.keys) / 2
+	right := &node[K, V]{
+		leaf: true,
+		keys: append([]K(nil), n.keys[mid:]...),
+		vals: append([][]V(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.next = right
+	return right, right.keys[0]
+}
+
+func (t *Tree[K, V]) splitInternal(n *node[K, V]) (*node[K, V], K) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node[K, V]{
+		keys:     append([]K(nil), n.keys[mid+1:]...),
+		children: append([]*node[K, V](nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return right, sep
+}
+
+// Delete removes one occurrence of v under k. It reports whether the pair
+// was present.
+func (t *Tree[K, V]) Delete(k K, v V) bool {
+	deleted := t.delete(t.root, k, v)
+	if !t.root.leaf && len(t.root.keys) == 0 {
+		t.root = t.root.children[0]
+	}
+	if deleted {
+		t.numVals--
+	}
+	return deleted
+}
+
+// delete removes (k,v) below n and rebalances children of n as needed.
+func (t *Tree[K, V]) delete(n *node[K, V], k K, v V) bool {
+	if n.leaf {
+		i, ok := find(n.keys, k)
+		if !ok {
+			return false
+		}
+		vi := indexOf(n.vals[i], v)
+		if vi < 0 {
+			return false
+		}
+		n.vals[i] = removeAt(n.vals[i], vi)
+		if len(n.vals[i]) == 0 {
+			n.keys = removeAt(n.keys, i)
+			n.vals = removeAt(n.vals, i)
+			t.numKeys--
+		}
+		return true
+	}
+	idx := upperBound(n.keys, k)
+	child := n.children[idx]
+	deleted := t.delete(child, k, v)
+	if deleted && len(child.keys) < t.minKeys() {
+		t.rebalance(n, idx)
+	}
+	return deleted
+}
+
+// rebalance fixes an underflowing child n.children[idx] by borrowing from a
+// sibling or merging with one.
+func (t *Tree[K, V]) rebalance(n *node[K, V], idx int) {
+	child := n.children[idx]
+	// Try borrowing from the left sibling.
+	if idx > 0 {
+		left := n.children[idx-1]
+		if len(left.keys) > t.minKeys() {
+			if child.leaf {
+				last := len(left.keys) - 1
+				child.keys = insertAt(child.keys, 0, left.keys[last])
+				child.vals = insertAt(child.vals, 0, left.vals[last])
+				left.keys = left.keys[:last]
+				left.vals = left.vals[:last]
+				n.keys[idx-1] = child.keys[0]
+			} else {
+				child.keys = insertAt(child.keys, 0, n.keys[idx-1])
+				n.keys[idx-1] = left.keys[len(left.keys)-1]
+				child.children = insertAt(child.children, 0, left.children[len(left.children)-1])
+				left.keys = left.keys[:len(left.keys)-1]
+				left.children = left.children[:len(left.children)-1]
+			}
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if idx < len(n.children)-1 {
+		right := n.children[idx+1]
+		if len(right.keys) > t.minKeys() {
+			if child.leaf {
+				child.keys = append(child.keys, right.keys[0])
+				child.vals = append(child.vals, right.vals[0])
+				right.keys = removeAt(right.keys, 0)
+				right.vals = removeAt(right.vals, 0)
+				n.keys[idx] = right.keys[0]
+			} else {
+				child.keys = append(child.keys, n.keys[idx])
+				n.keys[idx] = right.keys[0]
+				child.children = append(child.children, right.children[0])
+				right.keys = removeAt(right.keys, 0)
+				right.children = removeAt(right.children, 0)
+			}
+			return
+		}
+	}
+	// Merge with a sibling.
+	if idx > 0 {
+		t.merge(n, idx-1)
+	} else {
+		t.merge(n, idx)
+	}
+}
+
+// merge combines n.children[i] and n.children[i+1] into the left node and
+// removes the separator n.keys[i].
+func (t *Tree[K, V]) merge(n *node[K, V], i int) {
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = removeAt(n.keys, i)
+	n.children = removeAt(n.children, i+1)
+}
+
+// Min returns the smallest key, with ok=false on an empty tree.
+func (t *Tree[K, V]) Min() (K, bool) {
+	var zero K
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		return zero, false
+	}
+	return n.keys[0], true
+}
+
+// Max returns the largest key, with ok=false on an empty tree.
+func (t *Tree[K, V]) Max() (K, bool) {
+	var zero K
+	n := t.root
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	if len(n.keys) == 0 {
+		return zero, false
+	}
+	return n.keys[len(n.keys)-1], true
+}
+
+// Height returns the number of levels (a lone leaf root has height 1).
+func (t *Tree[K, V]) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// MemBytes estimates the resident size of the tree: node headers, key
+// storage and value storage. keySize should be the per-key byte width
+// (e.g. 8 for float64 keys).
+func (t *Tree[K, V]) MemBytes(keySize, valSize int) int {
+	const nodeOverhead = 96 // slice headers + next pointer + bookkeeping
+	nodes := 0
+	var count func(n *node[K, V])
+	count = func(n *node[K, V]) {
+		nodes++
+		for _, c := range n.children {
+			count(c)
+		}
+	}
+	count(t.root)
+	return nodes*nodeOverhead + t.numKeys*(keySize+24) + t.numVals*valSize
+}
+
+// check verifies every structural invariant and panics with a description on
+// violation; the tests call this after random operation batches.
+func (t *Tree[K, V]) check() error {
+	leafDepth := -1
+	var prevLeaf *node[K, V]
+	var walk func(n *node[K, V], depth int, lo, hi *K) error
+	walk = func(n *node[K, V], depth int, lo, hi *K) error {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				return fmt.Errorf("keys out of order at depth %d: %v", depth, n.keys)
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && k < *lo {
+				return fmt.Errorf("key %v below lower bound %v", k, *lo)
+			}
+			if hi != nil && k >= *hi {
+				return fmt.Errorf("key %v not below upper bound %v", k, *hi)
+			}
+		}
+		if n != t.root && len(n.keys) < t.minKeys() {
+			return fmt.Errorf("underfull node at depth %d: %d keys (min %d)", depth, len(n.keys), t.minKeys())
+		}
+		if len(n.keys) > t.maxKeys() {
+			return fmt.Errorf("overfull node at depth %d: %d keys (max %d)", depth, len(n.keys), t.maxKeys())
+		}
+		if n.leaf {
+			if len(n.vals) != len(n.keys) {
+				return fmt.Errorf("leaf vals/keys mismatch: %d vs %d", len(n.vals), len(n.keys))
+			}
+			for i, vs := range n.vals {
+				if len(vs) == 0 {
+					return fmt.Errorf("empty value list under key %v", n.keys[i])
+				}
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("leaves at depths %d and %d", leafDepth, depth)
+			}
+			if prevLeaf != nil && prevLeaf.next != n {
+				return fmt.Errorf("leaf chain broken")
+			}
+			prevLeaf = n
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("children/keys mismatch: %d vs %d", len(n.children), len(n.keys))
+		}
+		for i, c := range n.children {
+			var clo, chi *K
+			if i > 0 {
+				clo = &n.keys[i-1]
+			} else {
+				clo = lo
+			}
+			if i < len(n.keys) {
+				chi = &n.keys[i]
+			} else {
+				chi = hi
+			}
+			if err := walk(c, depth+1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, nil, nil); err != nil {
+		return err
+	}
+	if prevLeaf != nil && prevLeaf.next != nil {
+		return fmt.Errorf("last leaf has dangling next")
+	}
+	return nil
+}
+
+// --- small slice helpers ---
+
+// upperBound returns the first index i with keys[i] > k.
+func upperBound[K cmp.Ordered](keys []K, k K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBound returns the first index i with keys[i] >= k.
+func lowerBound[K cmp.Ordered](keys []K, k K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// find locates k exactly.
+func find[K cmp.Ordered](keys []K, k K) (int, bool) {
+	i := lowerBound(keys, k)
+	if i < len(keys) && keys[i] == k {
+		return i, true
+	}
+	return 0, false
+}
+
+func insertAt[T any](s []T, i int, v T) []T {
+	s = append(s, v)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeAt[T any](s []T, i int) []T {
+	copy(s[i:], s[i+1:])
+	var zero T
+	s[len(s)-1] = zero
+	return s[:len(s)-1]
+}
+
+func indexOf[V comparable](s []V, v V) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

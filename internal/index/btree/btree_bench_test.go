@@ -1,0 +1,61 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTree(n int) *Tree[float64, uint32] {
+	tr := New[float64, uint32](DefaultOrder)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		tr.Insert(rng.Float64()*float64(n), uint32(i))
+	}
+	return tr
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[float64, uint32](DefaultOrder)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Float64()*1e6, uint32(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	const n = 100_000
+	tr := benchTree(n)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(rng.Float64() * n)
+	}
+}
+
+func BenchmarkScanFrom(b *testing.B) {
+	const n = 100_000
+	tr := benchTree(n)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Scan a ~100-key window, the typical phase-1 range probe.
+		count := 0
+		tr.ScanFrom(rng.Float64()*n, func(float64, []uint32) bool {
+			count++
+			return count < 100
+		})
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	const n = 100_000
+	tr := benchTree(n)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := rng.Float64() * n
+		tr.Insert(k, uint32(i))
+		tr.Delete(k, uint32(i))
+	}
+}

@@ -1,0 +1,372 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int, int](8)
+	if tr.Len() != 0 || tr.NumValues() != 0 {
+		t.Error("empty tree should have no keys or values")
+	}
+	if got := tr.Get(5); got != nil {
+		t.Errorf("Get on empty = %v", got)
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty should report !ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Error("Max on empty should report !ok")
+	}
+	if tr.Height() != 1 {
+		t.Errorf("empty height = %d", tr.Height())
+	}
+	if tr.Delete(1, 1) {
+		t.Error("Delete on empty should be false")
+	}
+	called := false
+	tr.Scan(func(int, []int) bool { called = true; return true })
+	if called {
+		t.Error("Scan on empty tree called fn")
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertGetBasic(t *testing.T) {
+	tr := New[int, int](4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(i, i*10)
+	}
+	if tr.Len() != 100 || tr.NumValues() != 100 {
+		t.Fatalf("Len=%d NumValues=%d", tr.Len(), tr.NumValues())
+	}
+	for i := 0; i < 100; i++ {
+		vs := tr.Get(i)
+		if len(vs) != 1 || vs[0] != i*10 {
+			t.Fatalf("Get(%d) = %v", i, vs)
+		}
+	}
+	if tr.Get(-1) != nil || tr.Get(100) != nil {
+		t.Error("Get of absent keys should be nil")
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() <= 1 {
+		t.Error("100 keys at order 4 must split")
+	}
+}
+
+func TestMultiValue(t *testing.T) {
+	tr := New[int, string](8)
+	tr.Insert(1, "a")
+	tr.Insert(1, "b")
+	tr.Insert(1, "c")
+	if tr.Len() != 1 || tr.NumValues() != 3 {
+		t.Fatalf("Len=%d NumValues=%d", tr.Len(), tr.NumValues())
+	}
+	if vs := tr.Get(1); len(vs) != 3 {
+		t.Fatalf("Get = %v", vs)
+	}
+	if !tr.Delete(1, "b") {
+		t.Fatal("Delete(1,b) failed")
+	}
+	if vs := tr.Get(1); len(vs) != 2 {
+		t.Fatalf("after delete Get = %v", vs)
+	}
+	if tr.Delete(1, "b") {
+		t.Error("double delete should be false")
+	}
+	tr.Delete(1, "a")
+	tr.Delete(1, "c")
+	if tr.Len() != 0 {
+		t.Error("key should vanish when last value is removed")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[int, int](4)
+	for _, k := range []int{50, 20, 80, 10, 90, 55} {
+		tr.Insert(k, k)
+	}
+	if mn, _ := tr.Min(); mn != 10 {
+		t.Errorf("Min = %d", mn)
+	}
+	if mx, _ := tr.Max(); mx != 90 {
+		t.Errorf("Max = %d", mx)
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	tr := New[int, int](4)
+	keys := rand.New(rand.NewSource(1)).Perm(500)
+	for _, k := range keys {
+		tr.Insert(k, k)
+	}
+	var got []int
+	tr.Scan(func(k int, vals []int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 500 {
+		t.Fatalf("scanned %d keys", len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Error("Scan must be ascending")
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New[int, int](4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(i, i)
+	}
+	n := 0
+	tr.Scan(func(int, []int) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Errorf("visited %d, want 7", n)
+	}
+}
+
+func TestScanFrom(t *testing.T) {
+	tr := New[int, int](4)
+	for i := 0; i < 100; i += 2 { // even keys 0..98
+		tr.Insert(i, i)
+	}
+	collect := func(start int) []int {
+		var ks []int
+		tr.ScanFrom(start, func(k int, _ []int) bool {
+			ks = append(ks, k)
+			return true
+		})
+		return ks
+	}
+	// Exact key start.
+	if ks := collect(50); len(ks) != 25 || ks[0] != 50 {
+		t.Errorf("ScanFrom(50): len=%d first=%v", len(ks), ks[:min(3, len(ks))])
+	}
+	// Between-keys start.
+	if ks := collect(51); len(ks) != 24 || ks[0] != 52 {
+		t.Errorf("ScanFrom(51): len=%d first=%v", len(ks), ks[:min(3, len(ks))])
+	}
+	// Below all.
+	if ks := collect(-5); len(ks) != 50 || ks[0] != 0 {
+		t.Errorf("ScanFrom(-5): len=%d", len(ks))
+	}
+	// Above all.
+	if ks := collect(99); len(ks) != 0 {
+		t.Errorf("ScanFrom(99): %v", ks)
+	}
+}
+
+func TestScanUpToAndRange(t *testing.T) {
+	tr := New[int, int](6)
+	for i := 0; i < 50; i++ {
+		tr.Insert(i, i)
+	}
+	var ks []int
+	tr.ScanUpTo(10, func(k int, _ []int) bool { ks = append(ks, k); return true })
+	if len(ks) != 10 || ks[9] != 9 {
+		t.Errorf("ScanUpTo(10) = %v", ks)
+	}
+	ks = nil
+	tr.ScanRange(10, 20, func(k int, _ []int) bool { ks = append(ks, k); return true })
+	if len(ks) != 10 || ks[0] != 10 || ks[9] != 19 {
+		t.Errorf("ScanRange(10,20) = %v", ks)
+	}
+}
+
+func TestDeleteRebalancing(t *testing.T) {
+	// Insert ascending, delete ascending: stresses merge-left paths.
+	tr := New[int, int](4)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Insert(i, i)
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Delete(i, i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+		if err := tr.check(); err != nil {
+			t.Fatalf("after Delete(%d): %v", i, err)
+		}
+	}
+	if tr.Len() != 0 || tr.NumValues() != 0 {
+		t.Errorf("tree not empty: Len=%d", tr.Len())
+	}
+
+	// Insert ascending, delete descending: stresses merge-right paths.
+	for i := 0; i < n; i++ {
+		tr.Insert(i, i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if !tr.Delete(i, i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Error("tree not empty after descending deletes")
+	}
+}
+
+func TestFloatKeys(t *testing.T) {
+	tr := New[float64, uint32](16)
+	tr.Insert(1.5, 1)
+	tr.Insert(2.5, 2)
+	tr.Insert(1.5, 3)
+	if vs := tr.Get(1.5); len(vs) != 2 {
+		t.Errorf("Get(1.5) = %v", vs)
+	}
+	var ks []float64
+	tr.ScanFrom(2.0, func(k float64, _ []uint32) bool { ks = append(ks, k); return true })
+	if len(ks) != 1 || ks[0] != 2.5 {
+		t.Errorf("ScanFrom(2.0) = %v", ks)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New[string, int](8)
+	words := []string{"pear", "apple", "cherry", "banana", "apricot"}
+	for i, w := range words {
+		tr.Insert(w, i)
+	}
+	var got []string
+	tr.Scan(func(k string, _ []int) bool { got = append(got, k); return true })
+	want := []string{"apple", "apricot", "banana", "cherry", "pear"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scan order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLowOrderClamp(t *testing.T) {
+	tr := New[int, int](1) // clamped to 4
+	for i := 0; i < 100; i++ {
+		tr.Insert(i, i)
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	tr := New[float64, uint32](32)
+	empty := tr.MemBytes(8, 4)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(float64(i), uint32(i))
+	}
+	full := tr.MemBytes(8, 4)
+	if full <= empty {
+		t.Errorf("MemBytes did not grow: %d -> %d", empty, full)
+	}
+	if full < 1000*12 {
+		t.Errorf("MemBytes %d too small for 1000 entries", full)
+	}
+}
+
+// TestRandomisedAgainstModel drives the tree with random operations and
+// compares every observable behaviour against a simple map+sort model.
+func TestRandomisedAgainstModel(t *testing.T) {
+	for _, order := range []int{4, 5, 8, 32} {
+		order := order
+		t.Run("order", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(order) * 7))
+			tr := New[int, int](order)
+			model := map[int][]int{}
+
+			for step := 0; step < 8000; step++ {
+				k := rng.Intn(200)
+				v := rng.Intn(5)
+				switch rng.Intn(3) {
+				case 0, 1: // insert twice as often as delete
+					tr.Insert(k, v)
+					model[k] = append(model[k], v)
+				case 2:
+					got := tr.Delete(k, v)
+					want := false
+					if vs, ok := model[k]; ok {
+						for i, x := range vs {
+							if x == v {
+								model[k] = append(vs[:i:i], vs[i+1:]...)
+								if len(model[k]) == 0 {
+									delete(model, k)
+								}
+								want = true
+								break
+							}
+						}
+					}
+					if got != want {
+						t.Fatalf("step %d: Delete(%d,%d) = %v, want %v", step, k, v, got, want)
+					}
+				}
+				if step%500 == 0 {
+					if err := tr.check(); err != nil {
+						t.Fatalf("step %d: invariant: %v", step, err)
+					}
+					verifyAgainstModel(t, tr, model, step)
+				}
+			}
+			if err := tr.check(); err != nil {
+				t.Fatal(err)
+			}
+			verifyAgainstModel(t, tr, model, -1)
+		})
+	}
+}
+
+func verifyAgainstModel(t *testing.T, tr *Tree[int, int], model map[int][]int, step int) {
+	t.Helper()
+	if tr.Len() != len(model) {
+		t.Fatalf("step %d: Len=%d model=%d", step, tr.Len(), len(model))
+	}
+	total := 0
+	keys := make([]int, 0, len(model))
+	for k, vs := range model {
+		total += len(vs)
+		keys = append(keys, k)
+		got := tr.Get(k)
+		if len(got) != len(vs) {
+			t.Fatalf("step %d: Get(%d) len=%d model=%d", step, k, len(got), len(vs))
+		}
+	}
+	if tr.NumValues() != total {
+		t.Fatalf("step %d: NumValues=%d model=%d", step, tr.NumValues(), total)
+	}
+	sort.Ints(keys)
+	var scanned []int
+	tr.Scan(func(k int, _ []int) bool { scanned = append(scanned, k); return true })
+	if len(scanned) != len(keys) {
+		t.Fatalf("step %d: scanned %d keys, model %d", step, len(scanned), len(keys))
+	}
+	for i := range keys {
+		if scanned[i] != keys[i] {
+			t.Fatalf("step %d: scan order mismatch at %d: %d vs %d", step, i, scanned[i], keys[i])
+		}
+	}
+	// Spot-check ScanFrom at a random boundary.
+	if len(keys) > 0 {
+		start := keys[len(keys)/2]
+		wantFrom := keys[sort.SearchInts(keys, start):]
+		var gotFrom []int
+		tr.ScanFrom(start, func(k int, _ []int) bool { gotFrom = append(gotFrom, k); return true })
+		if len(gotFrom) != len(wantFrom) {
+			t.Fatalf("step %d: ScanFrom(%d) len=%d want %d", step, start, len(gotFrom), len(wantFrom))
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickInsertedKeysRetrievable: after inserting any key/value sequence,
+// every pair is retrievable, the scan is sorted, and counters agree.
+func TestQuickInsertedKeysRetrievable(t *testing.T) {
+	f := func(keys []int16, vals []uint8) bool {
+		tr := New[int16, uint8](8)
+		type pair struct {
+			k int16
+			v uint8
+		}
+		var pairs []pair
+		for i, k := range keys {
+			v := uint8(i)
+			if i < len(vals) {
+				v = vals[i]
+			}
+			tr.Insert(k, v)
+			pairs = append(pairs, pair{k, v})
+		}
+		if err := tr.check(); err != nil {
+			return false
+		}
+		if tr.NumValues() != len(pairs) {
+			return false
+		}
+		// Every inserted pair is present.
+		counts := map[pair]int{}
+		for _, p := range pairs {
+			counts[p]++
+		}
+		for p, want := range counts {
+			got := 0
+			for _, v := range tr.Get(p.k) {
+				if v == p.v {
+					got++
+				}
+			}
+			if got != want {
+				return false
+			}
+		}
+		// Scan is sorted and covers all distinct keys.
+		var scanned []int16
+		tr.Scan(func(k int16, _ []uint8) bool {
+			scanned = append(scanned, k)
+			return true
+		})
+		if !sort.SliceIsSorted(scanned, func(i, j int) bool { return scanned[i] < scanned[j] }) {
+			return false
+		}
+		distinct := map[int16]bool{}
+		for _, k := range keys {
+			distinct[k] = true
+		}
+		return len(scanned) == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInsertDeleteInverse: deleting everything that was inserted
+// leaves an empty, structurally valid tree.
+func TestQuickInsertDeleteInverse(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := New[int16, int](4)
+		for i, k := range keys {
+			tr.Insert(k, i)
+		}
+		for i, k := range keys {
+			if !tr.Delete(k, i) {
+				return false
+			}
+			if err := tr.check(); err != nil {
+				return false
+			}
+		}
+		return tr.Len() == 0 && tr.NumValues() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScanFromEquivalence: ScanFrom(k) visits exactly the sorted keys
+// >= k.
+func TestQuickScanFromEquivalence(t *testing.T) {
+	f := func(keys []int16, start int16) bool {
+		tr := New[int16, int](8)
+		distinct := map[int16]bool{}
+		for i, k := range keys {
+			tr.Insert(k, i)
+			distinct[k] = true
+		}
+		var want []int16
+		for k := range distinct {
+			if k >= start {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []int16
+		tr.ScanFrom(start, func(k int16, _ []int) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

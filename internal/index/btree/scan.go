@@ -1,0 +1,70 @@
+package btree
+
+import "cmp"
+
+// Scan visits all keys in ascending order, calling fn with each key and its
+// values, until fn returns false. The values slice is internal storage and
+// must not be modified.
+func (t *Tree[K, V]) Scan(fn func(k K, vals []V) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	scanLeaves(n, 0, fn)
+}
+
+// ScanFrom visits keys >= start in ascending order until fn returns false.
+// This is the access path for matching lower-bound predicates: for an event
+// value v, predicates "attr < c" with c > v are found by ScanFrom over the
+// constants (paper §3.2, B+ tree index).
+func (t *Tree[K, V]) ScanFrom(start K, fn func(k K, vals []V) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[upperBound(n.keys, start)]
+	}
+	// The target leaf may have keys below start; skip them.
+	i := lowerBound(n.keys, start)
+	if i == len(n.keys) {
+		// start is above every key in this leaf; continue at the next.
+		if n = n.next; n == nil {
+			return
+		}
+		i = 0
+	}
+	scanLeaves(n, i, fn)
+}
+
+// ScanUpTo visits keys < limit in ascending order until fn returns false.
+// This is the access path for matching upper-bound predicates.
+func (t *Tree[K, V]) ScanUpTo(limit K, fn func(k K, vals []V) bool) {
+	t.Scan(func(k K, vals []V) bool {
+		if k >= limit {
+			return false
+		}
+		return fn(k, vals)
+	})
+}
+
+// ScanRange visits keys in [lo, hi) in ascending order until fn returns
+// false.
+func (t *Tree[K, V]) ScanRange(lo, hi K, fn func(k K, vals []V) bool) {
+	t.ScanFrom(lo, func(k K, vals []V) bool {
+		if k >= hi {
+			return false
+		}
+		return fn(k, vals)
+	})
+}
+
+func scanLeaves[K cmp.Ordered, V comparable](n *node[K, V], startIdx int, fn func(k K, vals []V) bool) {
+	i := startIdx
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}

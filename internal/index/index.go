@@ -1,0 +1,395 @@
+// Package index implements predicate matching — the first filtering phase
+// (paper §3.2, Fig. 2): given an event, determine the identifiers of all
+// predicates it fulfils.
+//
+// Per attribute, predicates are organised by operator class exactly as the
+// paper prescribes: point predicates (=) use hash tables; range predicates
+// (<, <=, >, >=) use B+ trees over their constants. Additional operator
+// classes are indexed with appropriate structures: prefix/suffix predicates
+// by hash lookup over the event value's prefixes/suffixes, exists and !=
+// predicates by per-attribute lists (a != predicate matches every comparable
+// value except one, so a list is the natural representation), and substring
+// (contains) predicates by a per-attribute scan list.
+//
+// Both the non-canonical engine and the counting baselines share this phase:
+// "the first phases use the same indexes in the same way in both
+// approaches" (paper §4).
+package index
+
+import (
+	"noncanon/internal/event"
+	"noncanon/internal/predicate"
+	"noncanon/internal/value"
+
+	"noncanon/internal/index/btree"
+)
+
+// rangeEntry is a B+ tree payload: the predicate and whether its bound is
+// inclusive (Le/Ge as opposed to Lt/Gt).
+type rangeEntry struct {
+	id   predicate.ID
+	incl bool
+}
+
+// neEntry records a != predicate and the operand it excludes.
+type neEntry struct {
+	id  predicate.ID
+	key value.Key
+}
+
+// attrIndex holds all predicate structures for one attribute.
+type attrIndex struct {
+	// eq: point predicates by operand (hash index, Fig. 2).
+	eq map[value.Key][]predicate.ID
+
+	// Numeric range predicates (B+ tree index, Fig. 2). Keys are the
+	// predicate constants as float64.
+	//
+	// upperNum holds "attr < c" / "attr <= c": an event value v fulfils
+	// entries with c > v, and c == v when inclusive.
+	// lowerNum holds "attr > c" / "attr >= c": v fulfils entries with
+	// c < v, and c == v when inclusive.
+	upperNum *btree.Tree[float64, rangeEntry]
+	lowerNum *btree.Tree[float64, rangeEntry]
+
+	// String range predicates, same organisation with string keys.
+	upperStr *btree.Tree[string, rangeEntry]
+	lowerStr *btree.Tree[string, rangeEntry]
+
+	// ne: inequality predicates. All match a comparable event value except
+	// those whose operand equals it.
+	neNum  []neEntry
+	neStr  []neEntry
+	neBool []neEntry
+
+	// prefix/suffix: hash on the operand; matched by probing every
+	// prefix/suffix of the event value.
+	prefix map[string][]predicate.ID
+	suffix map[string][]predicate.ID
+
+	// contains: scan list (no sublinear index for substring predicates).
+	contains []containsEntry
+
+	// exists: predicates fulfilled by attribute presence.
+	exists []predicate.ID
+}
+
+type containsEntry struct {
+	id  predicate.ID
+	sub string
+}
+
+func newAttrIndex() *attrIndex {
+	return &attrIndex{
+		eq:       make(map[value.Key][]predicate.ID, 4),
+		upperNum: btree.New[float64, rangeEntry](btree.DefaultOrder),
+		lowerNum: btree.New[float64, rangeEntry](btree.DefaultOrder),
+		upperStr: btree.New[string, rangeEntry](btree.DefaultOrder),
+		lowerStr: btree.New[string, rangeEntry](btree.DefaultOrder),
+		prefix:   make(map[string][]predicate.ID),
+		suffix:   make(map[string][]predicate.ID),
+	}
+}
+
+// Index is the phase-one structure set across all attributes.
+type Index struct {
+	attrs map[string]*attrIndex
+	n     int // live predicate entries
+}
+
+// New returns an empty predicate index.
+func New() *Index {
+	return &Index{attrs: make(map[string]*attrIndex, 64)}
+}
+
+// NumPredicates returns the number of indexed predicate entries.
+func (ix *Index) NumPredicates() int { return ix.n }
+
+// Add indexes predicate p under id. Each (id, p) pair must be added at most
+// once (the predicate registry interns predicates, so engines add a
+// predicate only when its refcount rises from zero).
+func (ix *Index) Add(id predicate.ID, p predicate.P) {
+	ai, ok := ix.attrs[p.Attr]
+	if !ok {
+		ai = newAttrIndex()
+		ix.attrs[p.Attr] = ai
+	}
+	ix.n++
+	switch p.Op {
+	case predicate.Eq:
+		k := p.Operand.Key()
+		ai.eq[k] = append(ai.eq[k], id)
+	case predicate.Ne:
+		e := neEntry{id: id, key: p.Operand.Key()}
+		switch p.Operand.Kind() {
+		case value.Int, value.Float:
+			ai.neNum = append(ai.neNum, e)
+		case value.String:
+			ai.neStr = append(ai.neStr, e)
+		case value.Bool:
+			ai.neBool = append(ai.neBool, e)
+		}
+	case predicate.Lt, predicate.Le:
+		incl := p.Op == predicate.Le
+		if f, ok := p.Operand.AsFloat(); ok {
+			ai.upperNum.Insert(f, rangeEntry{id: id, incl: incl})
+		} else if p.Operand.Kind() == value.String {
+			ai.upperStr.Insert(p.Operand.Str(), rangeEntry{id: id, incl: incl})
+		}
+	case predicate.Gt, predicate.Ge:
+		incl := p.Op == predicate.Ge
+		if f, ok := p.Operand.AsFloat(); ok {
+			ai.lowerNum.Insert(f, rangeEntry{id: id, incl: incl})
+		} else if p.Operand.Kind() == value.String {
+			ai.lowerStr.Insert(p.Operand.Str(), rangeEntry{id: id, incl: incl})
+		}
+	case predicate.Prefix:
+		s := p.Operand.Str()
+		ai.prefix[s] = append(ai.prefix[s], id)
+	case predicate.Suffix:
+		s := p.Operand.Str()
+		ai.suffix[s] = append(ai.suffix[s], id)
+	case predicate.Contains:
+		ai.contains = append(ai.contains, containsEntry{id: id, sub: p.Operand.Str()})
+	case predicate.Exists:
+		ai.exists = append(ai.exists, id)
+	}
+}
+
+// Remove unindexes the (id, p) pair added by Add. It reports whether the
+// entry was found.
+func (ix *Index) Remove(id predicate.ID, p predicate.P) bool {
+	ai, ok := ix.attrs[p.Attr]
+	if !ok {
+		return false
+	}
+	removed := false
+	switch p.Op {
+	case predicate.Eq:
+		k := p.Operand.Key()
+		ai.eq[k], removed = removeID(ai.eq[k], id)
+		if len(ai.eq[k]) == 0 {
+			delete(ai.eq, k)
+		}
+	case predicate.Ne:
+		switch p.Operand.Kind() {
+		case value.Int, value.Float:
+			ai.neNum, removed = removeNe(ai.neNum, id)
+		case value.String:
+			ai.neStr, removed = removeNe(ai.neStr, id)
+		case value.Bool:
+			ai.neBool, removed = removeNe(ai.neBool, id)
+		}
+	case predicate.Lt, predicate.Le:
+		incl := p.Op == predicate.Le
+		if f, ok := p.Operand.AsFloat(); ok {
+			removed = ai.upperNum.Delete(f, rangeEntry{id: id, incl: incl})
+		} else if p.Operand.Kind() == value.String {
+			removed = ai.upperStr.Delete(p.Operand.Str(), rangeEntry{id: id, incl: incl})
+		}
+	case predicate.Gt, predicate.Ge:
+		incl := p.Op == predicate.Ge
+		if f, ok := p.Operand.AsFloat(); ok {
+			removed = ai.lowerNum.Delete(f, rangeEntry{id: id, incl: incl})
+		} else if p.Operand.Kind() == value.String {
+			removed = ai.lowerStr.Delete(p.Operand.Str(), rangeEntry{id: id, incl: incl})
+		}
+	case predicate.Prefix:
+		s := p.Operand.Str()
+		ai.prefix[s], removed = removeID(ai.prefix[s], id)
+		if len(ai.prefix[s]) == 0 {
+			delete(ai.prefix, s)
+		}
+	case predicate.Suffix:
+		s := p.Operand.Str()
+		ai.suffix[s], removed = removeID(ai.suffix[s], id)
+		if len(ai.suffix[s]) == 0 {
+			delete(ai.suffix, s)
+		}
+	case predicate.Contains:
+		for i, e := range ai.contains {
+			if e.id == id {
+				ai.contains = append(ai.contains[:i:i], ai.contains[i+1:]...)
+				removed = true
+				break
+			}
+		}
+	case predicate.Exists:
+		ai.exists, removed = removeID(ai.exists, id)
+	}
+	if removed {
+		ix.n--
+	}
+	return removed
+}
+
+func removeID(s []predicate.ID, id predicate.ID) ([]predicate.ID, bool) {
+	for i, x := range s {
+		if x == id {
+			return append(s[:i:i], s[i+1:]...), true
+		}
+	}
+	return s, false
+}
+
+func removeNe(s []neEntry, id predicate.ID) ([]neEntry, bool) {
+	for i, e := range s {
+		if e.id == id {
+			return append(s[:i:i], s[i+1:]...), true
+		}
+	}
+	return s, false
+}
+
+// Match appends the IDs of every predicate fulfilled by e to out and returns
+// the extended slice. Each fulfilled predicate appears exactly once (the
+// registry interns predicates, and each lives in exactly one structure).
+func (ix *Index) Match(e event.Event, out []predicate.ID) []predicate.ID {
+	e.Range(func(attr string, v value.Value) bool {
+		ai, ok := ix.attrs[attr]
+		if !ok {
+			return true
+		}
+		out = ai.match(v, out)
+		return true
+	})
+	return out
+}
+
+func (ai *attrIndex) match(v value.Value, out []predicate.ID) []predicate.ID {
+	// Point predicates: one hash probe.
+	out = append(out, ai.eq[v.Key()]...)
+
+	// Range predicates.
+	if f, isNum := v.AsFloat(); isNum {
+		// upper bounds: need c > f, or c == f when inclusive.
+		ai.upperNum.ScanFrom(f, func(c float64, es []rangeEntry) bool {
+			strict := c > f
+			for _, e := range es {
+				if strict || e.incl {
+					out = append(out, e.id)
+				}
+			}
+			return true
+		})
+		// lower bounds: need c < f, or c == f when inclusive.
+		ai.lowerNum.ScanUpTo(f, func(_ float64, es []rangeEntry) bool {
+			for _, e := range es {
+				out = append(out, e.id)
+			}
+			return true
+		})
+		for _, e := range ai.lowerNum.Get(f) {
+			if e.incl {
+				out = append(out, e.id)
+			}
+		}
+		// Inequality: all numeric != whose operand differs.
+		key := v.Key()
+		for _, e := range ai.neNum {
+			if e.key != key {
+				out = append(out, e.id)
+			}
+		}
+	} else if v.Kind() == value.String {
+		s := v.Str()
+		ai.upperStr.ScanFrom(s, func(c string, es []rangeEntry) bool {
+			strict := c > s
+			for _, e := range es {
+				if strict || e.incl {
+					out = append(out, e.id)
+				}
+			}
+			return true
+		})
+		ai.lowerStr.ScanUpTo(s, func(_ string, es []rangeEntry) bool {
+			for _, e := range es {
+				out = append(out, e.id)
+			}
+			return true
+		})
+		for _, e := range ai.lowerStr.Get(s) {
+			if e.incl {
+				out = append(out, e.id)
+			}
+		}
+		key := v.Key()
+		for _, e := range ai.neStr {
+			if e.key != key {
+				out = append(out, e.id)
+			}
+		}
+		// prefix: probe every prefix of s (including empty and full).
+		if len(ai.prefix) > 0 {
+			for l := 0; l <= len(s); l++ {
+				out = append(out, ai.prefix[s[:l]]...)
+			}
+		}
+		if len(ai.suffix) > 0 {
+			for l := 0; l <= len(s); l++ {
+				out = append(out, ai.suffix[s[len(s)-l:]]...)
+			}
+		}
+		for _, e := range ai.contains {
+			if containsSub(s, e.sub) {
+				out = append(out, e.id)
+			}
+		}
+	} else if v.Kind() == value.Bool {
+		key := v.Key()
+		for _, e := range ai.neBool {
+			if e.key != key {
+				out = append(out, e.id)
+			}
+		}
+	}
+
+	// Presence predicates.
+	out = append(out, ai.exists...)
+	return out
+}
+
+func containsSub(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// MemBytes estimates resident bytes of all index structures (experiment M1).
+func (ix *Index) MemBytes() int {
+	const (
+		mapEntryOverhead = 48
+		idSize           = 4
+		neEntrySize      = 40
+		rangeEntrySize   = 8
+	)
+	total := 0
+	for attr, ai := range ix.attrs {
+		total += mapEntryOverhead + len(attr)
+		for _, ids := range ai.eq {
+			total += mapEntryOverhead + len(ids)*idSize
+		}
+		total += ai.upperNum.MemBytes(8, rangeEntrySize)
+		total += ai.lowerNum.MemBytes(8, rangeEntrySize)
+		total += ai.upperStr.MemBytes(16, rangeEntrySize)
+		total += ai.lowerStr.MemBytes(16, rangeEntrySize)
+		total += (len(ai.neNum) + len(ai.neStr) + len(ai.neBool)) * neEntrySize
+		for s, ids := range ai.prefix {
+			total += mapEntryOverhead + len(s) + len(ids)*idSize
+		}
+		for s, ids := range ai.suffix {
+			total += mapEntryOverhead + len(s) + len(ids)*idSize
+		}
+		for _, ce := range ai.contains {
+			total += 24 + len(ce.sub)
+		}
+		total += len(ai.exists) * idSize
+	}
+	return total
+}

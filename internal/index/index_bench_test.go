@@ -1,0 +1,61 @@
+package index
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"noncanon/internal/event"
+	"noncanon/internal/predicate"
+)
+
+// benchIndex registers n range/point predicates over 8 attributes.
+func benchIndex(n int) *Index {
+	ix := New()
+	for i := 0; i < n; i++ {
+		attr := "a" + strconv.Itoa(i%8)
+		switch i % 4 {
+		case 0:
+			ix.Add(predicate.ID(i+1), predicate.New(attr, predicate.Eq, i))
+		case 1:
+			ix.Add(predicate.ID(i+1), predicate.New(attr, predicate.Gt, i))
+		case 2:
+			ix.Add(predicate.ID(i+1), predicate.New(attr, predicate.Le, i))
+		default:
+			ix.Add(predicate.ID(i+1), predicate.New(attr, predicate.Ne, i))
+		}
+	}
+	return ix
+}
+
+// BenchmarkMatchPhase1 measures predicate matching (phase one) against an
+// index of 100k predicates — shared by all engines, so not part of the
+// paper's comparison, but the fixed per-event cost of the full pipeline.
+func BenchmarkMatchPhase1(b *testing.B) {
+	const n = 100_000
+	ix := benchIndex(n)
+	rng := rand.New(rand.NewSource(1))
+	evs := make([]event.Event, 32)
+	for i := range evs {
+		ev := event.New()
+		for a := 0; a < 8; a++ {
+			ev = ev.Set("a"+strconv.Itoa(a), rng.Intn(n))
+		}
+		evs[i] = ev
+	}
+	var buf []predicate.ID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ix.Match(evs[i%len(evs)], buf[:0])
+	}
+}
+
+func BenchmarkAddRemove(b *testing.B) {
+	ix := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := predicate.New("a", predicate.Gt, i)
+		ix.Add(predicate.ID(i+1), p)
+		ix.Remove(predicate.ID(i+1), p)
+	}
+}

@@ -1,0 +1,70 @@
+// Package matcher defines the engine interface shared by the non-canonical
+// matcher (internal/core) and the counting baselines (internal/counting).
+//
+// All engines operate in the paper's two phases. Phase one (predicate
+// matching) is shared infrastructure: engines are constructed over a common
+// predicate.Registry and index.Index, so a fulfilled-predicate set drawn for
+// an event is meaningful to every engine — exactly the experimental setup of
+// paper §4, which measures phase two only ("the first phases use the same
+// indexes in the same way in both approaches").
+package matcher
+
+import (
+	"errors"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/event"
+	"noncanon/internal/predicate"
+)
+
+// SubID identifies a registered (original, pre-transformation) subscription
+// within an engine.
+type SubID uint64
+
+// Errors common to engine implementations.
+var (
+	// ErrUnknownSubscription is returned by Unsubscribe for IDs that are not
+	// currently registered.
+	ErrUnknownSubscription = errors.New("matcher: unknown subscription id")
+
+	// ErrUnsubscribeUnsupported is returned by engines configured without
+	// unsubscription support (the paper's memory-friendly counting
+	// configuration, §3.3).
+	ErrUnsubscribeUnsupported = errors.New("matcher: engine configured without unsubscription support")
+)
+
+// Matcher is a two-phase filtering engine.
+//
+// Implementations are safe for concurrent use.
+type Matcher interface {
+	// Name identifies the algorithm (used in benchmark output).
+	Name() string
+
+	// Subscribe registers a subscription and returns its ID.
+	Subscribe(expr boolexpr.Expr) (SubID, error)
+
+	// Unsubscribe removes a subscription.
+	Unsubscribe(id SubID) error
+
+	// Match runs both phases and returns the IDs of all subscriptions the
+	// event fulfils. The returned slice is freshly allocated.
+	Match(ev event.Event) []SubID
+
+	// MatchPredicates runs phase two only, taking the fulfilled-predicate
+	// set as input. This is the operation the paper's experiments time.
+	MatchPredicates(fulfilled []predicate.ID) []SubID
+
+	// NumSubscriptions returns the number of registered original
+	// subscriptions.
+	NumSubscriptions() int
+
+	// NumUnits returns the number of internally stored filtering units:
+	// subscription trees for the non-canonical engine, conjunctive
+	// (post-DNF) subscriptions for the counting engines. The ratio
+	// NumUnits/NumSubscriptions is the transformation blow-up.
+	NumUnits() int
+
+	// MemBytes estimates the resident memory of all engine-owned phase-two
+	// structures, excluding the shared registry and index.
+	MemBytes() int
+}

@@ -1,0 +1,154 @@
+package memmodel
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMultiplierBelowBudget(t *testing.T) {
+	m := SwapModel{BudgetBytes: 1000, Penalty: 50}
+	if got := m.Multiplier(500); got != 1 {
+		t.Errorf("Multiplier(500) = %v, want 1", got)
+	}
+	if got := m.Multiplier(1000); got != 1 {
+		t.Errorf("Multiplier(at budget) = %v, want 1", got)
+	}
+}
+
+func TestMultiplierAboveBudget(t *testing.T) {
+	m := SwapModel{BudgetBytes: 1000, Penalty: 51}
+	// Half swapped: 1 + 0.5*50 = 26.
+	if got := m.Multiplier(2000); got != 26 {
+		t.Errorf("Multiplier(2000) = %v, want 26", got)
+	}
+	// Monotonically increasing in resident size.
+	prev := 0.0
+	for r := 1000; r <= 10000; r += 500 {
+		mult := m.Multiplier(r)
+		if mult < prev {
+			t.Fatalf("Multiplier not monotone at %d: %v < %v", r, mult, prev)
+		}
+		prev = mult
+	}
+	// Asymptotically approaches Penalty.
+	if got := m.Multiplier(1 << 40); got > 51 || got < 50 {
+		t.Errorf("asymptotic multiplier = %v", got)
+	}
+}
+
+func TestMultiplierDegenerateModels(t *testing.T) {
+	if got := (SwapModel{}).Multiplier(1 << 30); got != 1 {
+		t.Errorf("zero model should never penalise, got %v", got)
+	}
+	m := SwapModel{BudgetBytes: 100, Penalty: 0.5} // sub-1 penalty clamps to 1
+	if got := m.Multiplier(200); got != 1 {
+		t.Errorf("clamped penalty multiplier = %v, want 1", got)
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := SwapModel{BudgetBytes: 1000, Penalty: 51}
+	d := m.Apply(time.Second, 2000)
+	if d != 26*time.Second {
+		t.Errorf("Apply = %v, want 26s", d)
+	}
+	if d := m.Apply(time.Second, 10); d != time.Second {
+		t.Errorf("Apply below budget = %v", d)
+	}
+}
+
+func TestPaperModel(t *testing.T) {
+	m := PaperModel()
+	if m.BudgetBytes != 512<<20 {
+		t.Errorf("budget = %d", m.BudgetBytes)
+	}
+	if m.Multiplier(256<<20) != 1 {
+		t.Error("256MiB should fit in the paper machine")
+	}
+	if m.Multiplier(1<<30) <= 1 {
+		t.Error("1GiB should swap on the paper machine")
+	}
+}
+
+func TestReport(t *testing.T) {
+	r := Report{
+		Name: "counting", Subscriptions: 1000, Units: 8000,
+		EngineBytes: 80_000, RegistryBytes: 10_000, IndexBytes: 5_000,
+	}
+	if r.Total() != 95_000 {
+		t.Errorf("Total = %d", r.Total())
+	}
+	if r.BytesPerSubscription() != 80 {
+		t.Errorf("BytesPerSubscription = %v", r.BytesPerSubscription())
+	}
+	s := r.String()
+	for _, want := range []string{"counting", "subs=1000", "units=8000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	if (Report{}).BytesPerSubscription() != 0 {
+		t.Error("empty report BytesPerSubscription should be 0")
+	}
+}
+
+func TestMaxSubscriptions(t *testing.T) {
+	// 1000 budget, 100 fixed, 9 per sub → 100 subscriptions.
+	if got := MaxSubscriptions(1000, 100, 9); got != 100 {
+		t.Errorf("MaxSubscriptions = %d, want 100", got)
+	}
+	if got := MaxSubscriptions(100, 200, 9); got != 0 {
+		t.Errorf("over-budget fixed = %d, want 0", got)
+	}
+	if got := MaxSubscriptions(1000, 0, 0); got != 0 {
+		t.Errorf("zero perSub = %d, want 0", got)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		n    int
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.00KiB"},
+		{3 << 20, "3.00MiB"},
+		{5 << 30, "5.00GiB"},
+	}
+	for _, tt := range tests {
+		if got := FormatBytes(tt.n); got != tt.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestPaperModels(t *testing.T) {
+	// Counting: units dominate. 8 units × 2 vectors + 60 preds bit vector +
+	// 30 assoc entries × 4.
+	got := PaperCountingBytes(8, 60, 30)
+	want := 8 + 8 + 8 + 120
+	if got != want {
+		t.Errorf("PaperCountingBytes = %d, want %d", got, want)
+	}
+	got = PaperNonCanonicalBytes(530, 10, 60)
+	want = 530 + 10*12 + 240
+	if got != want {
+		t.Errorf("PaperNonCanonicalBytes = %d, want %d", got, want)
+	}
+}
+
+func TestCountingVsNonCanonicalModelRatio(t *testing.T) {
+	// The M1 claim at |p|=10: counting needs ≥4× the memory per original
+	// subscription. Per original subscription: counting has 32 units of 5
+	// predicates (160 assoc entries); non-canonical has 1 tree (~87B at
+	// paper encoding) and 10 assoc entries.
+	const subs = 100_000
+	counting := PaperCountingBytes(32*subs, 10*subs, 32*5*subs)
+	treeBytes := 87 * subs
+	noncanon := PaperNonCanonicalBytes(treeBytes, subs, 10*subs)
+	ratio := float64(counting) / float64(noncanon)
+	if ratio < 4 {
+		t.Errorf("counting/non-canonical memory ratio = %.2f, want >= 4 (paper §4.1)", ratio)
+	}
+}

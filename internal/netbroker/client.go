@@ -1,0 +1,289 @@
+package netbroker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"noncanon/internal/event"
+	"noncanon/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrClientClosed is returned by operations on a closed client.
+	ErrClientClosed = errors.New("netbroker: client closed")
+	// ErrRemote wraps error messages returned by the broker.
+	ErrRemote = errors.New("netbroker: remote error")
+)
+
+// DefaultSubBuffer is the per-subscription client-side event buffer.
+const DefaultSubBuffer = 64
+
+// Client is a broker connection. It is safe for concurrent use; requests
+// are multiplexed over the connection by request ID.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serialises frame writes
+
+	mu      sync.Mutex
+	pending map[uint32]chan response
+	subs    map[uint64]*ClientSub
+	closed  bool
+	readErr error
+
+	reqID atomic.Uint32
+	wg    sync.WaitGroup
+}
+
+type response struct {
+	typ     byte
+	payload []byte
+}
+
+// ClientSub is a live remote subscription. Events arrive on C; events
+// beyond the buffer are dropped client-side (Dropped counts them).
+type ClientSub struct {
+	id      uint64
+	c       *Client
+	ch      chan event.Event
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// Dial connects to a broker server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netbroker: dial %s: %w", addr, err)
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection (useful with net.Pipe in
+// tests).
+func NewClient(nc net.Conn) *Client {
+	c := &Client{
+		nc:      nc,
+		pending: make(map[uint32]chan response),
+		subs:    make(map[uint64]*ClientSub),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	for {
+		typ, payload, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if typ == wire.MsgEvent {
+			c.dispatchEvent(payload)
+			continue
+		}
+		reqID, rest, err := wire.ReadU32(payload)
+		if err != nil {
+			c.failAll(fmt.Errorf("netbroker: malformed response: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[reqID]
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		if ok {
+			ch <- response{typ: typ, payload: rest}
+		}
+	}
+}
+
+func (c *Client) dispatchEvent(payload []byte) {
+	subID, rest, err := wire.ReadU64(payload)
+	if err != nil {
+		return
+	}
+	ev, _, err := wire.ReadEvent(rest)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	sub := c.subs[subID]
+	c.mu.Unlock()
+	if sub == nil {
+		return // raced with unsubscribe
+	}
+	select {
+	case sub.ch <- ev:
+	default:
+		sub.dropped.Add(1)
+	}
+}
+
+// failAll wakes every pending request and closes subscription channels.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint32]chan response)
+	subs := c.subs
+	c.subs = make(map[uint64]*ClientSub)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+	for _, s := range subs {
+		close(s.ch)
+	}
+}
+
+// roundTrip sends a request frame and waits for its response.
+func (c *Client) roundTrip(typ byte, build func(reqID uint32) []byte) (response, error) {
+	id := c.reqID.Add(1)
+	ch := make(chan response, 1)
+
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return response{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.nc, typ, build(id))
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return response{}, fmt.Errorf("netbroker: send: %w", err)
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return response{}, err
+	}
+	if resp.typ == wire.MsgError {
+		msg, _, merr := wire.ReadString(resp.payload)
+		if merr != nil {
+			msg = "unreadable error payload"
+		}
+		return response{}, fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	return resp, nil
+}
+
+// Subscribe registers a textual subscription and returns the event stream.
+func (c *Client) Subscribe(sub string) (*ClientSub, error) {
+	resp, err := c.roundTrip(wire.MsgSubscribe, func(id uint32) []byte {
+		b := wire.AppendU32(nil, id)
+		return wire.AppendString(b, sub)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.typ != wire.MsgSubscribed {
+		return nil, fmt.Errorf("%w: unexpected response type 0x%02x", ErrRemote, resp.typ)
+	}
+	subID, _, err := wire.ReadU64(resp.payload)
+	if err != nil {
+		return nil, err
+	}
+	s := &ClientSub{id: subID, c: c, ch: make(chan event.Event, DefaultSubBuffer)}
+	c.mu.Lock()
+	c.subs[subID] = s
+	c.mu.Unlock()
+	return s, nil
+}
+
+// ID returns the server-side subscription ID.
+func (s *ClientSub) ID() uint64 { return s.id }
+
+// C returns the event stream. It is closed on Unsubscribe or connection
+// loss.
+func (s *ClientSub) C() <-chan event.Event { return s.ch }
+
+// Dropped reports events discarded because the local buffer was full.
+func (s *ClientSub) Dropped() uint64 { return s.dropped.Load() }
+
+// Unsubscribe removes the subscription at the broker and closes C.
+func (s *ClientSub) Unsubscribe() error {
+	var err error
+	s.once.Do(func() {
+		s.c.mu.Lock()
+		_, live := s.c.subs[s.id]
+		delete(s.c.subs, s.id)
+		s.c.mu.Unlock()
+		if live {
+			_, err = s.c.roundTrip(wire.MsgUnsubscribe, func(id uint32) []byte {
+				b := wire.AppendU32(nil, id)
+				return wire.AppendU64(b, s.id)
+			})
+			close(s.ch)
+		}
+	})
+	return err
+}
+
+// Publish sends an event and returns the number of subscriptions it matched
+// at the broker.
+func (c *Client) Publish(ev event.Event) (int, error) {
+	resp, err := c.roundTrip(wire.MsgPublish, func(id uint32) []byte {
+		b := wire.AppendU32(nil, id)
+		return wire.AppendEvent(b, ev)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if resp.typ != wire.MsgPublished {
+		return 0, fmt.Errorf("%w: unexpected response type 0x%02x", ErrRemote, resp.typ)
+	}
+	n, _, err := wire.ReadU32(resp.payload)
+	return int(n), err
+}
+
+// Ping round-trips a no-op request.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(wire.MsgPing, func(id uint32) []byte {
+		return wire.AppendU32(nil, id)
+	})
+	if err != nil {
+		return err
+	}
+	if resp.typ != wire.MsgPong {
+		return fmt.Errorf("%w: unexpected response type 0x%02x", ErrRemote, resp.typ)
+	}
+	return nil
+}
+
+// Close tears down the connection; pending requests fail and subscription
+// channels close.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.nc.Close()
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,289 @@
+// Package netbroker exposes the local broker over TCP using the wire
+// protocol: clients subscribe with textual subscriptions, publish events and
+// receive matched events as asynchronous pushes.
+package netbroker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"noncanon/internal/broker"
+	"noncanon/internal/event"
+	"noncanon/internal/matcher"
+	"noncanon/internal/sublang"
+	"noncanon/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("netbroker: server closed")
+
+// writeTimeout bounds how long a slow client can stall one of its own
+// delivery goroutines.
+const writeTimeout = 10 * time.Second
+
+// ServerOptions configures a broker server.
+type ServerOptions struct {
+	// Broker configures the embedded matching broker.
+	Broker broker.Options
+	// Logf receives connection-level diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Server serves the broker protocol over a listener.
+type Server struct {
+	opts ServerOptions
+	br   *broker.Broker
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a server with an embedded broker.
+func NewServer(opts ServerOptions) *Server {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		opts:  opts,
+		br:    broker.New(opts.Broker),
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// Broker exposes the embedded broker (e.g. for local subscriptions beside
+// the network interface).
+func (s *Server) Broker() *broker.Broker { return s.br }
+
+// Serve accepts connections until Close. It always returns a non-nil error;
+// after Close the error is ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("netbroker: accept: %w", err)
+		}
+		c := &conn{srv: s, nc: nc, subs: make(map[uint64]*broker.Subscription)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			c.serve()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("netbroker: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting, disconnects clients, shuts the broker down and
+// waits for connection goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	s.wg.Wait()
+	return s.br.Close()
+}
+
+// conn is one client connection.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	wmu sync.Mutex // serialises response and event writes
+
+	smu  sync.Mutex
+	subs map[uint64]*broker.Subscription
+}
+
+func (c *conn) serve() {
+	defer c.cleanup()
+	for {
+		typ, payload, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			return // disconnect (clean EOF or protocol error)
+		}
+		if err := c.handle(typ, payload); err != nil {
+			c.srv.opts.Logf("netbroker: %s: %v", c.nc.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (c *conn) cleanup() {
+	c.nc.Close()
+	c.smu.Lock()
+	subs := make([]*broker.Subscription, 0, len(c.subs))
+	for _, sub := range c.subs {
+		subs = append(subs, sub)
+	}
+	c.subs = map[uint64]*broker.Subscription{}
+	c.smu.Unlock()
+	for _, sub := range subs {
+		if err := sub.Unsubscribe(); err != nil {
+			c.srv.opts.Logf("netbroker: cleanup unsubscribe: %v", err)
+		}
+	}
+}
+
+func (c *conn) handle(typ byte, payload []byte) error {
+	reqID, rest, err := wire.ReadU32(payload)
+	if err != nil {
+		return fmt.Errorf("request without id: %w", err)
+	}
+	switch typ {
+	case wire.MsgSubscribe:
+		return c.handleSubscribe(reqID, rest)
+	case wire.MsgUnsubscribe:
+		return c.handleUnsubscribe(reqID, rest)
+	case wire.MsgPublish:
+		return c.handlePublish(reqID, rest)
+	case wire.MsgPing:
+		return c.write(wire.MsgPong, wire.AppendU32(nil, reqID))
+	default:
+		return c.writeError(reqID, fmt.Sprintf("unknown message type 0x%02x", typ))
+	}
+}
+
+func (c *conn) handleSubscribe(reqID uint32, rest []byte) error {
+	text, _, err := wire.ReadString(rest)
+	if err != nil {
+		return c.writeError(reqID, "malformed subscribe: "+err.Error())
+	}
+	expr, err := sublang.Parse(text)
+	if err != nil {
+		return c.writeError(reqID, err.Error())
+	}
+	// The push frames must carry the subscription ID, which only exists
+	// once Subscribe returns; the handler blocks on idCh for its first
+	// delivery (the channel is filled immediately below).
+	idCh := make(chan matcher.SubID, 1)
+	var subID matcher.SubID
+	var idOnce sync.Once
+	handler := func(ev event.Event) {
+		idOnce.Do(func() { subID = <-idCh })
+		c.deliverFor(subID, ev)
+	}
+	sub, err := c.srv.br.Subscribe(expr, handler)
+	if err != nil {
+		return c.writeError(reqID, err.Error())
+	}
+	idCh <- sub.ID()
+	c.smu.Lock()
+	c.subs[uint64(sub.ID())] = sub
+	c.smu.Unlock()
+	resp := wire.AppendU32(nil, reqID)
+	resp = wire.AppendU64(resp, uint64(sub.ID()))
+	return c.write(wire.MsgSubscribed, resp)
+}
+
+func (c *conn) handleUnsubscribe(reqID uint32, rest []byte) error {
+	id, _, err := wire.ReadU64(rest)
+	if err != nil {
+		return c.writeError(reqID, "malformed unsubscribe: "+err.Error())
+	}
+	c.smu.Lock()
+	sub, ok := c.subs[id]
+	delete(c.subs, id)
+	c.smu.Unlock()
+	if !ok {
+		return c.writeError(reqID, fmt.Sprintf("unknown subscription %d", id))
+	}
+	if err := sub.Unsubscribe(); err != nil {
+		return c.writeError(reqID, err.Error())
+	}
+	return c.write(wire.MsgOK, wire.AppendU32(nil, reqID))
+}
+
+func (c *conn) handlePublish(reqID uint32, rest []byte) error {
+	ev, _, err := wire.ReadEvent(rest)
+	if err != nil {
+		return c.writeError(reqID, "malformed event: "+err.Error())
+	}
+	n, err := c.srv.br.Publish(ev)
+	if err != nil {
+		return c.writeError(reqID, err.Error())
+	}
+	resp := wire.AppendU32(nil, reqID)
+	resp = wire.AppendU32(resp, uint32(n))
+	return c.write(wire.MsgPublished, resp)
+}
+
+// deliverFor pushes one matched event to the client, tagged with the
+// subscription it matched. It runs on the broker's per-subscription
+// delivery goroutine.
+func (c *conn) deliverFor(subID matcher.SubID, ev event.Event) {
+	buf := wire.AppendU64(nil, uint64(subID))
+	buf = wire.AppendEvent(buf, ev)
+	if err := c.write(wire.MsgEvent, buf); err != nil {
+		c.srv.opts.Logf("netbroker: push to %s: %v", c.nc.RemoteAddr(), err)
+		c.nc.Close() // reader will clean up
+	}
+}
+
+func (c *conn) write(typ byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.nc.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
+		return err
+	}
+	return wire.WriteFrame(c.nc, typ, payload)
+}
+
+func (c *conn) writeError(reqID uint32, msg string) error {
+	payload := wire.AppendU32(nil, reqID)
+	payload = wire.AppendString(payload, msg)
+	return c.write(wire.MsgError, payload)
+}

@@ -1,0 +1,464 @@
+// Package overlay simulates a distributed broker network: one goroutine per
+// broker, channel links, subscription flooding and reverse-path event
+// routing — the peer-to-peer deployment the paper motivates ("in typical
+// real world situations we will find peer-to-peer networks of less equipped
+// machines, such as laptops and mobile devices to perform event filtering",
+// §1).
+//
+// Routing model (SIENA-style, specialised to acyclic topologies):
+//
+//   - A subscription registered at node S is flooded through the tree.
+//     Every broker installs it in its local non-canonical engine and
+//     remembers the link it arrived on — the next hop toward S.
+//   - An event published at node O is matched at every broker it visits.
+//     Local subscribers are notified; for remote matches the event is
+//     forwarded once per distinct next-hop link (never back where it came
+//     from). On a tree this delivers every matching subscription exactly
+//     once while filtering prunes all branches without subscribers.
+//
+// Every broker runs the full non-canonical engine, so overlay scalability
+// inherits the filtering scalability the paper argues for.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/core"
+	"noncanon/internal/event"
+	"noncanon/internal/index"
+	"noncanon/internal/matcher"
+	"noncanon/internal/predicate"
+	"noncanon/internal/subtree"
+)
+
+// NodeID identifies a broker in the overlay.
+type NodeID int
+
+// Handler consumes events delivered to a local subscriber. Handlers run on
+// the owning broker's goroutine and must not block.
+type Handler func(ev event.Event)
+
+// Errors returned by the network API.
+var (
+	ErrClosed      = errors.New("overlay: network closed")
+	ErrUnknownNode = errors.New("overlay: unknown node")
+	ErrUnknownSub  = errors.New("overlay: unknown subscription")
+	ErrNotATree    = errors.New("overlay: topology must be a connected acyclic graph")
+)
+
+// DefaultInboxSize is the per-broker message queue capacity.
+const DefaultInboxSize = 1024
+
+// MaxHops bounds event forwarding as a safety net; tree routing never
+// reaches it.
+const MaxHops = 255
+
+// Config tunes the simulation.
+type Config struct {
+	// InboxSize is the per-broker inbox capacity (default DefaultInboxSize).
+	InboxSize int
+	// Engine configures each broker's matching engine.
+	Engine core.Options
+}
+
+// SubRef names a subscription in the overlay.
+type SubRef struct {
+	id uint64
+}
+
+// Stats aggregates network activity.
+type Stats struct {
+	// Published counts Publish calls.
+	Published uint64
+	// Forwarded counts event copies sent over links.
+	Forwarded uint64
+	// Delivered counts local handler invocations.
+	Delivered uint64
+	// SubscriptionMsgs counts subscription-propagation link messages.
+	SubscriptionMsgs uint64
+}
+
+// Network is a simulated broker overlay.
+type Network struct {
+	cfg   Config
+	nodes []*node
+
+	nextSub  atomic.Uint64
+	inflight atomic.Int64
+	closed   atomic.Bool
+	quit     chan struct{}
+	wg       sync.WaitGroup
+
+	subOrigin sync.Map // sub id → NodeID, for Unsubscribe validation
+
+	published  atomic.Uint64
+	forwarded  atomic.Uint64
+	delivered  atomic.Uint64
+	subMsgSent atomic.Uint64
+}
+
+type node struct {
+	id    NodeID
+	net   *Network
+	inbox chan message
+	eng   *core.Engine
+
+	// neighbors[i] is a directly linked broker; revIdx[i] is this node's
+	// position in that neighbor's neighbor list (so messages can tell the
+	// receiver which of its links they arrived on).
+	neighbors []*node
+	revIdx    []int
+
+	// routes maps overlay subscription IDs to their local registration.
+	routes map[uint64]*route
+	// byEngine maps engine subscription IDs back to routes after matching.
+	byEngine map[matcher.SubID]*route
+}
+
+// route is a node's view of one overlay subscription.
+type route struct {
+	subID    uint64
+	engineID matcher.SubID
+	handler  Handler // non-nil only at the subscriber's home broker
+	nextHop  int     // link index toward the subscriber; -1 when local
+}
+
+type message struct {
+	kind    msgKind
+	from    int // receiver's link index the message arrived on; -1 = api
+	subID   uint64
+	expr    boolexpr.Expr
+	handler Handler
+	ev      event.Event
+	hops    int
+}
+
+type msgKind uint8
+
+const (
+	msgSubscribe msgKind = iota + 1
+	msgUnsubscribe
+	msgEvent
+)
+
+// New builds a network of n brokers connected by the given undirected
+// edges. The topology must be a connected tree (n-1 edges, no cycles).
+func New(n int, edges [][2]NodeID, cfg Config) (*Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("overlay: need at least one node, got %d", n)
+	}
+	if err := validateTree(n, edges); err != nil {
+		return nil, err
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = DefaultInboxSize
+	}
+	nw := &Network{cfg: cfg, quit: make(chan struct{})}
+	nw.nodes = make([]*node, n)
+	for i := range nw.nodes {
+		reg := predicate.NewRegistry()
+		idx := index.New()
+		nw.nodes[i] = &node{
+			id:       NodeID(i),
+			net:      nw,
+			inbox:    make(chan message, cfg.InboxSize),
+			eng:      core.New(reg, idx, cfg.Engine),
+			routes:   make(map[uint64]*route),
+			byEngine: make(map[matcher.SubID]*route),
+		}
+	}
+	for _, e := range edges {
+		a, b := nw.nodes[e[0]], nw.nodes[e[1]]
+		a.neighbors = append(a.neighbors, b)
+		b.neighbors = append(b.neighbors, a)
+		a.revIdx = append(a.revIdx, len(b.neighbors)-1)
+		b.revIdx = append(b.revIdx, len(a.neighbors)-1)
+	}
+	for _, nd := range nw.nodes {
+		nw.wg.Add(1)
+		go nd.run()
+	}
+	return nw, nil
+}
+
+// NewLine builds a chain 0-1-2-…-(n-1).
+func NewLine(n int, cfg Config) (*Network, error) {
+	edges := make([][2]NodeID, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]NodeID{NodeID(i - 1), NodeID(i)})
+	}
+	return New(n, edges, cfg)
+}
+
+// NewStar builds a hub-and-spoke topology with node 0 as the hub.
+func NewStar(n int, cfg Config) (*Network, error) {
+	edges := make([][2]NodeID, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]NodeID{0, NodeID(i)})
+	}
+	return New(n, edges, cfg)
+}
+
+// NewTree builds a complete k-ary tree with n nodes rooted at 0.
+func NewTree(n, fanout int, cfg Config) (*Network, error) {
+	if fanout < 1 {
+		return nil, fmt.Errorf("overlay: fanout must be >= 1, got %d", fanout)
+	}
+	edges := make([][2]NodeID, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]NodeID{NodeID((i - 1) / fanout), NodeID(i)})
+	}
+	return New(n, edges, cfg)
+}
+
+func validateTree(n int, edges [][2]NodeID) error {
+	if len(edges) != n-1 {
+		return fmt.Errorf("%w: %d nodes need %d edges, got %d", ErrNotATree, n, n-1, len(edges))
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		a, b := int(e[0]), int(e[1])
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return fmt.Errorf("%w: edge %v out of range", ErrNotATree, e)
+		}
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return fmt.Errorf("%w: edge %v closes a cycle", ErrNotATree, e)
+		}
+		parent[ra] = rb
+	}
+	return nil
+}
+
+// NumNodes returns the broker count.
+func (nw *Network) NumNodes() int { return len(nw.nodes) }
+
+// Subscribe registers a subscription at broker `at`; the handler runs on
+// that broker. The subscription is flooded through the overlay before
+// Subscribe-concurrent publishes at distant brokers can see it; call Flush
+// for a quiescent point.
+func (nw *Network) Subscribe(at NodeID, expr boolexpr.Expr, h Handler) (SubRef, error) {
+	if nw.closed.Load() {
+		return SubRef{}, ErrClosed
+	}
+	if int(at) < 0 || int(at) >= len(nw.nodes) {
+		return SubRef{}, fmt.Errorf("%w: %d", ErrUnknownNode, at)
+	}
+	if expr == nil {
+		return SubRef{}, fmt.Errorf("overlay: nil subscription expression")
+	}
+	if h == nil {
+		return SubRef{}, fmt.Errorf("overlay: nil handler")
+	}
+	// Validate compilability up front (with a throwaway interner) so that
+	// installation cannot fail asynchronously mid-flood.
+	var n predicate.ID
+	if _, err := subtree.Compile(expr, func(predicate.P) predicate.ID { n++; return n }, subtree.Options{
+		Encoding: nw.cfg.Engine.Encoding,
+		Reorder:  nw.cfg.Engine.Reorder,
+	}); err != nil {
+		return SubRef{}, fmt.Errorf("overlay: invalid subscription: %w", err)
+	}
+	id := nw.nextSub.Add(1)
+	nw.subOrigin.Store(id, at)
+	nw.send(nw.nodes[at], message{kind: msgSubscribe, from: -1, subID: id, expr: expr, handler: h})
+	return SubRef{id: id}, nil
+}
+
+// Unsubscribe removes a subscription network-wide.
+func (nw *Network) Unsubscribe(ref SubRef) error {
+	if nw.closed.Load() {
+		return ErrClosed
+	}
+	origin, ok := nw.subOrigin.LoadAndDelete(ref.id)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSub, ref.id)
+	}
+	nw.send(nw.nodes[origin.(NodeID)], message{kind: msgUnsubscribe, from: -1, subID: ref.id})
+	return nil
+}
+
+// Publish injects an event at broker `at`.
+func (nw *Network) Publish(at NodeID, ev event.Event) error {
+	if nw.closed.Load() {
+		return ErrClosed
+	}
+	if int(at) < 0 || int(at) >= len(nw.nodes) {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, at)
+	}
+	nw.published.Add(1)
+	nw.send(nw.nodes[at], message{kind: msgEvent, from: -1, ev: ev})
+	return nil
+}
+
+// send enqueues a message, tracking it for Flush quiescence.
+func (nw *Network) send(to *node, m message) {
+	nw.inflight.Add(1)
+	select {
+	case to.inbox <- m:
+	case <-nw.quit:
+		nw.inflight.Add(-1)
+	}
+}
+
+// Flush blocks until every in-flight message (including cascaded forwards)
+// has been processed.
+func (nw *Network) Flush() {
+	for nw.inflight.Load() != 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Stats returns an activity snapshot.
+func (nw *Network) Stats() Stats {
+	return Stats{
+		Published:        nw.published.Load(),
+		Forwarded:        nw.forwarded.Load(),
+		Delivered:        nw.delivered.Load(),
+		SubscriptionMsgs: nw.subMsgSent.Load(),
+	}
+}
+
+// Close stops all brokers and waits for their goroutines.
+func (nw *Network) Close() {
+	if nw.closed.Swap(true) {
+		return
+	}
+	close(nw.quit)
+	nw.wg.Wait()
+}
+
+func (nd *node) run() {
+	defer nd.net.wg.Done()
+	for {
+		select {
+		case m := <-nd.inbox:
+			nd.handle(m)
+			nd.net.inflight.Add(-1)
+		case <-nd.net.quit:
+			return
+		}
+	}
+}
+
+func (nd *node) handle(m message) {
+	switch m.kind {
+	case msgSubscribe:
+		nd.handleSubscribe(m)
+	case msgUnsubscribe:
+		nd.handleUnsubscribe(m)
+	case msgEvent:
+		nd.handleEvent(m)
+	}
+}
+
+func (nd *node) handleSubscribe(m message) {
+	if _, dup := nd.routes[m.subID]; dup {
+		return // already installed (defensive; cannot happen on a tree)
+	}
+	engineID, err := nd.eng.Subscribe(m.expr)
+	if err != nil {
+		// Subscriptions are validated at the home broker before flooding;
+		// a failure here is a programming error worth surfacing loudly in
+		// the simulation.
+		panic(fmt.Sprintf("overlay: node %d: install subscription %d: %v", nd.id, m.subID, err))
+	}
+	r := &route{subID: m.subID, engineID: engineID, nextHop: m.from}
+	if m.from == -1 {
+		r.handler = m.handler
+	}
+	nd.routes[m.subID] = r
+	nd.byEngine[engineID] = r
+	// Flood to all other links.
+	fwd := message{kind: msgSubscribe, subID: m.subID, expr: m.expr}
+	nd.forwardExcept(m.from, fwd, &nd.net.subMsgSent)
+}
+
+func (nd *node) handleUnsubscribe(m message) {
+	r, ok := nd.routes[m.subID]
+	if !ok {
+		return
+	}
+	delete(nd.routes, m.subID)
+	delete(nd.byEngine, r.engineID)
+	if err := nd.eng.Unsubscribe(r.engineID); err != nil {
+		panic(fmt.Sprintf("overlay: node %d: remove subscription %d: %v", nd.id, m.subID, err))
+	}
+	nd.forwardExcept(m.from, message{kind: msgUnsubscribe, subID: m.subID}, &nd.net.subMsgSent)
+}
+
+// forwardExcept sends m to every neighbor except the link it arrived on,
+// setting from to the receiver's reverse link index.
+func (nd *node) forwardExcept(except int, m message, counter *atomic.Uint64) {
+	for i, nb := range nd.neighbors {
+		if i == except {
+			continue
+		}
+		m.from = nd.revIdx[i]
+		counter.Add(1)
+		nd.net.send(nb, m)
+	}
+}
+
+func (nd *node) handleEvent(m message) {
+	if m.hops >= MaxHops {
+		return
+	}
+	matched := nd.eng.Match(m.ev)
+	// Deliver locally; collect distinct next-hop links.
+	var hopSet uint64 // bitset over link indexes; trees here have < 64 links/node
+	var bigHops map[int]bool
+	for _, engineID := range matched {
+		r, ok := nd.byEngine[engineID]
+		if !ok {
+			continue
+		}
+		if r.nextHop == -1 {
+			r.handler(m.ev)
+			nd.net.delivered.Add(1)
+			continue
+		}
+		if r.nextHop == m.from {
+			continue // never bounce an event back (cannot happen on a tree)
+		}
+		if r.nextHop < 64 {
+			hopSet |= 1 << uint(r.nextHop)
+		} else {
+			if bigHops == nil {
+				bigHops = make(map[int]bool)
+			}
+			bigHops[r.nextHop] = true
+		}
+	}
+	fwd := message{kind: msgEvent, ev: m.ev, hops: m.hops + 1}
+	for i := range nd.neighbors {
+		use := false
+		if i < 64 {
+			use = hopSet&(1<<uint(i)) != 0
+		} else {
+			use = bigHops[i]
+		}
+		if !use {
+			continue
+		}
+		fwd.from = nd.revIdx[i]
+		nd.net.forwarded.Add(1)
+		nd.net.send(nd.neighbors[i], fwd)
+	}
+}

@@ -1,0 +1,286 @@
+package overlay
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/event"
+	"noncanon/internal/predicate"
+)
+
+func pred(attr string, op predicate.Op, v any) boolexpr.Expr {
+	return boolexpr.Pred(attr, op, v)
+}
+
+func TestTopologyValidation(t *testing.T) {
+	cfg := Config{}
+	if _, err := New(0, nil, cfg); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := New(3, [][2]NodeID{{0, 1}}, cfg); !errors.Is(err, ErrNotATree) {
+		t.Errorf("missing edge err = %v", err)
+	}
+	if _, err := New(3, [][2]NodeID{{0, 1}, {1, 2}, {2, 0}}, cfg); !errors.Is(err, ErrNotATree) {
+		t.Errorf("cycle err = %v", err)
+	}
+	if _, err := New(3, [][2]NodeID{{0, 1}, {0, 5}}, cfg); !errors.Is(err, ErrNotATree) {
+		t.Errorf("out-of-range err = %v", err)
+	}
+	if _, err := NewTree(5, 0, cfg); err == nil {
+		t.Error("fanout 0 accepted")
+	}
+	nw, err := New(1, nil, cfg)
+	if err != nil {
+		t.Fatalf("single node: %v", err)
+	}
+	nw.Close()
+}
+
+func TestLineEndToEndDelivery(t *testing.T) {
+	nw, err := NewLine(5, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	var got atomic.Int64
+	// Subscribe at one end, publish at the other.
+	if _, err := nw.Subscribe(4, pred("price", predicate.Gt, 100), func(ev event.Event) {
+		got.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Flush()
+	if err := nw.Publish(0, event.New().Set("price", 150)); err != nil {
+		t.Fatal(err)
+	}
+	nw.Flush()
+	if got.Load() != 1 {
+		t.Fatalf("delivered = %d, want 1", got.Load())
+	}
+	st := nw.Stats()
+	// The event crossed exactly 4 links.
+	if st.Forwarded != 4 {
+		t.Errorf("Forwarded = %d, want 4", st.Forwarded)
+	}
+	// Non-matching event is filtered at the publish broker: no forwards.
+	if err := nw.Publish(0, event.New().Set("price", 50)); err != nil {
+		t.Fatal(err)
+	}
+	nw.Flush()
+	if st2 := nw.Stats(); st2.Forwarded != st.Forwarded {
+		t.Errorf("non-matching event was forwarded: %d -> %d", st.Forwarded, st2.Forwarded)
+	}
+	if got.Load() != 1 {
+		t.Errorf("delivered = %d after non-matching publish", got.Load())
+	}
+}
+
+func TestLocalDeliveryNoForwarding(t *testing.T) {
+	nw, err := NewStar(4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	var got atomic.Int64
+	if _, err := nw.Subscribe(2, pred("a", predicate.Eq, 1), func(event.Event) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	nw.Flush()
+	// Publish at the subscriber's own broker.
+	nw.Publish(2, event.New().Set("a", 1))
+	nw.Flush()
+	if got.Load() != 1 {
+		t.Fatalf("delivered = %d", got.Load())
+	}
+	if st := nw.Stats(); st.Forwarded != 0 {
+		t.Errorf("local publish forwarded %d copies", st.Forwarded)
+	}
+}
+
+func TestStarFanoutToMultipleSubscribers(t *testing.T) {
+	nw, err := NewStar(6, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	var mu sync.Mutex
+	gotBy := map[NodeID]int{}
+	for _, at := range []NodeID{1, 2, 3} {
+		at := at
+		if _, err := nw.Subscribe(at, pred("topic", predicate.Eq, "x"), func(event.Event) {
+			mu.Lock()
+			gotBy[at]++
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 4 subscribes to something else.
+	var other atomic.Int64
+	if _, err := nw.Subscribe(4, pred("topic", predicate.Eq, "y"), func(event.Event) { other.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	nw.Flush()
+	nw.Publish(5, event.New().Set("topic", "x"))
+	nw.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, at := range []NodeID{1, 2, 3} {
+		if gotBy[at] != 1 {
+			t.Errorf("node %d delivered %d, want 1", at, gotBy[at])
+		}
+	}
+	if other.Load() != 0 {
+		t.Errorf("topic-y subscriber got %d events", other.Load())
+	}
+	// 5→hub, hub→{1,2,3}: 4 link crossings, not 5 (node 4 pruned).
+	if st := nw.Stats(); st.Forwarded != 4 {
+		t.Errorf("Forwarded = %d, want 4 (pruned fanout)", st.Forwarded)
+	}
+}
+
+func TestUnsubscribeNetworkWide(t *testing.T) {
+	nw, err := NewLine(3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	var got atomic.Int64
+	ref, err := nw.Subscribe(2, pred("a", predicate.Gt, 0), func(event.Event) { got.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Flush()
+	nw.Publish(0, event.New().Set("a", 1))
+	nw.Flush()
+	if got.Load() != 1 {
+		t.Fatalf("delivered = %d", got.Load())
+	}
+	if err := nw.Unsubscribe(ref); err != nil {
+		t.Fatal(err)
+	}
+	nw.Flush()
+	before := nw.Stats().Forwarded
+	nw.Publish(0, event.New().Set("a", 1))
+	nw.Flush()
+	if got.Load() != 1 {
+		t.Errorf("delivered after unsubscribe = %d", got.Load())
+	}
+	if after := nw.Stats().Forwarded; after != before {
+		t.Errorf("event forwarded after unsubscribe: %d -> %d", before, after)
+	}
+	if err := nw.Unsubscribe(ref); !errors.Is(err, ErrUnknownSub) {
+		t.Errorf("double unsubscribe err = %v", err)
+	}
+}
+
+func TestComplexBooleanSubscriptionAcrossOverlay(t *testing.T) {
+	nw, err := NewTree(7, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	// The paper's Fig. 1 subscription registered at a leaf.
+	expr := boolexpr.NewAnd(
+		boolexpr.NewOr(pred("a", predicate.Gt, 10), pred("a", predicate.Le, 5), pred("b", predicate.Eq, 1)),
+		boolexpr.NewOr(pred("c", predicate.Le, 20), pred("c", predicate.Eq, 30), pred("d", predicate.Eq, 5)),
+	)
+	var got atomic.Int64
+	if _, err := nw.Subscribe(6, expr, func(event.Event) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	nw.Flush()
+	nw.Publish(3, event.New().Set("a", 3).Set("c", 30)) // matches
+	nw.Publish(3, event.New().Set("a", 7).Set("c", 30)) // left OR fails
+	nw.Publish(5, event.New().Set("b", 1).Set("d", 5))  // matches
+	nw.Flush()
+	if got.Load() != 2 {
+		t.Errorf("delivered = %d, want 2", got.Load())
+	}
+}
+
+func TestAPIValidation(t *testing.T) {
+	nw, err := NewLine(2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Subscribe(9, pred("a", predicate.Eq, 1), func(event.Event) {}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("bad node err = %v", err)
+	}
+	if _, err := nw.Subscribe(0, nil, func(event.Event) {}); err == nil {
+		t.Error("nil expr accepted")
+	}
+	if _, err := nw.Subscribe(0, pred("a", predicate.Eq, 1), nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	// Uncompilable subscription is rejected synchronously.
+	xs := make([]boolexpr.Expr, 256)
+	for i := range xs {
+		xs[i] = pred("a", predicate.Eq, i)
+	}
+	if _, err := nw.Subscribe(0, boolexpr.And{Xs: xs}, func(event.Event) {}); err == nil {
+		t.Error("uncompilable subscription accepted")
+	}
+	if err := nw.Publish(9, event.New()); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("bad publish node err = %v", err)
+	}
+	nw.Close()
+	if _, err := nw.Subscribe(0, pred("a", predicate.Eq, 1), func(event.Event) {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Subscribe after close err = %v", err)
+	}
+	if err := nw.Publish(0, event.New()); !errors.Is(err, ErrClosed) {
+		t.Errorf("Publish after close err = %v", err)
+	}
+	if err := nw.Unsubscribe(SubRef{id: 1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Unsubscribe after close err = %v", err)
+	}
+	nw.Close() // idempotent
+}
+
+func TestManyEventsManySubscribersUnderRace(t *testing.T) {
+	nw, err := NewTree(15, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	var delivered atomic.Int64
+	for i := 0; i < 30; i++ {
+		at := NodeID(i % 15)
+		if _, err := nw.Subscribe(at, pred("v", predicate.Gt, i*10), func(event.Event) {
+			delivered.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Flush()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := nw.Publish(NodeID((w*50+i)%15), event.New().Set("v", 145)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	nw.Flush()
+	// v=145 matches thresholds 0..140 → subscriptions 0..14 → 15 matches
+	// per event × 200 events.
+	if got := delivered.Load(); got != 15*200 {
+		t.Errorf("delivered = %d, want %d", got, 15*200)
+	}
+	if st := nw.Stats(); st.Published != 200 {
+		t.Errorf("Published = %d", st.Published)
+	}
+}

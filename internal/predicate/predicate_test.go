@@ -1,0 +1,159 @@
+package predicate
+
+import (
+	"strings"
+	"testing"
+
+	"noncanon/internal/event"
+	"noncanon/internal/value"
+)
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{Eq, "="}, {Ne, "!="}, {Lt, "<"}, {Le, "<="}, {Gt, ">"}, {Ge, ">="},
+		{Prefix, "prefix"}, {Suffix, "suffix"}, {Contains, "contains"}, {Exists, "exists"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("Op(%d).String() = %q, want %q", tt.op, got, tt.want)
+		}
+	}
+	if got := Op(99).String(); !strings.HasPrefix(got, "op(") {
+		t.Errorf("unknown op String = %q", got)
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if Op(0).Valid() {
+		t.Error("zero Op must be invalid")
+	}
+	if !Eq.Valid() || !Exists.Valid() {
+		t.Error("defined ops must be valid")
+	}
+	if Op(200).Valid() {
+		t.Error("out-of-range op must be invalid")
+	}
+}
+
+func TestEvalNumeric(t *testing.T) {
+	e := event.New().Set("price", 10).Set("ratio", 2.5)
+	tests := []struct {
+		p    P
+		want bool
+	}{
+		{New("price", Eq, 10), true},
+		{New("price", Eq, 10.0), true},
+		{New("price", Eq, 11), false},
+		{New("price", Ne, 11), true},
+		{New("price", Ne, 10), false},
+		{New("price", Lt, 11), true},
+		{New("price", Lt, 10), false},
+		{New("price", Le, 10), true},
+		{New("price", Gt, 9.5), true},
+		{New("price", Gt, 10), false},
+		{New("price", Ge, 10), true},
+		{New("ratio", Lt, 3), true},
+		{New("ratio", Ge, 2.5), true},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Eval(e); got != tt.want {
+			t.Errorf("%s on %s = %v, want %v", tt.p, e, got, tt.want)
+		}
+	}
+}
+
+func TestEvalString(t *testing.T) {
+	e := event.New().Set("sym", "ACME-CORP")
+	tests := []struct {
+		p    P
+		want bool
+	}{
+		{New("sym", Eq, "ACME-CORP"), true},
+		{New("sym", Eq, "ACME"), false},
+		{New("sym", Ne, "X"), true},
+		{New("sym", Lt, "B"), true},
+		{New("sym", Gt, "B"), false},
+		{New("sym", Prefix, "ACME"), true},
+		{New("sym", Prefix, "CORP"), false},
+		{New("sym", Prefix, ""), true},
+		{New("sym", Suffix, "CORP"), true},
+		{New("sym", Suffix, "ACME"), false},
+		{New("sym", Contains, "ME-C"), true},
+		{New("sym", Contains, ""), true},
+		{New("sym", Contains, "XYZ"), false},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Eval(e); got != tt.want {
+			t.Errorf("%s on %s = %v, want %v", tt.p, e, got, tt.want)
+		}
+	}
+}
+
+func TestEvalExistsAndMissing(t *testing.T) {
+	e := event.New().Set("a", 1)
+	if !New("a", Exists, nil).Eval(e) {
+		t.Error("exists a should match")
+	}
+	if New("b", Exists, nil).Eval(e) {
+		t.Error("exists b should not match")
+	}
+	if New("b", Eq, 1).Eval(e) {
+		t.Error("missing attribute must evaluate false")
+	}
+}
+
+func TestEvalTypeMismatch(t *testing.T) {
+	e := event.New().Set("a", 1).Set("s", "x").Set("b", true)
+	// Cross-kind relational comparisons are false, never panics.
+	cases := []P{
+		New("a", Eq, "1"),
+		New("a", Lt, "z"),
+		New("s", Gt, 5),
+		New("s", Prefix, 5),
+		New("a", Contains, "1"),
+		New("b", Lt, true), // bool supports Compare: false<true, so b<true is false for b=true
+	}
+	for _, p := range cases[:5] {
+		if p.Eval(e) {
+			t.Errorf("%s should be false on type mismatch", p)
+		}
+	}
+	if cases[5].Eval(e) {
+		t.Errorf("true < true should be false")
+	}
+	// Ne across kinds is also false: incomparable values are neither equal
+	// nor unequal under the ordering semantics.
+	if New("a", Ne, "1").Eval(e) {
+		t.Error("int != string must be false (incomparable)")
+	}
+}
+
+func TestEvalValueInvalidOp(t *testing.T) {
+	p := P{Attr: "a", Op: Op(99), Operand: value.OfInt(1)}
+	if p.EvalValue(value.OfInt(1)) {
+		t.Error("invalid op must evaluate false")
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	if got, want := New("price", Le, 20).String(), "price <= 20"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got, want := New("sym", Prefix, "AC").String(), `sym prefix "AC"`; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got, want := New("a", Exists, nil).String(), "exists a"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	small := New("a", Eq, 1)
+	big := New("attribute-with-a-long-name", Eq, "operand string")
+	if small.MemBytes() <= 0 || big.MemBytes() <= small.MemBytes() {
+		t.Errorf("MemBytes small=%d big=%d", small.MemBytes(), big.MemBytes())
+	}
+}

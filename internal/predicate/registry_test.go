@@ -1,0 +1,186 @@
+package predicate
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestInternDedup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Intern(New("price", Gt, 10))
+	b := r.Intern(New("price", Gt, 10))
+	if a != b {
+		t.Fatalf("identical predicates got distinct IDs %d, %d", a, b)
+	}
+	if r.Refs(a) != 2 {
+		t.Errorf("Refs = %d, want 2", r.Refs(a))
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	// Numerically unified operands dedup too.
+	c := r.Intern(New("price", Gt, 10.0))
+	if c != a {
+		t.Errorf("10 and 10.0 operands should intern to one predicate")
+	}
+}
+
+func TestInternDistinct(t *testing.T) {
+	r := NewRegistry()
+	ids := map[ID]bool{}
+	preds := []P{
+		New("price", Gt, 10),
+		New("price", Ge, 10),
+		New("price", Gt, 11),
+		New("volume", Gt, 10),
+		New("price", Gt, "10"),
+	}
+	for _, p := range preds {
+		ids[r.Intern(p)] = true
+	}
+	if len(ids) != len(preds) {
+		t.Errorf("%d distinct predicates interned to %d IDs", len(preds), len(ids))
+	}
+}
+
+func TestGet(t *testing.T) {
+	r := NewRegistry()
+	id := r.Intern(New("a", Eq, 5))
+	p, err := r.Get(id)
+	if err != nil || p.Attr != "a" || p.Op != Eq {
+		t.Fatalf("Get = %v, %v", p, err)
+	}
+	if _, err := r.Get(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(999) err = %v, want ErrNotFound", err)
+	}
+	if _, err := r.Get(0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(0) err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestReleaseLifecycle(t *testing.T) {
+	r := NewRegistry()
+	id := r.Intern(New("a", Eq, 5))
+	r.Intern(New("a", Eq, 5)) // refcount 2
+
+	died, err := r.Release(id)
+	if err != nil || died {
+		t.Fatalf("first release: died=%v err=%v, want alive", died, err)
+	}
+	died, err = r.Release(id)
+	if err != nil || !died {
+		t.Fatalf("second release: died=%v err=%v, want dead", died, err)
+	}
+	if _, err := r.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Error("dead predicate should not be gettable")
+	}
+	if _, err := r.Release(id); !errors.Is(err, ErrNotFound) {
+		t.Error("releasing a dead predicate should fail")
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestIDReuse(t *testing.T) {
+	r := NewRegistry()
+	id := r.Intern(New("a", Eq, 1))
+	if _, err := r.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	id2 := r.Intern(New("b", Eq, 2))
+	if id2 != id {
+		t.Errorf("freed ID %d should be reused, got %d", id, id2)
+	}
+	if r.Cap() != 1 {
+		t.Errorf("Cap = %d, want 1", r.Cap())
+	}
+	// The new predicate must be retrievable and correct.
+	p, err := r.Get(id2)
+	if err != nil || p.Attr != "b" {
+		t.Errorf("reused slot Get = %v, %v", p, err)
+	}
+}
+
+func TestReinternAfterDeath(t *testing.T) {
+	r := NewRegistry()
+	id := r.Intern(New("a", Eq, 1))
+	if _, err := r.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	// Interning the same predicate again must produce a live entry again.
+	id2 := r.Intern(New("a", Eq, 1))
+	if r.Refs(id2) != 1 {
+		t.Errorf("Refs = %d, want 1", r.Refs(id2))
+	}
+	if p, err := r.Get(id2); err != nil || p.Attr != "a" {
+		t.Errorf("Get = %v, %v", p, err)
+	}
+}
+
+func TestMemBytesTracksLive(t *testing.T) {
+	r := NewRegistry()
+	base := r.MemBytes()
+	id := r.Intern(New("some-attribute", Eq, "some-operand-value"))
+	if r.MemBytes() <= base {
+		t.Error("MemBytes should grow on intern")
+	}
+	grown := r.MemBytes()
+	if _, err := r.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if r.MemBytes() >= grown {
+		t.Error("MemBytes should shrink on death")
+	}
+}
+
+func TestRegistryRandomisedLifecycle(t *testing.T) {
+	// Model-based test: registry behaviour matches a simple map model under
+	// random intern/release sequences.
+	rng := rand.New(rand.NewSource(42))
+	r := NewRegistry()
+	type entry struct {
+		id   ID
+		p    P
+		refs int
+	}
+	model := map[string]*entry{} // keyed by predicate string
+
+	for i := 0; i < 5000; i++ {
+		attr := string(rune('a' + rng.Intn(5)))
+		val := rng.Intn(5)
+		p := New(attr, Eq, val)
+		k := p.String()
+		if rng.Intn(2) == 0 {
+			id := r.Intern(p)
+			if m, ok := model[k]; ok {
+				if m.id != id {
+					t.Fatalf("step %d: intern %s returned %d, model has %d", i, k, id, m.id)
+				}
+				m.refs++
+			} else {
+				model[k] = &entry{id: id, p: p, refs: 1}
+			}
+		} else if m, ok := model[k]; ok {
+			died, err := r.Release(m.id)
+			if err != nil {
+				t.Fatalf("step %d: release live %s: %v", i, k, err)
+			}
+			m.refs--
+			if (m.refs == 0) != died {
+				t.Fatalf("step %d: death mismatch for %s: model refs=%d died=%v", i, k, m.refs, died)
+			}
+			if m.refs == 0 {
+				delete(model, k)
+			}
+		}
+		live := 0
+		for range model {
+			live++
+		}
+		if r.Len() != live {
+			t.Fatalf("step %d: Len=%d model=%d", i, r.Len(), live)
+		}
+	}
+}

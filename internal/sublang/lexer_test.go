@@ -1,0 +1,66 @@
+package sublang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenKindStrings(t *testing.T) {
+	wants := map[tokenKind]string{
+		tokEOF:      "end of input",
+		tokIdent:    "identifier",
+		tokNumber:   "number",
+		tokString:   "string",
+		tokOp:       "operator",
+		tokLParen:   "'('",
+		tokRParen:   "')'",
+		tokAnd:      "'and'",
+		tokOr:       "'or'",
+		tokNot:      "'not'",
+		tokExists:   "'exists'",
+		tokPrefix:   "'prefix'",
+		tokSuffix:   "'suffix'",
+		tokContains: "'contains'",
+		tokTrue:     "'true'",
+		tokFalse:    "'false'",
+	}
+	for k, want := range wants {
+		if got := k.String(); got != want {
+			t.Errorf("tokenKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := tokenKind(200).String(); got != "unknown token" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestLexerEscapedSlash(t *testing.T) {
+	e := MustParse(`a = "x\/y"`)
+	if !strings.Contains(e.String(), "x/y") {
+		t.Errorf("escaped slash: %s", e)
+	}
+}
+
+func TestLexerNumberForms(t *testing.T) {
+	// Exponent with explicit plus sign.
+	e := MustParse(`a = 1e+3`)
+	if got := e.String(); got != "a = 1000" {
+		t.Errorf("1e+3 parsed as %s", got)
+	}
+	// Huge integer falls back to float.
+	if _, err := Parse(`a = 99999999999999999999999999`); err != nil {
+		t.Errorf("big number should parse as float: %v", err)
+	}
+}
+
+func TestLexerUnicodeIdentifiers(t *testing.T) {
+	e := MustParse(`prix_élevé > 10`)
+	leaves := e.String()
+	if !strings.Contains(leaves, "prix_élevé") {
+		t.Errorf("unicode identifier mangled: %s", leaves)
+	}
+	// Unicode garbage outside identifiers errors cleanly.
+	if _, err := Parse("a = 1 ☃"); err == nil {
+		t.Error("snowman accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package sublang
+
+import "testing"
+
+func BenchmarkParseSimple(b *testing.B) {
+	const in = `price > 100`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseFig1(b *testing.B) {
+	const in = `(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseComplex(b *testing.B) {
+	const in = `not (kind = "alert" and (sev >= 3 or source prefix "core-")) ` +
+		`or (exists override and region != "eu" and load <= 0.75)`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

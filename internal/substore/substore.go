@@ -1,0 +1,345 @@
+// Package substore implements subscription-tree storage beyond main
+// memory — the paper's §5 future work ("the development of filtering
+// strategies exploiting other resources than main memory").
+//
+// A Store maps locations to encoded subscription trees (the loc(s) values
+// of the paper's subscription location table). MemStore keeps trees on the
+// heap, matching the in-memory engine. DiskStore keeps them in a single
+// record file with an in-memory offset table and a byte-bounded LRU cache
+// of hot trees: candidate evaluation touches only the trees of candidate
+// subscriptions, so a cache sized to the working set preserves matching
+// speed while the bulk of subscription storage moves to disk.
+package substore
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Loc locates a stored subscription tree.
+type Loc uint64
+
+// Store abstracts subscription-tree storage.
+type Store interface {
+	// Put stores a tree and returns its location.
+	Put(code []byte) (Loc, error)
+	// Get retrieves the tree at loc. The returned slice must be treated as
+	// read-only and is only valid until the next store operation.
+	Get(loc Loc) ([]byte, error)
+	// Free releases the tree at loc.
+	Free(loc Loc) error
+	// Len returns the number of stored trees.
+	Len() int
+	// MemBytes estimates resident main-memory bytes (for DiskStore this
+	// excludes the file itself — that is the point).
+	MemBytes() int
+	// Close releases resources.
+	Close() error
+}
+
+// Store errors.
+var (
+	ErrUnknownLoc = errors.New("substore: unknown location")
+	ErrClosed     = errors.New("substore: closed")
+)
+
+// --- MemStore ---
+
+// MemStore is heap storage; Loc is an index into a slot table.
+type MemStore struct {
+	mu    sync.Mutex
+	slots [][]byte
+	free  []Loc
+	n     int
+	bytes int
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Put implements Store.
+func (s *MemStore) Put(code []byte) (Loc, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// make (not append to nil) so that zero-length trees stay non-nil:
+	// a nil slot marks a freed location.
+	cp := make([]byte, len(code))
+	copy(cp, code)
+	var loc Loc
+	if n := len(s.free); n > 0 {
+		loc = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.slots[loc] = cp
+	} else {
+		s.slots = append(s.slots, cp)
+		loc = Loc(len(s.slots) - 1)
+	}
+	s.n++
+	s.bytes += len(cp)
+	return loc, nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(loc Loc) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(loc) >= len(s.slots) || s.slots[loc] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownLoc, loc)
+	}
+	return s.slots[loc], nil
+}
+
+// Free implements Store.
+func (s *MemStore) Free(loc Loc) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(loc) >= len(s.slots) || s.slots[loc] == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownLoc, loc)
+	}
+	s.bytes -= len(s.slots[loc])
+	s.slots[loc] = nil
+	s.free = append(s.free, loc)
+	s.n--
+	return nil
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// MemBytes implements Store.
+func (s *MemStore) MemBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	const sliceHeader = 24
+	return s.bytes + len(s.slots)*sliceHeader + len(s.free)*8
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// --- DiskStore ---
+
+// recordHeader is [u32 capacity][u32 length]; records are reused for new
+// trees that fit their capacity.
+const recordHeader = 8
+
+// DiskStoreOptions tunes the disk store.
+type DiskStoreOptions struct {
+	// CacheBytes bounds the LRU cache of decoded trees (default 1 MiB;
+	// 0 uses the default, negative disables caching).
+	CacheBytes int
+}
+
+// DiskStore keeps trees in a record file. The offset table, free list and
+// LRU cache live in main memory.
+type DiskStore struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	end    int64         // append offset
+	live   map[Loc]int   // loc → payload length
+	frees  map[int][]Loc // capacity → reusable records
+	closed bool
+
+	cacheCap   int
+	cacheBytes int
+	cache      map[Loc]*list.Element
+	lru        *list.List // front = most recent; values are cacheEntry
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	loc  Loc
+	code []byte
+}
+
+var _ Store = (*DiskStore)(nil)
+
+// NewDiskStore creates (truncating) a record file at path.
+func NewDiskStore(path string, opts DiskStoreOptions) (*DiskStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("substore: open %s: %w", path, err)
+	}
+	cacheCap := opts.CacheBytes
+	if cacheCap == 0 {
+		cacheCap = 1 << 20
+	}
+	if cacheCap < 0 {
+		cacheCap = 0
+	}
+	return &DiskStore{
+		f:        f,
+		path:     path,
+		live:     make(map[Loc]int),
+		frees:    make(map[int][]Loc),
+		cacheCap: cacheCap,
+		cache:    make(map[Loc]*list.Element),
+		lru:      list.New(),
+	}, nil
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(code []byte) (Loc, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	capacity := len(code)
+	var off int64
+	if locs := s.frees[capacity]; len(locs) > 0 {
+		off = int64(locs[len(locs)-1])
+		s.frees[capacity] = locs[:len(locs)-1]
+	} else {
+		off = s.end
+		s.end += int64(recordHeader + capacity)
+	}
+	var hdr [recordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(capacity))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(code)))
+	if _, err := s.f.WriteAt(hdr[:], off); err != nil {
+		return 0, fmt.Errorf("substore: write header: %w", err)
+	}
+	if _, err := s.f.WriteAt(code, off+recordHeader); err != nil {
+		return 0, fmt.Errorf("substore: write record: %w", err)
+	}
+	loc := Loc(off)
+	s.live[loc] = len(code)
+	s.cachePutLocked(loc, append([]byte(nil), code...))
+	return loc, nil
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(loc Loc) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	n, ok := s.live[loc]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownLoc, loc)
+	}
+	if el, ok := s.cache[loc]; ok {
+		s.hits++
+		s.lru.MoveToFront(el)
+		return el.Value.(cacheEntry).code, nil
+	}
+	s.misses++
+	code := make([]byte, n)
+	if _, err := s.f.ReadAt(code, int64(loc)+recordHeader); err != nil {
+		return nil, fmt.Errorf("substore: read record: %w", err)
+	}
+	s.cachePutLocked(loc, code)
+	return code, nil
+}
+
+// Free implements Store.
+func (s *DiskStore) Free(loc Loc) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.live[loc]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownLoc, loc)
+	}
+	var hdr [4]byte
+	if _, err := s.f.ReadAt(hdr[:], int64(loc)); err != nil {
+		return fmt.Errorf("substore: read capacity: %w", err)
+	}
+	capacity := int(binary.LittleEndian.Uint32(hdr[:]))
+	delete(s.live, loc)
+	s.frees[capacity] = append(s.frees[capacity], loc)
+	if el, ok := s.cache[loc]; ok {
+		s.cacheBytes -= len(el.Value.(cacheEntry).code)
+		s.lru.Remove(el)
+		delete(s.cache, loc)
+	}
+	return nil
+}
+
+func (s *DiskStore) cachePutLocked(loc Loc, code []byte) {
+	if s.cacheCap == 0 || len(code) > s.cacheCap {
+		return
+	}
+	if el, ok := s.cache[loc]; ok {
+		s.cacheBytes += len(code) - len(el.Value.(cacheEntry).code)
+		el.Value = cacheEntry{loc: loc, code: code}
+		s.lru.MoveToFront(el)
+	} else {
+		s.cache[loc] = s.lru.PushFront(cacheEntry{loc: loc, code: code})
+		s.cacheBytes += len(code)
+	}
+	for s.cacheBytes > s.cacheCap {
+		el := s.lru.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(cacheEntry)
+		s.cacheBytes -= len(ent.code)
+		s.lru.Remove(el)
+		delete(s.cache, ent.loc)
+	}
+}
+
+// Len implements Store.
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.live)
+}
+
+// MemBytes implements Store: offset table, free lists and cache — the
+// resident footprint that replaces full in-heap tree storage.
+func (s *DiskStore) MemBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	const mapEntry = 48
+	n := len(s.live)*mapEntry + s.cacheBytes + len(s.cache)*mapEntry
+	for _, locs := range s.frees {
+		n += mapEntry + len(locs)*8
+	}
+	return n
+}
+
+// FileBytes returns the record file size.
+func (s *DiskStore) FileBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end
+}
+
+// CacheStats reports cache hits and misses.
+func (s *DiskStore) CacheStats() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Close removes the record file.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.f.Close()
+	if rmErr := os.Remove(s.path); err == nil {
+		err = rmErr
+	}
+	return err
+}

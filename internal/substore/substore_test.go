@@ -1,0 +1,243 @@
+package substore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// storeFactories builds each implementation for shared conformance tests.
+func storeFactories(t *testing.T) map[string]func() Store {
+	t.Helper()
+	return map[string]func() Store{
+		"mem": func() Store { return NewMemStore() },
+		"disk": func() Store {
+			s, err := NewDiskStore(filepath.Join(t.TempDir(), "trees.dat"), DiskStoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"disk-nocache": func() Store {
+			s, err := NewDiskStore(filepath.Join(t.TempDir(), "trees.dat"), DiskStoreOptions{CacheBytes: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+}
+
+func TestPutGetFreeConformance(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+
+			codes := [][]byte{
+				[]byte("alpha"),
+				[]byte("beta-longer-record"),
+				{},
+				bytes.Repeat([]byte{0xCD}, 4096),
+			}
+			locs := make([]Loc, len(codes))
+			for i, c := range codes {
+				loc, err := s.Put(c)
+				if err != nil {
+					t.Fatalf("Put %d: %v", i, err)
+				}
+				locs[i] = loc
+			}
+			if s.Len() != len(codes) {
+				t.Fatalf("Len = %d", s.Len())
+			}
+			for i, loc := range locs {
+				got, err := s.Get(loc)
+				if err != nil {
+					t.Fatalf("Get %d: %v", i, err)
+				}
+				if !bytes.Equal(got, codes[i]) {
+					t.Fatalf("Get %d: %d bytes, want %d", i, len(got), len(codes[i]))
+				}
+			}
+			// Free and verify.
+			if err := s.Free(locs[1]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get(locs[1]); !errors.Is(err, ErrUnknownLoc) {
+				t.Errorf("Get after Free err = %v", err)
+			}
+			if err := s.Free(locs[1]); !errors.Is(err, ErrUnknownLoc) {
+				t.Errorf("double Free err = %v", err)
+			}
+			if s.Len() != len(codes)-1 {
+				t.Errorf("Len after free = %d", s.Len())
+			}
+			// Unknown loc.
+			if _, err := s.Get(Loc(1 << 40)); !errors.Is(err, ErrUnknownLoc) {
+				t.Errorf("unknown Get err = %v", err)
+			}
+			if s.MemBytes() < 0 {
+				t.Error("negative MemBytes")
+			}
+		})
+	}
+}
+
+func TestRandomisedAgainstModel(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			rng := rand.New(rand.NewSource(9))
+			model := map[Loc][]byte{}
+			var locs []Loc
+			for step := 0; step < 3000; step++ {
+				switch {
+				case len(locs) == 0 || rng.Intn(3) > 0:
+					code := make([]byte, rng.Intn(200))
+					rng.Read(code)
+					loc, err := s.Put(code)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, dup := model[loc]; dup {
+						t.Fatalf("step %d: loc %d reused while live", step, loc)
+					}
+					model[loc] = code
+					locs = append(locs, loc)
+				case rng.Intn(2) == 0:
+					i := rng.Intn(len(locs))
+					loc := locs[i]
+					got, err := s.Get(loc)
+					if err != nil {
+						t.Fatalf("step %d: Get: %v", step, err)
+					}
+					if !bytes.Equal(got, model[loc]) {
+						t.Fatalf("step %d: content mismatch at %d", step, loc)
+					}
+				default:
+					i := rng.Intn(len(locs))
+					loc := locs[i]
+					if err := s.Free(loc); err != nil {
+						t.Fatalf("step %d: Free: %v", step, err)
+					}
+					delete(model, loc)
+					locs = append(locs[:i], locs[i+1:]...)
+				}
+				if s.Len() != len(model) {
+					t.Fatalf("step %d: Len=%d model=%d", step, s.Len(), len(model))
+				}
+			}
+		})
+	}
+}
+
+func TestDiskStoreRecordReuse(t *testing.T) {
+	s, err := NewDiskStore(filepath.Join(t.TempDir(), "trees.dat"), DiskStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code := bytes.Repeat([]byte{0xAA}, 100)
+	loc1, err := s.Put(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeAfterFirst := s.FileBytes()
+	if err := s.Free(loc1); err != nil {
+		t.Fatal(err)
+	}
+	// Same-size record reuses the freed slot: the file must not grow.
+	loc2, err := s.Put(bytes.Repeat([]byte{0xBB}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc2 != loc1 {
+		t.Errorf("freed record not reused: %d vs %d", loc2, loc1)
+	}
+	if s.FileBytes() != sizeAfterFirst {
+		t.Errorf("file grew on reuse: %d -> %d", sizeAfterFirst, s.FileBytes())
+	}
+	got, err := s.Get(loc2)
+	if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{0xBB}, 100)) {
+		t.Errorf("reused record content wrong: %v", err)
+	}
+}
+
+func TestDiskStoreCacheEviction(t *testing.T) {
+	s, err := NewDiskStore(filepath.Join(t.TempDir(), "trees.dat"), DiskStoreOptions{CacheBytes: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var locs []Loc
+	for i := 0; i < 10; i++ {
+		loc, err := s.Put(bytes.Repeat([]byte{byte(i)}, 100)) // 100B each, cache fits 2
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs = append(locs, loc)
+	}
+	// Read them all; early ones must have been evicted, forcing misses.
+	for _, loc := range locs {
+		if _, err := s.Get(loc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := s.CacheStats()
+	if misses == 0 {
+		t.Errorf("expected cache misses with a 250B cache; hits=%d misses=%d", hits, misses)
+	}
+	// Re-reading the most recent one must hit.
+	h0, _ := s.CacheStats()
+	if _, err := s.Get(locs[len(locs)-1]); err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := s.CacheStats()
+	if h1 != h0+1 {
+		t.Errorf("hot re-read should hit the cache: hits %d -> %d", h0, h1)
+	}
+}
+
+func TestDiskStoreClosed(t *testing.T) {
+	s, err := NewDiskStore(filepath.Join(t.TempDir(), "trees.dat"), DiskStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := s.Put([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put([]byte("y")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after close err = %v", err)
+	}
+	if _, err := s.Get(loc); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after close err = %v", err)
+	}
+	if err := s.Free(loc); !errors.Is(err, ErrClosed) {
+		t.Errorf("Free after close err = %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestMemStoreSlotReuse(t *testing.T) {
+	s := NewMemStore()
+	loc1, _ := s.Put([]byte("a"))
+	if err := s.Free(loc1); err != nil {
+		t.Fatal(err)
+	}
+	loc2, _ := s.Put([]byte("b"))
+	if loc2 != loc1 {
+		t.Errorf("slot not reused: %d vs %d", loc2, loc1)
+	}
+}

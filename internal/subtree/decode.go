@@ -1,0 +1,167 @@
+package subtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/predicate"
+)
+
+// Decode reconstructs the expression tree from compiled code, resolving
+// predicate IDs through lookup (typically predicate.Registry.Get). It fully
+// validates the byte layout and is the safe entry point for bytes of
+// uncertain provenance.
+func Decode(code []byte, lookup func(predicate.ID) (predicate.P, error)) (boolexpr.Expr, error) {
+	if len(code) < 2 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadCode, len(code))
+	}
+	var (
+		e   boolexpr.Expr
+		n   int
+		err error
+	)
+	switch code[0] {
+	case headerPaper:
+		e, n, err = decodePaper(code, 1, lookup)
+	case headerCompact:
+		e, n, err = decodeCompact(code, 1, lookup)
+	default:
+		return nil, fmt.Errorf("%w: unknown header 0x%02x", ErrBadCode, code[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	if n != len(code) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCode, len(code)-n)
+	}
+	return e, nil
+}
+
+// Validate checks that code is a well-formed compiled tree whose predicate
+// IDs all resolve.
+func Validate(code []byte, lookup func(predicate.ID) (predicate.P, error)) error {
+	_, err := Decode(code, lookup)
+	return err
+}
+
+func decodePaper(code []byte, off int, lookup func(predicate.ID) (predicate.P, error)) (boolexpr.Expr, int, error) {
+	if off >= len(code) {
+		return nil, 0, fmt.Errorf("%w: truncated at %d", ErrBadCode, off)
+	}
+	switch code[off] {
+	case opLeaf:
+		if off+5 > len(code) {
+			return nil, 0, fmt.Errorf("%w: truncated leaf at %d", ErrBadCode, off)
+		}
+		id := predicate.ID(binary.LittleEndian.Uint32(code[off+1:]))
+		p, err := lookup(id)
+		if err != nil {
+			return nil, 0, fmt.Errorf("subtree: leaf %d: %w", id, err)
+		}
+		return boolexpr.Leaf{Pred: p}, off + 5, nil
+	case opNot:
+		if off+3 > len(code) {
+			return nil, 0, fmt.Errorf("%w: truncated not at %d", ErrBadCode, off)
+		}
+		w := int(binary.LittleEndian.Uint16(code[off+1:]))
+		child, end, err := decodePaper(code, off+3, lookup)
+		if err != nil {
+			return nil, 0, err
+		}
+		if end != off+3+w {
+			return nil, 0, fmt.Errorf("%w: not-width %d but child ends at %d", ErrBadCode, w, end)
+		}
+		return boolexpr.Not{X: child}, end, nil
+	case opAnd, opOr:
+		if off+2 > len(code) {
+			return nil, 0, fmt.Errorf("%w: truncated operator at %d", ErrBadCode, off)
+		}
+		count := int(code[off+1])
+		if count == 0 {
+			return nil, 0, fmt.Errorf("%w: zero-child operator at %d", ErrBadCode, off)
+		}
+		xs := make([]boolexpr.Expr, 0, count)
+		p := off + 2
+		for i := 0; i < count; i++ {
+			if p+2 > len(code) {
+				return nil, 0, fmt.Errorf("%w: truncated width at %d", ErrBadCode, p)
+			}
+			w := int(binary.LittleEndian.Uint16(code[p:]))
+			child, end, err := decodePaper(code, p+2, lookup)
+			if err != nil {
+				return nil, 0, err
+			}
+			if end != p+2+w {
+				return nil, 0, fmt.Errorf("%w: child width %d but child ends at %d", ErrBadCode, w, end)
+			}
+			xs = append(xs, child)
+			p = end
+		}
+		if code[off] == opAnd {
+			return boolexpr.And{Xs: xs}, p, nil
+		}
+		return boolexpr.Or{Xs: xs}, p, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: unknown opcode 0x%02x at %d", ErrBadCode, code[off], off)
+	}
+}
+
+func decodeCompact(code []byte, off int, lookup func(predicate.ID) (predicate.P, error)) (boolexpr.Expr, int, error) {
+	if off >= len(code) {
+		return nil, 0, fmt.Errorf("%w: truncated at %d", ErrBadCode, off)
+	}
+	switch code[off] {
+	case opLeaf:
+		id, n := binary.Uvarint(code[off+1:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("%w: bad leaf varint at %d", ErrBadCode, off)
+		}
+		p, err := lookup(predicate.ID(id))
+		if err != nil {
+			return nil, 0, fmt.Errorf("subtree: leaf %d: %w", id, err)
+		}
+		return boolexpr.Leaf{Pred: p}, off + 1 + n, nil
+	case opNot:
+		w, n := binary.Uvarint(code[off+1:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("%w: bad not-width at %d", ErrBadCode, off)
+		}
+		child, end, err := decodeCompact(code, off+1+n, lookup)
+		if err != nil {
+			return nil, 0, err
+		}
+		if end != off+1+n+int(w) {
+			return nil, 0, fmt.Errorf("%w: not-width %d but child ends at %d", ErrBadCode, w, end)
+		}
+		return boolexpr.Not{X: child}, end, nil
+	case opAnd, opOr:
+		count, n := binary.Uvarint(code[off+1:])
+		if n <= 0 || count == 0 {
+			return nil, 0, fmt.Errorf("%w: bad child count at %d", ErrBadCode, off)
+		}
+		xs := make([]boolexpr.Expr, 0, count)
+		p := off + 1 + n
+		for i := uint64(0); i < count; i++ {
+			w, wn := binary.Uvarint(code[p:])
+			if wn <= 0 {
+				return nil, 0, fmt.Errorf("%w: bad width varint at %d", ErrBadCode, p)
+			}
+			child, end, err := decodeCompact(code, p+wn, lookup)
+			if err != nil {
+				return nil, 0, err
+			}
+			if end != p+wn+int(w) {
+				return nil, 0, fmt.Errorf("%w: child width %d but child ends at %d", ErrBadCode, w, end)
+			}
+			xs = append(xs, child)
+			p = end
+		}
+		if code[off] == opAnd {
+			return boolexpr.And{Xs: xs}, p, nil
+		}
+		return boolexpr.Or{Xs: xs}, p, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: unknown opcode 0x%02x at %d", ErrBadCode, code[off], off)
+	}
+}

@@ -1,0 +1,242 @@
+// Package subtree compiles subscription expressions into the paper's
+// byte-level encoded subscription trees and evaluates them against a set of
+// fulfilled predicates.
+//
+// Paper §3.3 fixes the encoding costs: one byte per Boolean operator, one
+// byte for the child count of inner nodes, two bytes per child width and
+// four bytes per predicate identifier. PaperEncoding reproduces that layout
+// exactly. CompactEncoding is the "improved encoding" the paper defers to
+// future work (varint identifiers and widths); the A2 ablation benchmark
+// compares the two.
+//
+// Layout (PaperEncoding), after a one-byte header identifying the encoding:
+//
+//	leaf : opLeaf  id:u32le                        (5 bytes)
+//	not  : opNot   width:u16le child               (3 bytes + child)
+//	and  : opAnd   count:u8 { width:u16le child }* (2 bytes + children)
+//	or   : opOr    count:u8 { width:u16le child }*
+//
+// Child widths let the evaluator jump over siblings once a conjunction
+// fails or a disjunction succeeds (short-circuit evaluation).
+package subtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/predicate"
+)
+
+// Encoding selects the byte-level layout of a compiled subscription tree.
+type Encoding uint8
+
+// Supported encodings.
+const (
+	// PaperEncoding is the fixed-width layout of paper §3.3.
+	PaperEncoding Encoding = iota + 1
+	// CompactEncoding replaces fixed-width identifiers and widths with
+	// unsigned varints (the paper's future-work "improved encoding").
+	CompactEncoding
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case PaperEncoding:
+		return "paper"
+	case CompactEncoding:
+		return "compact"
+	default:
+		return fmt.Sprintf("encoding(%d)", uint8(e))
+	}
+}
+
+// Header bytes, doubling as format version tags.
+const (
+	headerPaper   = 0xB1
+	headerCompact = 0xC1
+)
+
+// Node opcodes.
+const (
+	opLeaf = 0x01
+	opAnd  = 0x02
+	opOr   = 0x03
+	opNot  = 0x04
+)
+
+// Compilation errors.
+var (
+	ErrTooManyChildren = errors.New("subtree: node exceeds 255 children")
+	ErrChildTooLarge   = errors.New("subtree: child exceeds 64 KiB encoding limit")
+	ErrEmptyNode       = errors.New("subtree: operator node without children")
+	ErrBadCode         = errors.New("subtree: malformed encoded tree")
+)
+
+// Options configures compilation.
+type Options struct {
+	// Encoding selects the layout; zero value means PaperEncoding.
+	Encoding Encoding
+	// Reorder sorts the children of every inner node cheapest-first
+	// (ascending encoded size), so short-circuit evaluation settles on leaf
+	// children before descending into subtrees. This is the paper's
+	// "reordering subscription trees" future-work optimisation (§3.2),
+	// measured by the A1 ablation.
+	Reorder bool
+}
+
+// Compiled is an encoded subscription tree plus registration metadata.
+type Compiled struct {
+	// Code is the encoded tree, starting with the header byte. It is the
+	// loc(s) target of the paper's subscription location table.
+	Code []byte
+	// PredIDs lists the distinct predicate IDs referenced by the tree; the
+	// engine feeds them into the predicate-subscription association table.
+	PredIDs []predicate.ID
+	// ZeroSat reports whether the expression is satisfiable with zero
+	// fulfilled predicates (e.g. `not a = 1`). Such subscriptions can match
+	// events that fulfil none of their predicates, so a candidate-driven
+	// matcher must evaluate them on every event.
+	ZeroSat bool
+}
+
+// MemBytes estimates the resident size of the compiled subscription
+// (experiment M1).
+func (c Compiled) MemBytes() int {
+	const sliceOverhead = 24
+	return sliceOverhead + len(c.Code) + sliceOverhead + 4*len(c.PredIDs)
+}
+
+// Compile encodes the expression, interning every distinct predicate exactly
+// once through intern (typically predicate.Registry.Intern bound to the
+// engine's registry).
+func Compile(e boolexpr.Expr, intern func(predicate.P) predicate.ID, opts Options) (Compiled, error) {
+	if opts.Encoding == 0 {
+		opts.Encoding = PaperEncoding
+	}
+	c := &compiler{
+		intern: intern,
+		ids:    make(map[string]predicate.ID),
+		opts:   opts,
+	}
+	var buf []byte
+	switch opts.Encoding {
+	case PaperEncoding:
+		buf = append(buf, headerPaper)
+	case CompactEncoding:
+		buf = append(buf, headerCompact)
+	default:
+		return Compiled{}, fmt.Errorf("subtree: unknown encoding %d", opts.Encoding)
+	}
+	body, err := c.encode(e)
+	if err != nil {
+		return Compiled{}, err
+	}
+	buf = append(buf, body...)
+
+	predIDs := make([]predicate.ID, 0, len(c.ids))
+	for _, id := range c.ids {
+		predIDs = append(predIDs, id)
+	}
+	sort.Slice(predIDs, func(i, j int) bool { return predIDs[i] < predIDs[j] })
+	return Compiled{
+		Code:    buf,
+		PredIDs: predIDs,
+		ZeroSat: boolexpr.ZeroSatisfiable(e),
+	}, nil
+}
+
+type compiler struct {
+	intern func(predicate.P) predicate.ID
+	ids    map[string]predicate.ID // per-subscription predicate dedup
+	opts   Options
+}
+
+func (c *compiler) leafID(p predicate.P) predicate.ID {
+	k := p.String()
+	if id, ok := c.ids[k]; ok {
+		return id
+	}
+	id := c.intern(p)
+	c.ids[k] = id
+	return id
+}
+
+// encode serialises one node (without the format header).
+func (c *compiler) encode(e boolexpr.Expr) ([]byte, error) {
+	switch t := e.(type) {
+	case boolexpr.Leaf:
+		id := c.leafID(t.Pred)
+		if c.opts.Encoding == CompactEncoding {
+			return binary.AppendUvarint([]byte{opLeaf}, uint64(id)), nil
+		}
+		return binary.LittleEndian.AppendUint32([]byte{opLeaf}, uint32(id)), nil
+	case boolexpr.Not:
+		child, err := c.encode(t.X)
+		if err != nil {
+			return nil, err
+		}
+		return c.wrapUnary(opNot, child)
+	case boolexpr.And:
+		return c.encodeNary(opAnd, t.Xs)
+	case boolexpr.Or:
+		return c.encodeNary(opOr, t.Xs)
+	default:
+		return nil, fmt.Errorf("subtree: unknown expression node %T", e)
+	}
+}
+
+func (c *compiler) wrapUnary(op byte, child []byte) ([]byte, error) {
+	if c.opts.Encoding == CompactEncoding {
+		out := binary.AppendUvarint([]byte{op}, uint64(len(child)))
+		return append(out, child...), nil
+	}
+	if len(child) > 0xFFFF {
+		return nil, ErrChildTooLarge
+	}
+	out := binary.LittleEndian.AppendUint16([]byte{op}, uint16(len(child)))
+	return append(out, child...), nil
+}
+
+func (c *compiler) encodeNary(op byte, xs []boolexpr.Expr) ([]byte, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptyNode
+	}
+	if c.opts.Encoding == PaperEncoding && len(xs) > 255 {
+		return nil, ErrTooManyChildren
+	}
+	children := make([][]byte, len(xs))
+	for i, x := range xs {
+		b, err := c.encode(x)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = b
+	}
+	if c.opts.Reorder {
+		// Cheapest-first, stable so equal-size children keep author order.
+		sort.SliceStable(children, func(i, j int) bool {
+			return len(children[i]) < len(children[j])
+		})
+	}
+	var out []byte
+	if c.opts.Encoding == CompactEncoding {
+		out = binary.AppendUvarint([]byte{op}, uint64(len(children)))
+		for _, ch := range children {
+			out = binary.AppendUvarint(out, uint64(len(ch)))
+			out = append(out, ch...)
+		}
+		return out, nil
+	}
+	out = []byte{op, byte(len(children))}
+	for _, ch := range children {
+		if len(ch) > 0xFFFF {
+			return nil, ErrChildTooLarge
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(ch)))
+		out = append(out, ch...)
+	}
+	return out, nil
+}

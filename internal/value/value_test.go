@@ -1,0 +1,237 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{Invalid, "invalid"},
+		{Int, "int"},
+		{Float, "float"},
+		{String, "string"},
+		{Bool, "bool"},
+		{Kind(99), "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := OfInt(-42); v.Kind() != Int || v.Int() != -42 {
+		t.Errorf("OfInt(-42) = %v", v)
+	}
+	if v := OfFloat(2.5); v.Kind() != Float || v.Float() != 2.5 {
+		t.Errorf("OfFloat(2.5) = %v", v)
+	}
+	if v := OfString("hi"); v.Kind() != String || v.Str() != "hi" {
+		t.Errorf("OfString(hi) = %v", v)
+	}
+	if v := OfBool(true); v.Kind() != Bool || !v.Bool() {
+		t.Errorf("OfBool(true) = %v", v)
+	}
+	if v := OfBool(false); v.Bool() {
+		t.Errorf("OfBool(false).Bool() = true")
+	}
+}
+
+func TestOfConversions(t *testing.T) {
+	tests := []struct {
+		in   any
+		kind Kind
+	}{
+		{int(1), Int},
+		{int8(1), Int},
+		{int16(1), Int},
+		{int32(1), Int},
+		{int64(1), Int},
+		{uint(1), Int},
+		{uint8(1), Int},
+		{uint16(1), Int},
+		{uint32(1), Int},
+		{float32(1.5), Float},
+		{float64(1.5), Float},
+		{"s", String},
+		{true, Bool},
+		{OfInt(7), Int},
+		{struct{}{}, Invalid},
+		{nil, Invalid},
+	}
+	for _, tt := range tests {
+		if got := Of(tt.in).Kind(); got != tt.kind {
+			t.Errorf("Of(%#v).Kind() = %v, want %v", tt.in, got, tt.kind)
+		}
+	}
+}
+
+func TestZeroValueInvalid(t *testing.T) {
+	var v Value
+	if v.IsValid() {
+		t.Error("zero Value should be invalid")
+	}
+	if v.IsNumeric() {
+		t.Error("zero Value should not be numeric")
+	}
+	if _, ok := v.AsFloat(); ok {
+		t.Error("zero Value should not convert to float")
+	}
+	if _, ok := v.Compare(OfInt(1)); ok {
+		t.Error("zero Value should not compare")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{"int<int", OfInt(1), OfInt(2), -1, true},
+		{"int=int", OfInt(2), OfInt(2), 0, true},
+		{"int>int", OfInt(3), OfInt(2), 1, true},
+		{"int vs float", OfInt(1), OfFloat(1.5), -1, true},
+		{"float vs int equal", OfFloat(2), OfInt(2), 0, true},
+		{"float<float", OfFloat(-1.5), OfFloat(0), -1, true},
+		{"string<string", OfString("a"), OfString("b"), -1, true},
+		{"string=string", OfString("ab"), OfString("ab"), 0, true},
+		{"string>string", OfString("c"), OfString("b"), 1, true},
+		{"bool false<true", OfBool(false), OfBool(true), -1, true},
+		{"bool equal", OfBool(true), OfBool(true), 0, true},
+		{"string vs int", OfString("1"), OfInt(1), 0, false},
+		{"bool vs int", OfBool(true), OfInt(1), 0, false},
+		{"invalid vs invalid", Value{}, Value{}, 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cmp, ok := tt.a.Compare(tt.b)
+			if ok != tt.ok || (ok && cmp != tt.cmp) {
+				t.Errorf("Compare(%v,%v) = (%d,%v), want (%d,%v)", tt.a, tt.b, cmp, ok, tt.cmp, tt.ok)
+			}
+		})
+	}
+}
+
+func TestLargeIntExactCompare(t *testing.T) {
+	// Values beyond float64's 2^53 precision must still compare exactly
+	// when both sides are Int.
+	a := OfInt(1 << 60)
+	b := OfInt(1<<60 + 1)
+	cmp, ok := a.Compare(b)
+	if !ok || cmp != -1 {
+		t.Errorf("Compare(2^60, 2^60+1) = (%d,%v), want (-1,true)", cmp, ok)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !OfInt(3).Equal(OfFloat(3)) {
+		t.Error("3 should equal 3.0")
+	}
+	if OfInt(3).Equal(OfString("3")) {
+		t.Error("3 should not equal \"3\"")
+	}
+	if !OfString("x").Equal(OfString("x")) {
+		t.Error("identical strings should be equal")
+	}
+}
+
+func TestKeyCanonicalisation(t *testing.T) {
+	if OfInt(3).Key() != OfFloat(3).Key() {
+		t.Error("Key(3) != Key(3.0): numeric keys must unify")
+	}
+	if OfInt(3).Key() == OfInt(4).Key() {
+		t.Error("distinct ints must have distinct keys")
+	}
+	if OfFloat(0).Key() != OfFloat(math.Copysign(0, -1)).Key() {
+		t.Error("+0 and -0 must share a key")
+	}
+	if OfString("3").Key() == OfInt(3).Key() {
+		t.Error("string \"3\" must not collide with int 3")
+	}
+	big := int64(1<<60 + 1)
+	if OfInt(big).Key() == OfFloat(float64(big)).Key() {
+		t.Error("int beyond 2^53 must not be keyed as its lossy float image")
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{OfInt(-5), "-5"},
+		{OfFloat(1.25), "1.25"},
+		{OfString(`a"b`), `"a\"b"`},
+		{OfBool(true), "true"},
+		{Value{}, "<invalid>"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String(%#v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	if OfInt(1).MemBytes() <= 0 {
+		t.Error("MemBytes must be positive")
+	}
+	short, long := OfString("a"), OfString("aaaaaaaaaa")
+	if long.MemBytes() <= short.MemBytes() {
+		t.Error("longer strings must report more memory")
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := OfInt(a), OfInt(b)
+		ab, ok1 := va.Compare(vb)
+		ba, ok2 := vb.Compare(va)
+		return ok1 && ok2 && ab == -ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyEqualConsistencyProperty(t *testing.T) {
+	// Equal values must share a Key; distinct keys imply non-equal values.
+	f := func(a, b float64, ai, bi int64) bool {
+		vals := []Value{OfFloat(a), OfFloat(b), OfInt(ai), OfInt(bi)}
+		for _, x := range vals {
+			for _, y := range vals {
+				if x.Equal(y) && x.Key() != y.Key() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := OfInt(7).AsFloat(); !ok || f != 7 {
+		t.Errorf("OfInt(7).AsFloat() = (%v,%v)", f, ok)
+	}
+	if f, ok := OfFloat(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Errorf("OfFloat(2.5).AsFloat() = (%v,%v)", f, ok)
+	}
+	if _, ok := OfString("x").AsFloat(); ok {
+		t.Error("string AsFloat should fail")
+	}
+	if _, ok := OfBool(true).AsFloat(); ok {
+		t.Error("bool AsFloat should fail")
+	}
+}

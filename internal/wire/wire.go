@@ -1,0 +1,231 @@
+// Package wire defines the binary protocol of the TCP broker: length-
+// prefixed frames carrying a one-byte message type and a typed payload.
+//
+// Frame layout:
+//
+//	u32be  payload length (including the type byte)
+//	u8     message type
+//	...    payload
+//
+// Requests carry a client-chosen u32 request ID echoed in the response;
+// events pushed by the server carry the subscription ID they matched.
+// Events serialise as a u16 attribute count followed by name/kind/value
+// triples with varint-length strings.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"noncanon/internal/event"
+	"noncanon/internal/value"
+)
+
+// MaxFrameSize bounds a frame's payload, protecting brokers from hostile
+// or corrupted clients.
+const MaxFrameSize = 1 << 20
+
+// Message types.
+const (
+	// MsgSubscribe: u32 reqID, subscription text.
+	MsgSubscribe byte = iota + 1
+	// MsgSubscribed: u32 reqID, u64 subID.
+	MsgSubscribed
+	// MsgUnsubscribe: u32 reqID, u64 subID.
+	MsgUnsubscribe
+	// MsgOK: u32 reqID.
+	MsgOK
+	// MsgPublish: u32 reqID, event.
+	MsgPublish
+	// MsgPublished: u32 reqID, u32 matched-subscription count.
+	MsgPublished
+	// MsgEvent: u64 subID, event (server push).
+	MsgEvent
+	// MsgError: u32 reqID, error text.
+	MsgError
+	// MsgPing: u32 reqID.
+	MsgPing
+	// MsgPong: u32 reqID.
+	MsgPong
+)
+
+// Protocol errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrMalformed     = errors.New("wire: malformed payload")
+)
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload)+1)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("wire: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("%w: empty frame", ErrMalformed)
+	}
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	return buf[0], buf[1:], nil
+}
+
+// --- payload primitives ---
+
+// AppendU32 appends a big-endian u32.
+func AppendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+
+// AppendU64 appends a big-endian u64.
+func AppendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// ReadU32 consumes a big-endian u32.
+func ReadU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("%w: short u32", ErrMalformed)
+	}
+	return binary.BigEndian.Uint32(b), b[4:], nil
+}
+
+// ReadU64 consumes a big-endian u64.
+func ReadU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("%w: short u64", ErrMalformed)
+	}
+	return binary.BigEndian.Uint64(b), b[8:], nil
+}
+
+// ReadString consumes a uvarint-length-prefixed string.
+func ReadString(b []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || l > uint64(len(b)-n) {
+		return "", nil, fmt.Errorf("%w: bad string length", ErrMalformed)
+	}
+	return string(b[n : n+int(l)]), b[n+int(l):], nil
+}
+
+// --- event encoding ---
+
+// Value kind tags on the wire.
+const (
+	kindInt byte = iota + 1
+	kindFloat
+	kindString
+	kindBool
+)
+
+// AppendEvent appends the wire form of an event.
+func AppendEvent(b []byte, ev event.Event) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(ev.Len()))
+	// Sorted attribute order keeps encodings canonical.
+	for _, attr := range ev.Attrs() {
+		v, _ := ev.Get(attr)
+		b = AppendString(b, attr)
+		switch v.Kind() {
+		case value.Int:
+			b = append(b, kindInt)
+			b = binary.AppendVarint(b, v.Int())
+		case value.Float:
+			b = append(b, kindFloat)
+			b = binary.BigEndian.AppendUint64(b, math.Float64bits(v.Float()))
+		case value.String:
+			b = append(b, kindString)
+			b = AppendString(b, v.Str())
+		case value.Bool:
+			b = append(b, kindBool)
+			if v.Bool() {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
+	}
+	return b
+}
+
+// ReadEvent consumes the wire form of an event.
+func ReadEvent(b []byte) (event.Event, []byte, error) {
+	if len(b) < 2 {
+		return event.Event{}, nil, fmt.Errorf("%w: short event header", ErrMalformed)
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	ev := event.New()
+	for i := 0; i < n; i++ {
+		var attr string
+		var err error
+		attr, b, err = ReadString(b)
+		if err != nil {
+			return event.Event{}, nil, err
+		}
+		if len(b) < 1 {
+			return event.Event{}, nil, fmt.Errorf("%w: missing value kind", ErrMalformed)
+		}
+		kind := b[0]
+		b = b[1:]
+		switch kind {
+		case kindInt:
+			v, vn := binary.Varint(b)
+			if vn <= 0 {
+				return event.Event{}, nil, fmt.Errorf("%w: bad int", ErrMalformed)
+			}
+			b = b[vn:]
+			ev = ev.Set(attr, v)
+		case kindFloat:
+			if len(b) < 8 {
+				return event.Event{}, nil, fmt.Errorf("%w: short float", ErrMalformed)
+			}
+			ev = ev.Set(attr, math.Float64frombits(binary.BigEndian.Uint64(b)))
+			b = b[8:]
+		case kindString:
+			var s string
+			var err error
+			s, b, err = ReadString(b)
+			if err != nil {
+				return event.Event{}, nil, err
+			}
+			ev = ev.Set(attr, s)
+		case kindBool:
+			if len(b) < 1 {
+				return event.Event{}, nil, fmt.Errorf("%w: short bool", ErrMalformed)
+			}
+			ev = ev.Set(attr, b[0] != 0)
+			b = b[1:]
+		default:
+			return event.Event{}, nil, fmt.Errorf("%w: unknown value kind 0x%02x", ErrMalformed, kind)
+		}
+	}
+	return ev, b, nil
+}

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"noncanon/internal/event"
+)
+
+func benchEvent() event.Event {
+	return event.New().
+		Set("sym", "ACME").
+		Set("price", 150).
+		Set("change", -1.25).
+		Set("volume", 90210).
+		Set("halted", false)
+}
+
+func BenchmarkAppendEvent(b *testing.B) {
+	ev := benchEvent()
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEvent(buf[:0], ev)
+	}
+}
+
+func BenchmarkReadEvent(b *testing.B) {
+	buf := AppendEvent(nil, benchEvent())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadEvent(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	payload := AppendEvent(nil, benchEvent())
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, MsgPublish, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

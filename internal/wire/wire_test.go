@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"noncanon/internal/event"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xAB}, 10_000),
+	}
+	for i, p := range payloads {
+		buf.Reset()
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatalf("WriteFrame(%d): %v", i, err)
+		}
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame(%d): %v", i, err)
+		}
+		if typ != byte(i+1) || !bytes.Equal(got, p) {
+			t.Errorf("frame %d: typ=%d len=%d", i, typ, len(got))
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]byte, MaxFrameSize)
+	if err := WriteFrame(&buf, 1, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized write err = %v", err)
+	}
+	// Oversized length header on read.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized read err = %v", err)
+	}
+	// Zero-length frame.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, _, err := ReadFrame(&buf); !errors.Is(err, ErrMalformed) {
+		t.Errorf("empty frame err = %v", err)
+	}
+}
+
+func TestFrameEOFAndTruncation(t *testing.T) {
+	// Clean EOF at a frame boundary.
+	if _, _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("EOF err = %v", err)
+	}
+	// Truncated header.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	WriteFrame(&buf, 1, []byte("hello"))
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	b := AppendU32(nil, 0xDEADBEEF)
+	b = AppendU64(b, 0x1122334455667788)
+	b = AppendString(b, "hello world")
+	b = AppendString(b, "")
+
+	u32, b2, err := ReadU32(b)
+	if err != nil || u32 != 0xDEADBEEF {
+		t.Fatalf("ReadU32 = %x, %v", u32, err)
+	}
+	u64, b3, err := ReadU64(b2)
+	if err != nil || u64 != 0x1122334455667788 {
+		t.Fatalf("ReadU64 = %x, %v", u64, err)
+	}
+	s1, b4, err := ReadString(b3)
+	if err != nil || s1 != "hello world" {
+		t.Fatalf("ReadString = %q, %v", s1, err)
+	}
+	s2, rest, err := ReadString(b4)
+	if err != nil || s2 != "" || len(rest) != 0 {
+		t.Fatalf("empty ReadString = %q, rest=%d, %v", s2, len(rest), err)
+	}
+}
+
+func TestPrimitivesShortInput(t *testing.T) {
+	if _, _, err := ReadU32([]byte{1, 2}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short u32 err = %v", err)
+	}
+	if _, _, err := ReadU64([]byte{1}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short u64 err = %v", err)
+	}
+	// String length beyond buffer.
+	b := AppendString(nil, strings.Repeat("x", 100))
+	if _, _, err := ReadString(b[:20]); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short string err = %v", err)
+	}
+	if _, _, err := ReadString(nil); !errors.Is(err, ErrMalformed) {
+		t.Errorf("empty string buf err = %v", err)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	events := []event.Event{
+		event.New(),
+		event.New().Set("price", 42),
+		event.New().Set("price", -42).Set("ratio", 2.5).Set("sym", "ACME").Set("hot", true),
+		event.New().Set("neg", false).Set("empty", ""),
+		event.New().Set("big", int64(1)<<60),
+	}
+	for i, ev := range events {
+		b := AppendEvent(nil, ev)
+		got, rest, err := ReadEvent(b)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("event %d: %d trailing bytes", i, len(rest))
+		}
+		if !got.Equal(ev) {
+			t.Errorf("event %d: got %s, want %s", i, got, ev)
+		}
+	}
+}
+
+func TestEventRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		ev := event.New()
+		for a := 0; a < rng.Intn(6); a++ {
+			attr := "a" + string(rune('0'+a))
+			switch rng.Intn(4) {
+			case 0:
+				ev = ev.Set(attr, rng.Int63()-rng.Int63())
+			case 1:
+				ev = ev.Set(attr, rng.NormFloat64())
+			case 2:
+				ev = ev.Set(attr, strings.Repeat("s", rng.Intn(20)))
+			default:
+				ev = ev.Set(attr, rng.Intn(2) == 0)
+			}
+		}
+		got, _, err := ReadEvent(AppendEvent(nil, ev))
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if !got.Equal(ev) {
+			t.Fatalf("iter %d: got %s, want %s", i, got, ev)
+		}
+	}
+}
+
+func TestEventMalformedInputs(t *testing.T) {
+	cases := [][]byte{
+		{},                      // no header
+		{0},                     // short header
+		{0, 1},                  // one attr promised, nothing follows
+		{0, 1, 1, 'a'},          // attr name but no kind
+		{0, 1, 1, 'a', 99},      // unknown kind
+		{0, 1, 1, 'a', 2, 1, 2}, // short float
+		{0, 1, 1, 'a', 4},       // short bool
+		{0, 1, 1, 'a', 3, 10},   // string length overrun
+	}
+	for i, b := range cases {
+		if _, _, err := ReadEvent(b); err == nil {
+			t.Errorf("case %d: malformed event accepted", i)
+		}
+	}
+}
+
+// TestEventFuzzNoPanics feeds random bytes to the decoder; it must reject
+// garbage gracefully.
+func TestEventFuzzNoPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		_, _, _ = ReadEvent(b) // must not panic
+		_, _, _ = ReadString(b)
+	}
+}

@@ -1,0 +1,144 @@
+// Package workload generates the synthetic subscriptions, events and
+// fulfilled-predicate draws of the paper's experiments (Table 1).
+//
+// Subscriptions are non-DNF Boolean expressions over unique predicates
+// ("we avoid the usage of shared predicates … domains are supposed to have
+// relatively large sizes and subscribers are interested in different
+// events"). Each subscription with |p| predicates is an AND of |p|/2
+// OR-pairs,
+//
+//	(p1 ∨ p2) ∧ (p3 ∨ p4) ∧ … ∧ (p|p|-1 ∨ p|p|),
+//
+// which the DNF transformation blows up into exactly 2^(|p|/2)
+// conjunctions of |p|/2 predicates each — matching Table 1's "number of
+// subscriptions per subscription after transformation: 8 to 32" for
+// |p| ∈ {6, 8, 10}.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/event"
+	"noncanon/internal/predicate"
+)
+
+// Params mirrors the paper's Table 1.
+type Params struct {
+	// NumSubscriptions is the number of original subscriptions
+	// (paper: 2,000 – 5,000,000).
+	NumSubscriptions int
+	// PredsPerSub is the number of unique predicates per original
+	// subscription (paper: 6 to 10; must be even and ≥ 2).
+	PredsPerSub int
+	// FulfilledPerEvent is the number of fulfilled predicates per event
+	// (paper: 5,000 – 10,000).
+	FulfilledPerEvent int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate reports parameter problems.
+func (p Params) Validate() error {
+	if p.NumSubscriptions <= 0 {
+		return fmt.Errorf("workload: NumSubscriptions must be positive, got %d", p.NumSubscriptions)
+	}
+	if p.PredsPerSub < 2 || p.PredsPerSub%2 != 0 {
+		return fmt.Errorf("workload: PredsPerSub must be even and >= 2, got %d", p.PredsPerSub)
+	}
+	if p.FulfilledPerEvent < 0 {
+		return fmt.Errorf("workload: FulfilledPerEvent must be >= 0, got %d", p.FulfilledPerEvent)
+	}
+	return nil
+}
+
+// TransformedPerSub returns 2^(|p|/2), the number of conjunctive
+// subscriptions each original subscription becomes after DNF transformation.
+func (p Params) TransformedPerSub() int { return 1 << (p.PredsPerSub / 2) }
+
+// PredsPerTransformed returns |p|/2, the predicates per transformed
+// subscription.
+func (p Params) PredsPerTransformed() int { return p.PredsPerSub / 2 }
+
+// TotalPredicates returns the size of the unique-predicate universe.
+func (p Params) TotalPredicates() int { return p.NumSubscriptions * p.PredsPerSub }
+
+// Attr returns the attribute name of pair i; attributes are shared across
+// subscriptions (pair i of every subscription filters attribute "ai") while
+// predicates stay unique through per-subscription constants.
+func Attr(i int) string { return "a" + strconv.Itoa(i) }
+
+// Sub deterministically generates subscription i (0-based) as an AND of
+// OR-pairs with globally unique predicates:
+//
+//	pair k of subscription i:  (a_k > base ∨ a_k <= base-gap)
+//
+// where base is unique per (i, k). The operand spacing keeps every
+// predicate distinct without sharing.
+func (p Params) Sub(i int) boolexpr.Expr {
+	pairs := p.PredsPerSub / 2
+	xs := make([]boolexpr.Expr, pairs)
+	for k := 0; k < pairs; k++ {
+		// Unique, deterministic constants: stride 4 per subscription leaves
+		// room for the -1 offset without colliding with neighbours.
+		base := int64(i)*4 + 1
+		xs[k] = boolexpr.NewOr(
+			boolexpr.Pred(Attr(k), predicate.Gt, base),
+			boolexpr.Pred(Attr(k), predicate.Le, base-1),
+		)
+	}
+	return boolexpr.NewAnd(xs...)
+}
+
+// Event generates a random event over the workload's attributes, for
+// full-pipeline (phase 1 + 2) runs. Values are drawn uniformly over the
+// subscription constant range, so selectivity scales with NumSubscriptions.
+func (p Params) Event(rng *rand.Rand) event.Event {
+	ev := event.New()
+	for k := 0; k < p.PredsPerSub/2; k++ {
+		ev = ev.Set(Attr(k), rng.Int63n(int64(p.NumSubscriptions)*4+2))
+	}
+	return ev
+}
+
+// FulfilledDraw samples FulfilledPerEvent distinct predicate IDs uniformly
+// from the universe [1, TotalPredicates]. The IDs are valid for engines
+// that registered subscriptions 0..NumSubscriptions-1 against a fresh
+// shared registry: generation order makes registry IDs dense and
+// deterministic.
+//
+// The draw is the phase-two input of the Fig. 3 experiments: matching times
+// are measured for a given number of fulfilled predicates per event.
+func (p Params) FulfilledDraw(rng *rand.Rand) []predicate.ID {
+	n := p.TotalPredicates()
+	k := p.FulfilledPerEvent
+	if k > n {
+		k = n
+	}
+	out := make([]predicate.ID, 0, k)
+	seen := make(map[predicate.ID]struct{}, k)
+	for len(out) < k {
+		id := predicate.ID(rng.Int63n(int64(n)) + 1)
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Table renders the Table 1 row set for these parameters.
+func (p Params) Table() string {
+	return fmt.Sprintf(
+		"Number of subscriptions                 %d\n"+
+			"Original (unique) predicates per sub    %d\n"+
+			"Subscriptions per sub after transform   %d\n"+
+			"Predicates per transformed sub          %d\n"+
+			"Used Boolean operators                  AND, OR\n"+
+			"Matching predicates per event           %d\n",
+		p.NumSubscriptions, p.PredsPerSub, p.TransformedPerSub(),
+		p.PredsPerTransformed(), p.FulfilledPerEvent)
+}

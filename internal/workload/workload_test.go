@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/core"
+	"noncanon/internal/counting"
+	"noncanon/internal/index"
+	"noncanon/internal/predicate"
+)
+
+func TestValidate(t *testing.T) {
+	good := Params{NumSubscriptions: 10, PredsPerSub: 6, FulfilledPerEvent: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{NumSubscriptions: 0, PredsPerSub: 6},
+		{NumSubscriptions: 10, PredsPerSub: 5},
+		{NumSubscriptions: 10, PredsPerSub: 0},
+		{NumSubscriptions: 10, PredsPerSub: 6, FulfilledPerEvent: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestTableOneDerivedQuantities(t *testing.T) {
+	// Table 1: 6..10 predicates → 8..32 transformed subscriptions of 3..5
+	// predicates.
+	tests := []struct {
+		preds, transformed, perTransformed int
+	}{
+		{6, 8, 3},
+		{8, 16, 4},
+		{10, 32, 5},
+	}
+	for _, tt := range tests {
+		p := Params{NumSubscriptions: 1, PredsPerSub: tt.preds}
+		if got := p.TransformedPerSub(); got != tt.transformed {
+			t.Errorf("|p|=%d: TransformedPerSub = %d, want %d", tt.preds, got, tt.transformed)
+		}
+		if got := p.PredsPerTransformed(); got != tt.perTransformed {
+			t.Errorf("|p|=%d: PredsPerTransformed = %d, want %d", tt.preds, got, tt.perTransformed)
+		}
+	}
+}
+
+func TestSubStructure(t *testing.T) {
+	p := Params{NumSubscriptions: 100, PredsPerSub: 10}
+	e := p.Sub(42)
+	and, ok := e.(boolexpr.And)
+	if !ok || len(and.Xs) != 5 {
+		t.Fatalf("Sub must be an And of 5 pairs: %s", e)
+	}
+	for _, pair := range and.Xs {
+		or, ok := pair.(boolexpr.Or)
+		if !ok || len(or.Xs) != 2 {
+			t.Fatalf("pair must be an Or of 2: %s", pair)
+		}
+	}
+	if got := len(boolexpr.Leaves(e)); got != 10 {
+		t.Errorf("leaves = %d, want 10", got)
+	}
+	// Deterministic.
+	if !boolexpr.Equal(p.Sub(42), e) {
+		t.Error("Sub not deterministic")
+	}
+}
+
+func TestSubPredicatesGloballyUnique(t *testing.T) {
+	p := Params{NumSubscriptions: 500, PredsPerSub: 8}
+	seen := map[string]bool{}
+	for i := 0; i < p.NumSubscriptions; i++ {
+		for _, pr := range boolexpr.Leaves(p.Sub(i)) {
+			k := pr.String()
+			if seen[k] {
+				t.Fatalf("duplicate predicate %s (sub %d)", k, i)
+			}
+			seen[k] = true
+		}
+	}
+	if len(seen) != p.TotalPredicates() {
+		t.Errorf("universe = %d, want %d", len(seen), p.TotalPredicates())
+	}
+}
+
+func TestSubDNFMatchesTableOne(t *testing.T) {
+	p := Params{NumSubscriptions: 10, PredsPerSub: 8}
+	d, err := boolexpr.ToDNF(p.Sub(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 16 {
+		t.Errorf("DNF size = %d, want 16", len(d))
+	}
+	for _, c := range d {
+		if len(c) != 4 {
+			t.Errorf("conjunction size = %d, want 4", len(c))
+		}
+	}
+}
+
+func TestRegistryIDsDenseAndDeterministic(t *testing.T) {
+	// The FulfilledDraw contract: registering subscriptions in order against
+	// a fresh shared registry yields predicate IDs exactly 1..TotalPredicates.
+	p := Params{NumSubscriptions: 50, PredsPerSub: 6}
+	reg := predicate.NewRegistry()
+	idx := index.New()
+	nc := core.New(reg, idx, core.Options{})
+	cl := counting.New(reg, idx, counting.Options{})
+	for i := 0; i < p.NumSubscriptions; i++ {
+		if _, err := nc.Subscribe(p.Sub(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Subscribe(p.Sub(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reg.Len() != p.TotalPredicates() {
+		t.Fatalf("registry = %d predicates, want %d", reg.Len(), p.TotalPredicates())
+	}
+	if reg.Cap() != p.TotalPredicates() {
+		t.Fatalf("registry cap = %d, want dense %d", reg.Cap(), p.TotalPredicates())
+	}
+}
+
+func TestFulfilledDraw(t *testing.T) {
+	p := Params{NumSubscriptions: 100, PredsPerSub: 6, FulfilledPerEvent: 50}
+	rng := rand.New(rand.NewSource(p.Seed))
+	draw := p.FulfilledDraw(rng)
+	if len(draw) != 50 {
+		t.Fatalf("draw size = %d", len(draw))
+	}
+	seen := map[predicate.ID]bool{}
+	for _, id := range draw {
+		if id < 1 || int(id) > p.TotalPredicates() {
+			t.Fatalf("id %d out of universe", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	// Draw larger than universe clamps.
+	small := Params{NumSubscriptions: 2, PredsPerSub: 6, FulfilledPerEvent: 100}
+	if got := len(small.FulfilledDraw(rng)); got != 12 {
+		t.Errorf("clamped draw = %d, want 12", got)
+	}
+}
+
+func TestEventCoversAttributes(t *testing.T) {
+	p := Params{NumSubscriptions: 100, PredsPerSub: 8}
+	rng := rand.New(rand.NewSource(1))
+	ev := p.Event(rng)
+	if ev.Len() != 4 {
+		t.Errorf("event attrs = %d, want 4", ev.Len())
+	}
+	for k := 0; k < 4; k++ {
+		if !ev.Has(Attr(k)) {
+			t.Errorf("missing attribute %s", Attr(k))
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	p := Params{NumSubscriptions: 2000, PredsPerSub: 10, FulfilledPerEvent: 5000}
+	s := p.Table()
+	for _, want := range []string{"2000", "10", "32", "5", "AND, OR", "5000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package noncanon_test
+
+import (
+	"testing"
+
+	"noncanon"
+)
+
+func TestQuickstart(t *testing.T) {
+	eng := noncanon.NewEngine()
+	id, err := eng.Subscribe(`(price < 20 or price > 90) and sym = "ACME"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := eng.Match(noncanon.NewEvent().Set("price", 95).Set("sym", "ACME"))
+	if len(matches) != 1 || matches[0] != id {
+		t.Fatalf("Match = %v, want [%d]", matches, id)
+	}
+	if got := eng.Match(noncanon.NewEvent().Set("price", 50).Set("sym", "ACME")); len(got) != 0 {
+		t.Errorf("mid price matched: %v", got)
+	}
+	if err := eng.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Match(noncanon.NewEvent().Set("price", 95).Set("sym", "ACME")); len(got) != 0 {
+		t.Errorf("matched after unsubscribe: %v", got)
+	}
+}
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	subs := []string{
+		`(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)`,
+		`a > 100`,
+		`b = 1 and c = 30`,
+	}
+	events := []noncanon.Event{
+		noncanon.NewEvent().Set("a", 11).Set("c", 15),
+		noncanon.NewEvent().Set("a", 101),
+		noncanon.NewEvent().Set("b", 1).Set("c", 30),
+		noncanon.NewEvent().Set("a", 7),
+	}
+	counts := map[noncanon.Algorithm][]int{}
+	for _, alg := range []noncanon.Algorithm{noncanon.NonCanonical, noncanon.Counting, noncanon.CountingVariant} {
+		eng := noncanon.NewEngine(noncanon.WithAlgorithm(alg))
+		if got := eng.Algorithm(); got != alg {
+			t.Errorf("Algorithm = %s, want %s", got, alg)
+		}
+		for _, s := range subs {
+			if _, err := eng.Subscribe(s); err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+		}
+		for _, ev := range events {
+			counts[alg] = append(counts[alg], len(eng.Match(ev)))
+		}
+	}
+	for i := range events {
+		nc := counts[noncanon.NonCanonical][i]
+		if counts[noncanon.Counting][i] != nc || counts[noncanon.CountingVariant][i] != nc {
+			t.Errorf("event %d: match counts diverge: %v", i, counts)
+		}
+	}
+}
+
+func TestEngineOptions(t *testing.T) {
+	for _, opts := range [][]noncanon.Option{
+		{noncanon.WithCompactEncoding()},
+		{noncanon.WithReorder()},
+		{noncanon.WithSimplify()},
+		{noncanon.WithCompactEncoding(), noncanon.WithReorder(), noncanon.WithSimplify()},
+	} {
+		eng := noncanon.NewEngine(opts...)
+		id, err := eng.Subscribe(`a = 1 and a = 1 and (b = 2 or b = 2)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.Match(noncanon.NewEvent().Set("a", 1).Set("b", 2)); len(got) != 1 || got[0] != id {
+			t.Errorf("Match = %v", got)
+		}
+	}
+}
+
+func TestCountingEngineRestrictions(t *testing.T) {
+	// NOT is rejected by the canonical engine unless complementing.
+	cnt := noncanon.NewEngine(noncanon.WithAlgorithm(noncanon.Counting))
+	if _, err := cnt.Subscribe(`not a = 1`); err == nil {
+		t.Error("counting engine accepted NOT without complementation")
+	}
+	comp := noncanon.NewEngine(noncanon.WithAlgorithm(noncanon.Counting), noncanon.WithComplementNegations())
+	id, err := comp.Subscribe(`a > 0 and not a > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := comp.Match(noncanon.NewEvent().Set("a", 5)); len(got) != 1 || got[0] != id {
+		t.Errorf("Match = %v", got)
+	}
+	// The non-canonical engine accepts NOT natively.
+	nc := noncanon.NewEngine()
+	if _, err := nc.Subscribe(`not s prefix "x"`); err != nil {
+		t.Errorf("non-canonical engine rejected NOT: %v", err)
+	}
+	// Memory-friendly counting cannot unsubscribe.
+	mf := noncanon.NewEngine(noncanon.WithAlgorithm(noncanon.Counting), noncanon.WithoutUnsubscribeSupport())
+	mid, err := mf.Subscribe(`a = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.Unsubscribe(mid); err == nil {
+		t.Error("memory-friendly counting should refuse Unsubscribe")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := noncanon.Parse(`a = `); err == nil {
+		t.Error("Parse accepted bad input")
+	}
+	eng := noncanon.NewEngine()
+	if _, err := eng.Subscribe(`a ! 1`); err == nil {
+		t.Error("Subscribe accepted bad input")
+	}
+}
+
+func TestStats(t *testing.T) {
+	eng := noncanon.NewEngine(noncanon.WithAlgorithm(noncanon.Counting))
+	if _, err := eng.Subscribe(`(a > 1 or a <= 0) and (b > 1 or b <= 0)`); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Subscriptions != 1 {
+		t.Errorf("Subscriptions = %d", st.Subscriptions)
+	}
+	if st.StoredUnits != 4 { // 2^(4/2) DNF blow-up
+		t.Errorf("StoredUnits = %d, want 4", st.StoredUnits)
+	}
+	if st.Predicates != 4 {
+		t.Errorf("Predicates = %d, want 4", st.Predicates)
+	}
+	if st.MemBytes <= 0 {
+		t.Errorf("MemBytes = %d", st.MemBytes)
+	}
+	if st.Algorithm != noncanon.Counting {
+		t.Errorf("Algorithm = %s", st.Algorithm)
+	}
+}
+
+func TestEventFromMap(t *testing.T) {
+	ev := noncanon.EventFromMap(map[string]any{"price": 12.5, "sym": "A"})
+	eng := noncanon.NewEngine()
+	id, err := eng.Subscribe(`price > 12 and sym = "A"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Match(ev); len(got) != 1 || got[0] != id {
+		t.Errorf("Match = %v", got)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	noncanon.MustParse(`((`)
+}
