@@ -10,7 +10,9 @@ import (
 
 // Broker is a single-process publish/subscribe broker: subscribers register
 // Boolean subscriptions with handlers or channels and receive matching
-// events asynchronously. It is safe for concurrent use.
+// events asynchronously. It is safe for concurrent use, and Publish calls
+// match in parallel — the underlying engine serialises matching only
+// against subscription changes, never against other matches.
 //
 // Delivery never blocks publishers: each subscription owns a bounded queue
 // drained by its own goroutine, and events beyond the queue are dropped and

@@ -6,6 +6,7 @@
 //	ncbench -exp all -scale 0.1             # every experiment at 1/10 scale
 //	ncbench -exp fig3b -swap                # with the 512 MB swap model (M2)
 //	ncbench -exp fig3a -csv > fig3a.csv     # machine-readable series
+//	ncbench -exp parallel                   # match throughput vs workers (P1)
 //	ncbench -list                           # experiment inventory
 //
 // -scale 1 reproduces the paper's subscription counts (the DNF baselines

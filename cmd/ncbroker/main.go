@@ -1,5 +1,7 @@
 // Command ncbroker runs a TCP publish/subscribe broker speaking the wire
 // protocol (see internal/wire). Clients connect with ncsub and ncpub.
+// Publications from different connections are matched concurrently by the
+// broker's non-canonical engine.
 //
 // Usage:
 //
@@ -7,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -20,30 +24,61 @@ import (
 	"noncanon/internal/subtree"
 )
 
-func main() {
+// config is the parsed command line.
+type config struct {
+	addr string
+	opts netbroker.ServerOptions
+}
+
+// parseArgs parses flags into a server configuration; usage and errors go
+// to errOut.
+func parseArgs(args []string, errOut io.Writer) (config, error) {
+	fs := flag.NewFlagSet("ncbroker", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	var (
-		addr    = flag.String("addr", ":7070", "listen address")
-		queue   = flag.Int("queue", broker.DefaultQueueSize, "per-subscription delivery queue size")
-		compact = flag.Bool("compact", false, "use the compact subscription-tree encoding")
-		reorder = flag.Bool("reorder", false, "reorder subscription-tree children cheapest-first")
-		quiet   = flag.Bool("quiet", false, "suppress connection diagnostics")
+		addr    = fs.String("addr", ":7070", "listen address")
+		queue   = fs.Int("queue", broker.DefaultQueueSize, "per-subscription delivery queue size")
+		compact = fs.Bool("compact", false, "use the compact subscription-tree encoding")
+		reorder = fs.Bool("reorder", false, "reorder subscription-tree children cheapest-first")
+		quiet   = fs.Bool("quiet", false, "suppress connection diagnostics")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(errOut, "ncbroker: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	enc := subtree.PaperEncoding
 	if *compact {
 		enc = subtree.CompactEncoding
 	}
-	opts := netbroker.ServerOptions{
-		Broker: broker.Options{
-			QueueSize: *queue,
-			Engine:    core.Options{Encoding: enc, Reorder: *reorder},
+	cfg := config{
+		addr: *addr,
+		opts: netbroker.ServerOptions{
+			Broker: broker.Options{
+				QueueSize: *queue,
+				Engine:    core.Options{Encoding: enc, Reorder: *reorder},
+			},
 		},
 	}
 	if !*quiet {
-		opts.Logf = log.Printf
+		cfg.opts.Logf = log.Printf
 	}
-	srv := netbroker.NewServer(opts)
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseArgs(os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
+	}
+	if err != nil {
+		os.Exit(2)
+	}
+	srv := netbroker.NewServer(cfg.opts)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -55,8 +90,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("ncbroker: listening on %s", *addr)
-	if err := srv.ListenAndServe(*addr); err != nil && err != netbroker.ErrServerClosed {
+	log.Printf("ncbroker: listening on %s", cfg.addr)
+	if err := srv.ListenAndServe(cfg.addr); err != nil && err != netbroker.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "ncbroker:", err)
 		os.Exit(1)
 	}

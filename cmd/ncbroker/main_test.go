@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"noncanon/internal/broker"
+	"noncanon/internal/subtree"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	var errOut bytes.Buffer
+	cfg, err := parseArgs(nil, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":7070" {
+		t.Errorf("addr = %q, want :7070", cfg.addr)
+	}
+	if cfg.opts.Broker.QueueSize != broker.DefaultQueueSize {
+		t.Errorf("queue = %d, want %d", cfg.opts.Broker.QueueSize, broker.DefaultQueueSize)
+	}
+	if cfg.opts.Broker.Engine.Encoding != subtree.PaperEncoding {
+		t.Errorf("encoding = %v, want paper", cfg.opts.Broker.Engine.Encoding)
+	}
+	if cfg.opts.Broker.Engine.Reorder {
+		t.Error("reorder on by default")
+	}
+	if cfg.opts.Logf == nil {
+		t.Error("diagnostics silenced by default")
+	}
+}
+
+func TestParseArgsFlags(t *testing.T) {
+	var errOut bytes.Buffer
+	cfg, err := parseArgs([]string{"-addr", ":9000", "-queue", "128", "-compact", "-reorder", "-quiet"}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":9000" {
+		t.Errorf("addr = %q", cfg.addr)
+	}
+	if cfg.opts.Broker.QueueSize != 128 {
+		t.Errorf("queue = %d", cfg.opts.Broker.QueueSize)
+	}
+	if cfg.opts.Broker.Engine.Encoding != subtree.CompactEncoding {
+		t.Errorf("encoding = %v, want compact", cfg.opts.Broker.Engine.Encoding)
+	}
+	if !cfg.opts.Broker.Engine.Reorder {
+		t.Error("reorder not set")
+	}
+	if cfg.opts.Logf != nil {
+		t.Error("-quiet did not silence diagnostics")
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	var errOut bytes.Buffer
+	if _, err := parseArgs([]string{"-nosuchflag"}, &errOut); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "flag") {
+		t.Errorf("no usage/diagnostic output: %q", errOut.String())
+	}
+	errOut.Reset()
+	if _, err := parseArgs([]string{"stray"}, &errOut); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+}
+
+func TestParseArgsHelp(t *testing.T) {
+	var errOut bytes.Buffer
+	_, err := parseArgs([]string{"-h"}, &errOut)
+	if err == nil {
+		t.Fatal("-h should return flag.ErrHelp")
+	}
+	for _, flagName := range []string{"-addr", "-queue", "-compact", "-reorder", "-quiet"} {
+		if !strings.Contains(errOut.String(), flagName) {
+			t.Errorf("help output missing %s: %q", flagName, errOut.String())
+		}
+	}
+}

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -16,18 +18,43 @@ import (
 	"noncanon/internal/netbroker"
 )
 
-func main() {
+// config is the parsed command line.
+type config struct {
+	addr  string
+	sub   string
+	limit int
+}
+
+// parseArgs parses flags and the single subscription argument; usage and
+// errors go to errOut.
+func parseArgs(args []string, errOut io.Writer) (config, error) {
+	fs := flag.NewFlagSet("ncsub", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	var (
-		addr = flag.String("addr", "localhost:7070", "broker address")
-		n    = flag.Int("n", 0, "exit after n events (0 = run until interrupted)")
+		addr = fs.String("addr", "localhost:7070", "broker address")
+		n    = fs.Int("n", 0, "exit after n events (0 = run until interrupted)")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ncsub [flags] '<subscription>'")
-		flag.PrintDefaults()
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintf(errOut, "ncsub: expected exactly one subscription argument, got %d\n", fs.NArg())
+		fmt.Fprintln(errOut, "usage: ncsub [flags] '<subscription>'")
+		fs.PrintDefaults()
+		return config{}, fmt.Errorf("expected exactly one subscription argument, got %d", fs.NArg())
+	}
+	return config{addr: *addr, sub: fs.Arg(0), limit: *n}, nil
+}
+
+func main() {
+	cfg, err := parseArgs(os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
+	}
+	if err != nil {
 		os.Exit(2)
 	}
-	if err := run(*addr, flag.Arg(0), *n); err != nil {
+	if err := run(cfg.addr, cfg.sub, cfg.limit); err != nil {
 		fmt.Fprintln(os.Stderr, "ncsub:", err)
 		os.Exit(1)
 	}

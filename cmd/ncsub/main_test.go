@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"noncanon/internal/broker"
+	"noncanon/internal/event"
+	"noncanon/internal/netbroker"
+)
+
+// netbrokerEvent builds an event matching the test subscription `a = 1`.
+func netbrokerEvent() event.Event { return event.New().Set("a", 1) }
+
+func TestParseArgsDefaults(t *testing.T) {
+	var errOut bytes.Buffer
+	cfg, err := parseArgs([]string{`a > 1`}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "localhost:7070" {
+		t.Errorf("addr = %q", cfg.addr)
+	}
+	if cfg.sub != `a > 1` {
+		t.Errorf("sub = %q", cfg.sub)
+	}
+	if cfg.limit != 0 {
+		t.Errorf("limit = %d, want 0", cfg.limit)
+	}
+}
+
+func TestParseArgsFlags(t *testing.T) {
+	var errOut bytes.Buffer
+	cfg, err := parseArgs([]string{"-addr", "h:1", "-n", "5", `exists alert`}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "h:1" || cfg.limit != 5 || cfg.sub != `exists alert` {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseArgsUsageErrors(t *testing.T) {
+	var errOut bytes.Buffer
+	if _, err := parseArgs(nil, &errOut); err == nil {
+		t.Error("missing subscription accepted")
+	}
+	if !strings.Contains(errOut.String(), "usage: ncsub") {
+		t.Errorf("no usage output: %q", errOut.String())
+	}
+	errOut.Reset()
+	if _, err := parseArgs([]string{"one", "two"}, &errOut); err == nil {
+		t.Error("two positional arguments accepted")
+	}
+	errOut.Reset()
+	if _, err := parseArgs([]string{"-nosuchflag", "x"}, &errOut); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunAgainstLiveBroker(t *testing.T) {
+	// Smoke: subscribe via run() against a real server, publish one matching
+	// event from a second client, and let -n 1 end the loop.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := netbroker.NewServer(netbroker.ServerOptions{Broker: broker.Options{}})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+	addr := ln.Addr().String()
+
+	runDone := make(chan error, 1)
+	go func() { runDone <- run(addr, `a = 1`, 1) }()
+
+	// Publish until the subscriber (which registers asynchronously relative
+	// to this goroutine) has seen its event and run returns.
+	cli, err := netbroker.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	deadline := time.After(10 * time.Second)
+	for {
+		ev := netbrokerEvent()
+		if _, err := cli.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-runDone:
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("run did not finish")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func TestRunUnreachableAddress(t *testing.T) {
+	// A closed port must surface a dial error, not hang.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if err := run(addr, `a = 1`, 1); err == nil {
+		t.Fatal("run succeeded against closed port")
+	}
+}

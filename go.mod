@@ -1,0 +1,3 @@
+module noncanon
+
+go 1.21

@@ -18,6 +18,7 @@ func TestExperimentsRegistry(t *testing.T) {
 	wantIDs := []string{
 		"table1", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f",
 		"memory", "crossover", "ablation-reorder", "ablation-encoding",
+		"parallel",
 	}
 	if len(exps) != len(wantIDs) {
 		t.Fatalf("%d experiments, want %d", len(exps), len(wantIDs))
@@ -289,6 +290,73 @@ func TestSweepPoints(t *testing.T) {
 		}
 		if i > 0 && pts[i] <= pts[i-1] {
 			t.Errorf("non-increasing points %v", pts)
+		}
+	}
+}
+
+func TestMeasureParallel(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	res, err := MeasureParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GOMAXPROCS < 1 || res.Subs <= 0 {
+		t.Fatalf("bad result header: %+v", res)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	if res.Points[0].Workers != 1 {
+		t.Errorf("first point workers = %d, want 1", res.Points[0].Workers)
+	}
+	if last := res.Points[len(res.Points)-1]; last.Workers != res.GOMAXPROCS {
+		t.Errorf("last point workers = %d, want GOMAXPROCS %d", last.Workers, res.GOMAXPROCS)
+	}
+	for _, p := range res.Points {
+		if p.EventsPerSec <= 0 || p.SerializedPerSec <= 0 || p.Speedup <= 0 {
+			t.Errorf("non-positive throughput at %d workers: %+v", p.Workers, p)
+		}
+	}
+	// Output paths: text and CSV.
+	if err := RunParallel(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "workers") {
+		t.Errorf("text output missing header: %q", buf.String())
+	}
+	buf.Reset()
+	cfg.CSV = true
+	if err := RunParallel(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "workers,concurrent_ev_s") {
+		t.Errorf("CSV output missing header: %q", buf.String())
+	}
+}
+
+func TestWorkerCounts(t *testing.T) {
+	tests := []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{8, []int{1, 2, 4, 8}},
+	}
+	for _, tt := range tests {
+		got := workerCounts(tt.max)
+		if len(got) != len(tt.want) {
+			t.Errorf("workerCounts(%d) = %v, want %v", tt.max, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("workerCounts(%d) = %v, want %v", tt.max, got, tt.want)
+				break
+			}
 		}
 	}
 }

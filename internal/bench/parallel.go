@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"noncanon/internal/core"
+	"noncanon/internal/index"
+	"noncanon/internal/predicate"
+	"noncanon/internal/workload"
+)
+
+// ParallelPoint is one worker count of the concurrency sweep: phase-two
+// throughput with the RWMutex read path against the same callers funnelled
+// through a single exclusive lock (the pre-refactor engine architecture).
+type ParallelPoint struct {
+	Workers          int
+	EventsPerSec     float64 // concurrent read path
+	SerializedPerSec float64 // single-lock reference
+	Speedup          float64 // EventsPerSec / SerializedPerSec
+}
+
+// ParallelResult is the regenerated concurrency sweep (experiment P1).
+type ParallelResult struct {
+	GOMAXPROCS int
+	Subs       int
+	Points     []ParallelPoint
+}
+
+// workerCounts returns 1, 2, 4, … capped at and always including max.
+func workerCounts(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, max)
+}
+
+// MeasureParallel measures phase-two matching throughput (events/s) for
+// increasing worker counts over a fixed workload, pairing every point with
+// the serialized single-lock reference. On a multi-core host the concurrent
+// series should scale with the worker count while the serialized one stays
+// flat — the motivation for the engine's RWMutex store. With GOMAXPROCS=1
+// both series coincide (no hardware parallelism to exploit).
+func MeasureParallel(cfg Config) (ParallelResult, error) {
+	cfg = cfg.withDefaults()
+	subs := scaleCount(1_000_000, cfg.Scale)
+	params := workload.Params{
+		NumSubscriptions:  subs,
+		PredsPerSub:       6,
+		FulfilledPerEvent: 5000,
+		Seed:              cfg.Seed,
+	}
+	if err := params.Validate(); err != nil {
+		return ParallelResult{}, err
+	}
+	eng := core.New(predicate.NewRegistry(), index.New(), core.Options{})
+	for i := 0; i < subs; i++ {
+		if _, err := eng.Subscribe(params.Sub(i)); err != nil {
+			return ParallelResult{}, fmt.Errorf("bench: parallel subscribe %d: %w", i, err)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	draws := make([][]predicate.ID, 16)
+	for t := range draws {
+		draws[t] = params.FulfilledDraw(rng)
+	}
+
+	perWorker := 20 * cfg.Trials
+	res := ParallelResult{GOMAXPROCS: runtime.GOMAXPROCS(0), Subs: subs}
+	for _, w := range workerCounts(res.GOMAXPROCS) {
+		concurrent := throughput(w, perWorker, draws, func(d []predicate.ID) {
+			eng.MatchPredicates(d)
+		})
+		var mu sync.Mutex
+		serialized := throughput(w, perWorker, draws, func(d []predicate.ID) {
+			mu.Lock()
+			eng.MatchPredicates(d)
+			mu.Unlock()
+		})
+		res.Points = append(res.Points, ParallelPoint{
+			Workers:          w,
+			EventsPerSec:     concurrent,
+			SerializedPerSec: serialized,
+			Speedup:          concurrent / serialized,
+		})
+	}
+	return res, nil
+}
+
+// throughput measures aggregate events per second for perWorker match calls
+// on each of w workers, repeating the measurement and keeping the best run
+// (like the paper's repeated experiments, best-of filters scheduler and GC
+// noise). One unmeasured warmup call per worker touches scratch structures
+// before each timed run, mirroring timeMatch.
+func throughput(w, perWorker int, draws [][]predicate.ID, match func([]predicate.ID)) float64 {
+	const reps = 3
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func(off int) {
+				defer wg.Done()
+				match(draws[off%len(draws)])
+				<-start
+				for j := 0; j < perWorker; j++ {
+					match(draws[(off+j)%len(draws)])
+				}
+			}(i)
+		}
+		t0 := time.Now()
+		close(start)
+		wg.Wait()
+		dur := time.Since(t0)
+		if dur <= 0 {
+			dur = time.Nanosecond
+		}
+		if evs := float64(w*perWorker) / dur.Seconds(); evs > best {
+			best = evs
+		}
+	}
+	return best
+}
+
+// RunParallel regenerates the concurrency sweep and prints its series.
+func RunParallel(cfg Config) error {
+	cfg = cfg.withDefaults()
+	res, err := MeasureParallel(cfg)
+	if err != nil {
+		return err
+	}
+	w := cfg.Out
+	if cfg.CSV {
+		fmt.Fprintf(w, "workers,concurrent_ev_s,serialized_ev_s,speedup\n")
+		for _, p := range res.Points {
+			fmt.Fprintf(w, "%d,%.1f,%.1f,%.3f\n", p.Workers, p.EventsPerSec, p.SerializedPerSec, p.Speedup)
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "P1: concurrent match throughput vs workers (GOMAXPROCS %d)\n", res.GOMAXPROCS)
+	fmt.Fprintf(w, "workload: %d subscriptions, 6 preds/sub, 5000 fulfilled/event\n\n", res.Subs)
+	fmt.Fprintf(w, "%-8s %-18s %-18s %-8s\n", "workers", "concurrent ev/s", "serialized ev/s", "speedup")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%-8d %-18.1f %-18.1f %-8.3f\n", p.Workers, p.EventsPerSec, p.SerializedPerSec, p.Speedup)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -8,6 +8,11 @@
 // (Subscription.Dropped), which is the standard back-pressure posture for
 // notification services. Close stops intake and waits for all delivery
 // goroutines to drain.
+//
+// Concurrency: Publish holds only read locks end to end — the broker's
+// subscriber map and the engine's subscription store are both
+// RWMutex-guarded — so concurrent publishers match and enqueue in parallel;
+// Subscribe/Unsubscribe briefly exclude them while mutating the store.
 package broker
 
 import (
@@ -178,7 +183,8 @@ func (s *Subscription) Unsubscribe() error {
 
 // Publish matches the event and enqueues it to every matching subscriber.
 // It returns the number of subscriptions the event was enqueued for and
-// never blocks on slow consumers.
+// never blocks on slow consumers. Publish runs entirely under read locks,
+// so any number of publishers proceed concurrently.
 func (b *Broker) Publish(ev event.Event) (int, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()

@@ -37,6 +37,41 @@ func BenchmarkPublish(b *testing.B) {
 	}
 }
 
+// BenchmarkPublishParallel measures the same publication path with
+// GOMAXPROCS concurrent publishers. Publish holds only read locks, so on
+// multi-core hardware per-op time should shrink with the core count.
+func BenchmarkPublishParallel(b *testing.B) {
+	br := New(Options{QueueSize: 1024})
+	defer br.Close()
+	for i := 0; i < 1000; i++ {
+		expr := boolexpr.NewAnd(
+			boolexpr.Pred("bucket", predicate.Eq, i/10),
+			boolexpr.NewOr(
+				boolexpr.Pred("price", predicate.Gt, i),
+				boolexpr.Pred("price", predicate.Le, i-500),
+			),
+		)
+		if _, err := br.Subscribe(expr, func(event.Event) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	evs := make([]event.Event, 32)
+	for i := range evs {
+		evs[i] = event.New().Set("bucket", i%100).Set("price", 2000)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := br.Publish(evs[i%len(evs)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkSubscribeUnsubscribe measures registration churn.
 func BenchmarkSubscribeUnsubscribe(b *testing.B) {
 	br := New(Options{})

@@ -44,11 +44,17 @@ type Options struct {
 	Simplify bool
 }
 
-// Engine is the non-canonical matcher. It is safe for concurrent use; a
-// single mutex serialises all operations (matching mutates epoch-stamped
-// scratch state, so even reads are exclusive).
+// Engine is the non-canonical matcher. It is safe for concurrent use, and
+// the read path is genuinely concurrent: the subscription store (association
+// table, location table, shared registry and index) is guarded by an
+// RWMutex — Subscribe and Unsubscribe take the write lock, while Match,
+// MatchPredicates and InstrumentedMatch run under the read lock, so any
+// number of matching calls proceed simultaneously. The per-call mutable
+// state (the epoch-stamped mark tables of §3.2) lives in a matchScratch
+// recycled through a sync.Pool and re-sized against a store generation
+// counter, so matching callers share no mutable memory.
 type Engine struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	reg  *predicate.Registry
 	idx  *index.Index
 	opts Options
@@ -68,21 +74,35 @@ type Engine struct {
 	// always lists zero-satisfiable subscriptions, evaluated on every event.
 	always []matcher.SubID
 
-	// Epoch-stamped scratch for Match (no per-event clearing). The mark
-	// tables are dense uint32 arrays separated from the slot structs so the
-	// per-event random accesses touch minimal cache footprint; on epoch
-	// wrap-around both tables are zeroed.
-	epoch    uint32
-	predMark []uint32 // indexed by predicate.ID-1: epoch when fulfilled
-	subMark  []uint32 // indexed by SubID-1: epoch when enlisted as candidate
-	predBuf  []predicate.ID
-	candBuf  []matcher.SubID
+	// gen is the store generation, bumped by every Subscribe/Unsubscribe
+	// under the write lock. Pooled scratch records the generation it was
+	// last sized for and re-syncs its mark tables when the store moved on.
+	gen      uint64
 	memTrees int // running sum of compiled.MemBytes()
+
+	// scratch pools *matchScratch values for the read path.
+	scratch sync.Pool
 }
 
 type slot struct {
 	compiled subtree.Compiled
 	live     bool
+}
+
+// matchScratch is the per-call mutable state of the two filtering phases:
+// epoch-stamped mark tables (no per-event clearing) plus reusable buffers.
+// Each Match-family call takes one scratch from the engine's pool, so
+// concurrent readers never share mark tables. The mark tables are dense
+// uint32 arrays separated from the slot structs so the per-event random
+// accesses touch minimal cache footprint; on epoch wrap-around both tables
+// are zeroed.
+type matchScratch struct {
+	gen      uint64   // store generation the tables were last sized for
+	epoch    uint32   // this scratch's private epoch counter
+	predMark []uint32 // indexed by predicate.ID-1: epoch when fulfilled
+	subMark  []uint32 // indexed by SubID-1: epoch when enlisted as candidate
+	predBuf  []predicate.ID
+	candBuf  []matcher.SubID
 }
 
 var _ matcher.Matcher = (*Engine)(nil)
@@ -139,6 +159,7 @@ func (e *Engine) Subscribe(expr boolexpr.Expr) (matcher.SubID, error) {
 	s.compiled = compiled
 	s.live = true
 	e.live++
+	e.gen++
 	e.memTrees += compiled.MemBytes()
 
 	for _, pid := range compiled.PredIDs {
@@ -170,7 +191,6 @@ func (e *Engine) allocLocked() matcher.SubID {
 		return id
 	}
 	e.slots = append(e.slots, slot{})
-	e.subMark = append(e.subMark, 0)
 	return matcher.SubID(len(e.slots))
 }
 
@@ -209,6 +229,7 @@ func (e *Engine) Unsubscribe(id matcher.SubID) error {
 	*s = slot{}
 	e.free = append(e.free, id)
 	e.live--
+	e.gen++
 	return nil
 }
 
@@ -226,79 +247,99 @@ func (e *Engine) aliveLocked(id matcher.SubID) bool {
 	return id >= 1 && int(id) <= len(e.slots) && e.slots[id-1].live
 }
 
-// Match runs both filtering phases.
+// Match runs both filtering phases. Calls proceed concurrently with other
+// Match-family calls; only Subscribe/Unsubscribe exclude them.
 func (e *Engine) Match(ev event.Event) []matcher.SubID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.predBuf = e.idx.Match(ev, e.predBuf[:0])
-	return e.matchPredicatesLocked(e.predBuf)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sc := e.getScratchRLocked()
+	defer e.scratch.Put(sc)
+	sc.predBuf = e.idx.Match(ev, sc.predBuf[:0])
+	return e.matchScratched(sc, sc.predBuf)
 }
 
-// MatchPredicates runs phase two only.
+// MatchPredicates runs phase two only, concurrently with other readers.
 func (e *Engine) MatchPredicates(fulfilled []predicate.ID) []matcher.SubID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.matchPredicatesLocked(fulfilled)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sc := e.getScratchRLocked()
+	defer e.scratch.Put(sc)
+	return e.matchScratched(sc, fulfilled)
 }
 
-// prepareLocked stamps the fulfilled set into predMark and collects the
-// deduplicated candidate subscriptions into candBuf (paper §3.2, step two:
-// "subscriptions including at least one of the matching predicates").
-func (e *Engine) prepareLocked(fulfilled []predicate.ID) (epoch uint32) {
-	e.epoch++
-	if e.epoch == 0 { // wrap-around: stale stamps become ambiguous, clear
-		clear(e.predMark)
-		clear(e.subMark)
-		e.epoch = 1
+// getScratchRLocked takes a scratch off the pool and syncs it with the
+// store: when the generation moved since the scratch was last used, the
+// subscription mark table is grown to cover every allocated slot (the
+// caller's read lock pins both gen and len(slots)). predMark grows lazily
+// in prepare — fulfilled predicate IDs may exceed the store's own tables
+// when the registry is shared with another engine.
+func (e *Engine) getScratchRLocked() *matchScratch {
+	sc, _ := e.scratch.Get().(*matchScratch)
+	if sc == nil {
+		sc = &matchScratch{}
 	}
-	epoch = e.epoch
+	if sc.gen != e.gen {
+		if n := len(e.slots); len(sc.subMark) < n {
+			sc.subMark = append(sc.subMark, make([]uint32, n-len(sc.subMark))...)
+		}
+		sc.gen = e.gen
+	}
+	return sc
+}
+
+// prepare stamps the fulfilled set into the scratch's predMark and collects
+// the deduplicated candidate subscriptions into its candBuf (paper §3.2,
+// step two: "subscriptions including at least one of the matching
+// predicates"). Caller holds at least the read lock.
+func (e *Engine) prepare(sc *matchScratch, fulfilled []predicate.ID) (epoch uint32) {
+	sc.epoch++
+	if sc.epoch == 0 { // wrap-around: stale stamps become ambiguous, clear
+		clear(sc.predMark)
+		clear(sc.subMark)
+		sc.epoch = 1
+	}
+	epoch = sc.epoch
 	for _, pid := range fulfilled {
 		i := int(pid) - 1
-		if i >= len(e.predMark) {
-			e.predMark = append(e.predMark, make([]uint32, i+1-len(e.predMark))...)
+		if i >= len(sc.predMark) {
+			sc.predMark = append(sc.predMark, make([]uint32, i+1-len(sc.predMark))...)
 		}
-		e.predMark[i] = epoch
+		sc.predMark[i] = epoch
 	}
-	e.candBuf = e.candBuf[:0]
+	sc.candBuf = sc.candBuf[:0]
 	for _, pid := range fulfilled {
 		i := int(pid) - 1
 		if i >= len(e.assoc) {
 			continue // predicate registered by another engine only
 		}
 		for _, sid := range e.assoc[i] {
-			if e.subMark[sid-1] == epoch {
+			if sc.subMark[sid-1] == epoch {
 				continue
 			}
-			e.subMark[sid-1] = epoch
-			e.candBuf = append(e.candBuf, sid)
+			sc.subMark[sid-1] = epoch
+			sc.candBuf = append(sc.candBuf, sid)
 		}
 	}
 	return epoch
 }
 
-// matchedFn returns the fulfilled-set membership test for the given epoch.
-func (e *Engine) matchedFn(epoch uint32) func(predicate.ID) bool {
-	return func(pid predicate.ID) bool {
-		i := int(pid) - 1
-		return i < len(e.predMark) && e.predMark[i] == epoch
-	}
-}
-
-func (e *Engine) matchPredicatesLocked(fulfilled []predicate.ID) []matcher.SubID {
-	epoch := e.prepareLocked(fulfilled)
+// matchScratched runs phase two over the given scratch. Caller holds at
+// least the read lock.
+func (e *Engine) matchScratched(sc *matchScratch, fulfilled []predicate.ID) []matcher.SubID {
+	epoch := e.prepare(sc, fulfilled)
 	var out []matcher.SubID
-	for _, sid := range e.candBuf {
-		if subtree.EvalMarked(e.slots[sid-1].compiled.Code, e.predMark, epoch) {
+	for _, sid := range sc.candBuf {
+		if subtree.EvalMarked(e.slots[sid-1].compiled.Code, sc.predMark, epoch) {
 			out = append(out, sid)
 		}
 	}
 	// Zero-satisfiable subscriptions are evaluated even without candidacy.
 	for _, sid := range e.always {
-		if e.subMark[sid-1] == epoch {
+		if sc.subMark[sid-1] == epoch {
 			continue // already evaluated as a candidate
 		}
-		e.subMark[sid-1] = epoch
-		if subtree.EvalMarked(e.slots[sid-1].compiled.Code, e.predMark, epoch) {
+		sc.subMark[sid-1] = epoch
+		if subtree.EvalMarked(e.slots[sid-1].compiled.Code, sc.predMark, epoch) {
 			out = append(out, sid)
 		}
 	}
@@ -310,11 +351,16 @@ func (e *Engine) matchPredicatesLocked(fulfilled []predicate.ID) []matcher.SubID
 // evaluations performed, instead of the match set. The A1 ablation uses it
 // to quantify how much work child reordering saves.
 func (e *Engine) InstrumentedMatch(fulfilled []predicate.ID) (leaves, evals int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	epoch := e.prepareLocked(fulfilled)
-	matched := e.matchedFn(epoch)
-	for _, sid := range e.candBuf {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sc := e.getScratchRLocked()
+	defer e.scratch.Put(sc)
+	epoch := e.prepare(sc, fulfilled)
+	matched := func(pid predicate.ID) bool {
+		i := int(pid) - 1
+		return i >= 0 && i < len(sc.predMark) && sc.predMark[i] == epoch
+	}
+	for _, sid := range sc.candBuf {
 		_, n := subtree.CountEvaluatedLeaves(e.slots[sid-1].compiled.Code, matched)
 		leaves += n
 		evals++
@@ -325,8 +371,8 @@ func (e *Engine) InstrumentedMatch(fulfilled []predicate.ID) (leaves, evals int)
 // TreeBytes returns the total encoded size of all live subscription trees —
 // the storage the A2 encoding ablation compares.
 func (e *Engine) TreeBytes() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	total := 0
 	for i := range e.slots {
 		if e.slots[i].live {
@@ -338,8 +384,8 @@ func (e *Engine) TreeBytes() int {
 
 // NumSubscriptions implements matcher.Matcher.
 func (e *Engine) NumSubscriptions() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.live
 }
 
@@ -350,8 +396,8 @@ func (e *Engine) NumUnits() int { return e.NumSubscriptions() }
 // Expr reconstructs the registered expression of a subscription (primarily
 // for introspection and tests).
 func (e *Engine) Expr(id matcher.SubID) (boolexpr.Expr, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if !e.aliveLocked(id) {
 		return nil, fmt.Errorf("%w: %d", matcher.ErrUnknownSubscription, id)
 	}
@@ -363,16 +409,18 @@ func (e *Engine) Expr(id matcher.SubID) (boolexpr.Expr, error) {
 // explicitly store subscriptions and thus require memory for their
 // storage").
 func (e *Engine) MemBytes() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.memBytesLocked()
 }
 
 func (e *Engine) memBytesLocked() int {
+	// Pooled match scratch is transient per-reader state and excluded, like
+	// the paper excludes per-event working memory.
 	const (
 		sliceHeader  = 24
 		subIDSize    = 8
-		slotOverhead = 1 /* live */ + 4 /* subMark entry */
+		slotOverhead = 1 /* live flag */
 	)
 	total := e.memTrees
 	total += len(e.assoc) * sliceHeader

@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"noncanon/internal/core"
+	"noncanon/internal/index"
+	"noncanon/internal/matcher"
+	"noncanon/internal/predicate"
+	"noncanon/internal/workload"
+)
+
+// benchEngine loads the paper's Table 1 workload (6 predicates per
+// subscription, 5000 fulfilled per event) into a fresh engine and pre-draws
+// fulfilled-predicate sets.
+func benchEngine(b *testing.B, subs int) (*core.Engine, [][]predicate.ID) {
+	b.Helper()
+	params := workload.Params{
+		NumSubscriptions:  subs,
+		PredsPerSub:       6,
+		FulfilledPerEvent: 5000,
+		Seed:              1,
+	}
+	eng := core.New(predicate.NewRegistry(), index.New(), core.Options{})
+	for i := 0; i < subs; i++ {
+		if _, err := eng.Subscribe(params.Sub(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	draws := make([][]predicate.ID, 16)
+	for t := range draws {
+		draws[t] = params.FulfilledDraw(rng)
+	}
+	return eng, draws
+}
+
+// BenchmarkMatch is the single-goroutine phase-two baseline the parallel
+// numbers are compared against.
+func BenchmarkMatch(b *testing.B) {
+	eng, draws := benchEngine(b, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkSubs = eng.MatchPredicates(draws[i%len(draws)])
+	}
+}
+
+// BenchmarkMatchParallel runs phase two from GOMAXPROCS goroutines at once.
+// With the RWMutex store and pooled scratch all callers hold the read lock
+// simultaneously, so per-op time should approach BenchmarkMatch divided by
+// the core count (on multi-core hardware).
+func BenchmarkMatchParallel(b *testing.B) {
+	eng, draws := benchEngine(b, 10_000)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var local []matcher.SubID
+		i := 0
+		for pb.Next() {
+			local = eng.MatchPredicates(draws[i%len(draws)])
+			i++
+		}
+		_ = local
+	})
+}
+
+// BenchmarkMatchParallelSerialized is the pre-refactor architecture
+// reconstructed for comparison: the same parallel callers funnelled through
+// one exclusive lock, the way the engine's single mutex used to serialise
+// every Match. The ratio of BenchmarkMatchParallel to this benchmark is the
+// speedup the concurrent read path buys.
+func BenchmarkMatchParallelSerialized(b *testing.B) {
+	eng, draws := benchEngine(b, 10_000)
+	var mu sync.Mutex
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var local []matcher.SubID
+		i := 0
+		for pb.Next() {
+			mu.Lock()
+			local = eng.MatchPredicates(draws[i%len(draws)])
+			mu.Unlock()
+			i++
+		}
+		_ = local
+	})
+}
+
+var sinkSubs []matcher.SubID

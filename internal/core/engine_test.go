@@ -446,24 +446,34 @@ func TestEpochWrapAround(t *testing.T) {
 	reg.Release(aEq1)
 	reg.Release(bEq2)
 
+	// Epochs are private to each pooled scratch, so drive one scratch
+	// directly through the phase-two path to control its counter.
+	sc := &matchScratch{}
+	match := func(fulfilled []predicate.ID) []matcher.SubID {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		if n := len(e.slots); len(sc.subMark) < n {
+			sc.subMark = append(sc.subMark, make([]uint32, n-len(sc.subMark))...)
+		}
+		return e.matchScratched(sc, fulfilled)
+	}
+
 	// Seed stamps at the current epoch, then jump the counter to just below
 	// the wrap point.
-	if got := e.MatchPredicates([]predicate.ID{aEq1}); len(got) != 0 {
+	if got := match([]predicate.ID{aEq1}); len(got) != 0 {
 		t.Fatalf("half-match = %v", got)
 	}
-	e.mu.Lock()
-	e.epoch = ^uint32(0) - 1
-	e.mu.Unlock()
+	sc.epoch = ^uint32(0) - 1
 	// Two calls: the second wraps to 0 → clears tables → epoch 1. The old
 	// stamps (from the call above) equal small epochs only if not cleared;
 	// after clearing they are 0 and epoch is 1, so no false positives.
-	if got := e.MatchPredicates([]predicate.ID{bEq2}); len(got) != 0 {
+	if got := match([]predicate.ID{bEq2}); len(got) != 0 {
 		t.Fatalf("pre-wrap half-match = %v", got)
 	}
-	if got := e.MatchPredicates([]predicate.ID{aEq1}); len(got) != 0 {
+	if got := match([]predicate.ID{aEq1}); len(got) != 0 {
 		t.Fatalf("post-wrap half-match = %v (stale stamp leaked)", got)
 	}
-	got := e.MatchPredicates([]predicate.ID{aEq1, bEq2})
+	got := match([]predicate.ID{aEq1, bEq2})
 	if !sameSubs(got, subIDs(id)) {
 		t.Fatalf("full match after wrap = %v, want [%d]", got, id)
 	}

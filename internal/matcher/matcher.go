@@ -35,7 +35,29 @@ var (
 
 // Matcher is a two-phase filtering engine.
 //
-// Implementations are safe for concurrent use.
+// # Concurrency contract
+//
+// Implementations are safe for concurrent use. Match results reflect some
+// store state covered by the call's lifetime: a subscription whose
+// registration races a Match may or may not appear in that result, but
+// every subscription registered before the call began and not removed must
+// be decided exactly as its Boolean expression evaluates.
+//
+// The non-canonical engine (internal/core) additionally provides a
+// genuinely concurrent read path: any number of in-flight
+// Match/MatchPredicates calls proceed at once, and Subscribe/Unsubscribe
+// exclude them only for the duration of the store mutation (an
+// RWMutex-guarded store with pooled per-call match scratch). The counting
+// baselines serialise all operations behind one mutex — they share per-call
+// hit/count vectors and exist for the paper's comparisons, not for serving
+// traffic — so code that needs parallel matching must use the non-canonical
+// engine.
+//
+// Engines constructed over a *shared* predicate.Registry and index.Index
+// (the benchmarking setup of paper §4) synchronise only their own store:
+// while one sharing engine mutates via Subscribe/Unsubscribe, no other
+// sharing engine may run at all. Single-engine deployments — the broker —
+// are unaffected; they own their registry and index.
 type Matcher interface {
 	// Name identifies the algorithm (used in benchmark output).
 	Name() string

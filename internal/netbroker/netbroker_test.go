@@ -275,6 +275,57 @@ func TestConcurrentClients(t *testing.T) {
 	wg.Wait()
 }
 
+// TestParallelPublishersWithChurn drives the concurrent engine read path
+// through the network layer: half the clients publish continuously while the
+// other half register and remove subscriptions, so matching under the read
+// lock overlaps store mutation under the write lock. Run with -race.
+func TestParallelPublishersWithChurn(t *testing.T) {
+	addr, _ := startServer(t, ServerOptions{Broker: broker.Options{QueueSize: 512}})
+
+	const pairs = 4
+	var wg sync.WaitGroup
+	for i := 0; i < pairs; i++ {
+		i := i
+		wg.Add(2)
+		go func() { // publisher
+			defer wg.Done()
+			cli, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			for j := 0; j < 50; j++ {
+				if _, err := cli.Publish(event.New().Set("a", i*100+j)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() { // churner
+			defer wg.Done()
+			cli, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			for j := 0; j < 25; j++ {
+				sub, err := cli.Subscribe(`a >= 0 and a < 1000`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := sub.Unsubscribe(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func TestServerCloseFailsClients(t *testing.T) {
 	addr, srv := startServer(t, ServerOptions{})
 	cli, err := Dial(addr)

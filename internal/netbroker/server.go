@@ -1,6 +1,11 @@
 // Package netbroker exposes the local broker over TCP using the wire
 // protocol: clients subscribe with textual subscriptions, publish events and
 // receive matched events as asynchronous pushes.
+//
+// Each connection is served by its own goroutine, and the broker's Publish
+// path runs entirely under read locks, so publications from different
+// clients are matched concurrently — the server never funnels matching
+// through an exclusive engine lock.
 package netbroker
 
 import (

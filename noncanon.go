@@ -122,7 +122,11 @@ func WithoutUnsubscribeSupport() Option {
 }
 
 // Engine is a single-process filtering engine over its own predicate
-// registry and index. It is safe for concurrent use.
+// registry and index. It is safe for concurrent use; with the default
+// NonCanonical algorithm, Match calls additionally run concurrently with
+// each other — only Subscribe/Unsubscribe briefly exclude matching while
+// they mutate the subscription store. The counting baselines serialise all
+// operations behind one mutex.
 type Engine struct {
 	m   matcher.Matcher
 	reg *predicate.Registry
