@@ -32,12 +32,22 @@ type BrokerOption func(*brokerConfig)
 
 type brokerConfig struct {
 	queueSize int
+	shards    int
 	engine    core.Options
 }
 
 // WithQueueSize sets the per-subscription delivery queue capacity.
 func WithQueueSize(n int) BrokerOption {
 	return func(c *brokerConfig) { c.queueSize = n }
+}
+
+// WithBrokerShards partitions the broker's subscriptions across n
+// independent engine shards: Subscribe/Unsubscribe then write-lock a
+// single shard (churn stalls only 1/n of each publication's matching),
+// and one Publish matches on up to GOMAXPROCS cores. The shard index
+// lives in the high bits of every subscription ID (see internal/shard).
+func WithBrokerShards(n int) BrokerOption {
+	return func(c *brokerConfig) { c.shards = n }
 }
 
 // WithBrokerCompactEncoding stores subscription trees in the compact varint
@@ -60,6 +70,7 @@ func NewBroker(opts ...BrokerOption) *Broker {
 	}
 	return &Broker{b: broker.New(broker.Options{
 		QueueSize: cfg.queueSize,
+		Shards:    cfg.shards,
 		Engine:    cfg.engine,
 	})}
 }

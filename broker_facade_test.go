@@ -86,3 +86,28 @@ func TestBrokerSubscribeExpr(t *testing.T) {
 		t.Fatal("expr subscription not delivered")
 	}
 }
+
+func TestBrokerSharded(t *testing.T) {
+	br := noncanon.NewBroker(noncanon.WithBrokerShards(4), noncanon.WithQueueSize(16))
+	defer br.Close()
+
+	var got atomic.Int64
+	for i := 0; i < 8; i++ {
+		if _, err := br.Subscribe(`price > 100`, func(ev noncanon.Event) { got.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := br.Publish(noncanon.NewEvent().Set("price", 150)); err != nil || n != 8 {
+		t.Fatalf("Publish = %d, %v, want 8", n, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() != 8 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 8 {
+		t.Fatalf("delivered = %d, want 8", got.Load())
+	}
+	if s := br.Stats(); s.Subscriptions != 8 {
+		t.Errorf("Stats.Subscriptions = %d, want 8", s.Subscriptions)
+	}
+}

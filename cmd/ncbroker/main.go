@@ -1,11 +1,14 @@
 // Command ncbroker runs a TCP publish/subscribe broker speaking the wire
 // protocol (see internal/wire). Clients connect with ncsub and ncpub.
 // Publications from different connections are matched concurrently by the
-// broker's non-canonical engine.
+// broker's non-canonical engine, and -shards N partitions the subscription
+// store across N independent engine shards so subscription churn stalls
+// only 1/N of the matching work (see internal/shard).
 //
 // Usage:
 //
 //	ncbroker -addr :7070
+//	ncbroker -addr :7070 -shards 8
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"noncanon/internal/broker"
 	"noncanon/internal/core"
 	"noncanon/internal/netbroker"
+	"noncanon/internal/shard"
 	"noncanon/internal/subtree"
 )
 
@@ -38,6 +42,7 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 	var (
 		addr    = fs.String("addr", ":7070", "listen address")
 		queue   = fs.Int("queue", broker.DefaultQueueSize, "per-subscription delivery queue size")
+		shards  = fs.Int("shards", 1, "partition subscriptions across this many engine shards (see internal/shard)")
 		compact = fs.Bool("compact", false, "use the compact subscription-tree encoding")
 		reorder = fs.Bool("reorder", false, "reorder subscription-tree children cheapest-first")
 		quiet   = fs.Bool("quiet", false, "suppress connection diagnostics")
@@ -50,6 +55,10 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 		fs.Usage()
 		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if *shards < 1 || *shards > shard.MaxShards {
+		fmt.Fprintf(errOut, "ncbroker: -shards must be in [1, %d], got %d\n", shard.MaxShards, *shards)
+		return config{}, fmt.Errorf("invalid -shards %d", *shards)
+	}
 
 	enc := subtree.PaperEncoding
 	if *compact {
@@ -60,6 +69,7 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 		opts: netbroker.ServerOptions{
 			Broker: broker.Options{
 				QueueSize: *queue,
+				Shards:    *shards,
 				Engine:    core.Options{Encoding: enc, Reorder: *reorder},
 			},
 		},

@@ -27,6 +27,9 @@ func TestParseArgsDefaults(t *testing.T) {
 	if cfg.opts.Broker.Engine.Reorder {
 		t.Error("reorder on by default")
 	}
+	if cfg.opts.Broker.Shards != 1 {
+		t.Errorf("shards = %d, want 1", cfg.opts.Broker.Shards)
+	}
 	if cfg.opts.Logf == nil {
 		t.Error("diagnostics silenced by default")
 	}
@@ -34,7 +37,7 @@ func TestParseArgsDefaults(t *testing.T) {
 
 func TestParseArgsFlags(t *testing.T) {
 	var errOut bytes.Buffer
-	cfg, err := parseArgs([]string{"-addr", ":9000", "-queue", "128", "-compact", "-reorder", "-quiet"}, &errOut)
+	cfg, err := parseArgs([]string{"-addr", ":9000", "-queue", "128", "-shards", "8", "-compact", "-reorder", "-quiet"}, &errOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,6 +52,9 @@ func TestParseArgsFlags(t *testing.T) {
 	}
 	if !cfg.opts.Broker.Engine.Reorder {
 		t.Error("reorder not set")
+	}
+	if cfg.opts.Broker.Shards != 8 {
+		t.Errorf("shards = %d, want 8", cfg.opts.Broker.Shards)
 	}
 	if cfg.opts.Logf != nil {
 		t.Error("-quiet did not silence diagnostics")
@@ -67,6 +73,13 @@ func TestParseArgsErrors(t *testing.T) {
 	if _, err := parseArgs([]string{"stray"}, &errOut); err == nil {
 		t.Error("stray positional argument accepted")
 	}
+	errOut.Reset()
+	if _, err := parseArgs([]string{"-shards", "0"}, &errOut); err == nil {
+		t.Error("-shards 0 accepted")
+	}
+	if !strings.Contains(errOut.String(), "-shards") {
+		t.Errorf("no -shards diagnostic: %q", errOut.String())
+	}
 }
 
 func TestParseArgsHelp(t *testing.T) {
@@ -75,7 +88,7 @@ func TestParseArgsHelp(t *testing.T) {
 	if err == nil {
 		t.Fatal("-h should return flag.ErrHelp")
 	}
-	for _, flagName := range []string{"-addr", "-queue", "-compact", "-reorder", "-quiet"} {
+	for _, flagName := range []string{"-addr", "-queue", "-shards", "-compact", "-reorder", "-quiet"} {
 		if !strings.Contains(errOut.String(), flagName) {
 			t.Errorf("help output missing %s: %q", flagName, errOut.String())
 		}

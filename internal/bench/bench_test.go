@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"noncanon/internal/memmodel"
 )
@@ -18,7 +19,7 @@ func TestExperimentsRegistry(t *testing.T) {
 	wantIDs := []string{
 		"table1", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f",
 		"memory", "crossover", "ablation-reorder", "ablation-encoding",
-		"parallel",
+		"parallel", "shard",
 	}
 	if len(exps) != len(wantIDs) {
 		t.Fatalf("%d experiments, want %d", len(exps), len(wantIDs))
@@ -332,6 +333,66 @@ func TestMeasureParallel(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "workers,concurrent_ev_s") {
 		t.Errorf("CSV output missing header: %q", buf.String())
+	}
+}
+
+func TestMeasureShard(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	res, err := MeasureShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 2 {
+		t.Fatalf("want at least shard counts 1 and 2, got %+v", res.Points)
+	}
+	if res.Points[0].Shards != 1 {
+		t.Errorf("first point shards = %d, want 1", res.Points[0].Shards)
+	}
+	for _, p := range res.Points {
+		if p.EventsPerSec <= 0 || p.ChurnEventsPerSec <= 0 {
+			t.Errorf("non-positive throughput at %d shards: %+v", p.Shards, p)
+		}
+		if p.P99 < p.P50 || p.ChurnP99 < p.ChurnP50 {
+			t.Errorf("p99 below p50 at %d shards: %+v", p.Shards, p)
+		}
+		if p.ChurnOpsPerSec <= 0 {
+			t.Errorf("churner made no progress at %d shards", p.Shards)
+		}
+	}
+	// Output paths: text and CSV.
+	if err := RunShard(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shards") {
+		t.Errorf("text output missing header: %q", buf.String())
+	}
+	buf.Reset()
+	cfg.CSV = true
+	if err := RunShard(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "shards,quiet_ev_s") {
+		t.Errorf("CSV output missing header: %q", buf.String())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(ds, 50); p != 5 {
+		t.Errorf("p50 = %d, want 5", p)
+	}
+	if p := percentile(ds, 99); p != 10 {
+		t.Errorf("p99 = %d, want 10", p)
+	}
+	if p := percentile(ds, 100); p != 10 {
+		t.Errorf("p100 = %d, want 10", p)
+	}
+	if p := percentile(nil, 99); p != 0 {
+		t.Errorf("empty percentile = %d, want 0", p)
+	}
+	if p := percentile([]time.Duration{7}, 1); p != 7 {
+		t.Errorf("singleton p1 = %d, want 7", p)
 	}
 }
 

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"noncanon/internal/event"
+	"noncanon/internal/shard"
+	"noncanon/internal/workload"
+)
+
+// ShardPoint is one shard count of the sharding sweep (experiment S1),
+// measured quiet and again under maximal subscription churn.
+type ShardPoint struct {
+	Shards int
+
+	// Quiet store: no concurrent Subscribe/Unsubscribe.
+	EventsPerSec float64
+	P50          time.Duration
+	P99          time.Duration
+
+	// Under churn: one writer loops Subscribe/Unsubscribe as fast as the
+	// locks admit while the same matchers run.
+	ChurnEventsPerSec float64
+	ChurnP50          time.Duration
+	ChurnP99          time.Duration
+	ChurnOpsPerSec    float64 // sustained Subscribe+Unsubscribe ops
+}
+
+// ShardResult is the regenerated sharding sweep.
+type ShardResult struct {
+	GOMAXPROCS int
+	Subs       int
+	Workers    int
+	Points     []ShardPoint
+}
+
+// shardCounts returns 1, 2, 4, … up to max(4, GOMAXPROCS): even a
+// single-core box sweeps far enough to show the churn-isolation effect,
+// which needs no parallel hardware — only independent locks.
+func shardCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	if max < 4 {
+		max = 4
+	}
+	return workerCounts(max)
+}
+
+// MeasureShard measures full-pipeline matching (phase 1 + 2, the broker's
+// per-publication work) against the shard count, with and without
+// concurrent subscription churn.
+//
+// Two separable effects appear:
+//
+//   - On a multi-core host the quiet series improves with shards up to
+//     GOMAXPROCS: Match fans one event out across cores.
+//   - Under churn the single-engine p99 collapses — every Subscribe
+//     excludes all matching — while the sharded p99 holds, because a
+//     writer locks one shard and matching proceeds on the other N-1.
+//     This effect shows even on one core, where the quiet series is flat.
+func MeasureShard(cfg Config) (ShardResult, error) {
+	cfg = cfg.withDefaults()
+	subs := scaleCount(1_000_000, cfg.Scale)
+	params := workload.Params{
+		NumSubscriptions:  subs,
+		PredsPerSub:       6,
+		FulfilledPerEvent: 5000,
+		Seed:              cfg.Seed,
+	}
+	if err := params.Validate(); err != nil {
+		return ShardResult{}, err
+	}
+
+	res := ShardResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Subs:       subs,
+		Workers:    runtime.GOMAXPROCS(0),
+	}
+	perWorker := 30 * cfg.Trials
+	for _, n := range shardCounts() {
+		eng := shard.New(shard.Options{Shards: n})
+		for i := 0; i < subs; i++ {
+			if _, err := eng.Subscribe(params.Sub(i)); err != nil {
+				return ShardResult{}, fmt.Errorf("bench: shard subscribe %d: %w", i, err)
+			}
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + 5))
+		events := make([]event.Event, 16)
+		for i := range events {
+			events[i] = params.Event(rng)
+		}
+
+		pt := ShardPoint{Shards: n}
+		pt.EventsPerSec, pt.P50, pt.P99 = matchLatency(res.Workers, perWorker, events, eng)
+
+		churn := newChurner(eng, params, subs)
+		pt.ChurnEventsPerSec, pt.ChurnP50, pt.ChurnP99 = matchLatency(res.Workers, perWorker, events, eng)
+		pt.ChurnOpsPerSec = churn.stop()
+
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// churner drives one goroutine of maximal Subscribe/Unsubscribe load.
+type churner struct {
+	ops  atomic.Int64
+	quit chan struct{}
+	done chan struct{}
+	t0   time.Time
+}
+
+func newChurner(eng *shard.Engine, params workload.Params, base int) *churner {
+	c := &churner{quit: make(chan struct{}), done: make(chan struct{}), t0: time.Now()}
+	// One synchronous cycle guarantees measurable churn even when the
+	// scheduler starves the background writer (tiny windows, 1 vCPU).
+	if id, err := eng.Subscribe(params.Sub(base)); err == nil {
+		if err := eng.Unsubscribe(id); err == nil {
+			c.ops.Add(2)
+		}
+	}
+	go func() {
+		defer close(c.done)
+		for i := 1; ; i++ {
+			select {
+			case <-c.quit:
+				return
+			default:
+			}
+			id, err := eng.Subscribe(params.Sub(base + i))
+			if err != nil {
+				return
+			}
+			if err := eng.Unsubscribe(id); err != nil {
+				return
+			}
+			c.ops.Add(2)
+		}
+	}()
+	return c
+}
+
+// stop ends the churn and returns its sustained operation rate.
+func (c *churner) stop() float64 {
+	close(c.quit)
+	<-c.done
+	dur := time.Since(c.t0).Seconds()
+	if dur <= 0 {
+		return 0
+	}
+	return float64(c.ops.Load()) / dur
+}
+
+// matchLatency runs perWorker Match calls on each of w workers, recording
+// every call's duration, and returns aggregate throughput with the p50
+// and p99 latencies. One warmup call per worker precedes the measurement,
+// mirroring timeMatch; any concurrent churn load is the caller's to run.
+func matchLatency(w, perWorker int, events []event.Event, eng *shard.Engine) (evPerSec float64, p50, p99 time.Duration) {
+	durs := make([][]time.Duration, w)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			eng.Match(events[off%len(events)])
+			mine := make([]time.Duration, 0, perWorker)
+			<-start
+			for j := 0; j < perWorker; j++ {
+				t0 := time.Now()
+				eng.Match(events[(off+j)%len(events)])
+				mine = append(mine, time.Since(t0))
+			}
+			durs[off] = mine
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	total := time.Since(t0)
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+
+	all := make([]time.Duration, 0, w*perWorker)
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return float64(w*perWorker) / total.Seconds(), percentile(all, 50), percentile(all, 99)
+}
+
+// percentile returns the p-th percentile of sorted durations (nearest
+// rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (len(sorted)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// RunShard regenerates the sharding sweep and prints its series.
+func RunShard(cfg Config) error {
+	cfg = cfg.withDefaults()
+	res, err := MeasureShard(cfg)
+	if err != nil {
+		return err
+	}
+	w := cfg.Out
+	if cfg.CSV {
+		fmt.Fprintf(w, "shards,quiet_ev_s,quiet_p50_s,quiet_p99_s,churn_ev_s,churn_p50_s,churn_p99_s,churn_ops_s\n")
+		for _, p := range res.Points {
+			fmt.Fprintf(w, "%d,%.1f,%.9f,%.9f,%.1f,%.9f,%.9f,%.1f\n",
+				p.Shards, p.EventsPerSec, p.P50.Seconds(), p.P99.Seconds(),
+				p.ChurnEventsPerSec, p.ChurnP50.Seconds(), p.ChurnP99.Seconds(), p.ChurnOpsPerSec)
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "S1: sharded matching vs shard count (GOMAXPROCS %d, %d match workers)\n", res.GOMAXPROCS, res.Workers)
+	fmt.Fprintf(w, "workload: %d subscriptions, 6 preds/sub, 5000 fulfilled/event; full Match (phase 1+2)\n", res.Subs)
+	fmt.Fprintf(w, "churn columns: one writer loops Subscribe/Unsubscribe concurrently\n\n")
+	fmt.Fprintf(w, "%-8s %-12s %-10s %-10s | %-12s %-10s %-10s %-12s\n",
+		"shards", "quiet ev/s", "p50", "p99", "churn ev/s", "p50", "p99", "churn ops/s")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%-8d %-12.1f %-10s %-10s | %-12.1f %-10s %-10s %-12.1f\n",
+			p.Shards, p.EventsPerSec, fmtDur(p.P50), fmtDur(p.P99),
+			p.ChurnEventsPerSec, fmtDur(p.ChurnP50), fmtDur(p.ChurnP99), p.ChurnOpsPerSec)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}

@@ -13,6 +13,12 @@
 // subscriber map and the engine's subscription store are both
 // RWMutex-guarded — so concurrent publishers match and enqueue in parallel;
 // Subscribe/Unsubscribe briefly exclude them while mutating the store.
+//
+// Scaling: with Options.Shards > 1 the broker partitions its subscriptions
+// across that many independent engine shards (internal/shard).
+// Subscribe/Unsubscribe then write-lock a single shard, so subscription
+// churn stalls only 1/N of each publication's matching work, and a single
+// Publish matches on up to GOMAXPROCS cores.
 package broker
 
 import (
@@ -27,6 +33,7 @@ import (
 	"noncanon/internal/index"
 	"noncanon/internal/matcher"
 	"noncanon/internal/predicate"
+	"noncanon/internal/shard"
 )
 
 // ErrClosed is returned by operations on a closed broker.
@@ -45,14 +52,27 @@ type Options struct {
 	// QueueSize is the per-subscriber queue capacity
 	// (default DefaultQueueSize).
 	QueueSize int
-	// Engine configures the underlying non-canonical engine.
+	// Shards partitions subscriptions across this many independent engine
+	// shards (default 1: a single non-canonical engine). See
+	// internal/shard for the SubID layout and concurrency win.
+	Shards int
+	// Engine configures the underlying non-canonical engine(s).
 	Engine core.Options
+}
+
+// engine is the subset of matcher.Matcher the broker drives; both
+// core.Engine and shard.Engine satisfy it.
+type engine interface {
+	Subscribe(expr boolexpr.Expr) (matcher.SubID, error)
+	Unsubscribe(id matcher.SubID) error
+	Match(ev event.Event) []matcher.SubID
+	NumSubscriptions() int
 }
 
 // Broker routes published events to matching subscribers.
 type Broker struct {
 	opts Options
-	eng  *core.Engine
+	eng  engine
 
 	mu     sync.RWMutex
 	subs   map[matcher.SubID]*Subscription
@@ -80,11 +100,15 @@ func New(opts Options) *Broker {
 	if opts.QueueSize <= 0 {
 		opts.QueueSize = DefaultQueueSize
 	}
-	reg := predicate.NewRegistry()
-	idx := index.New()
+	var eng engine
+	if opts.Shards > 1 {
+		eng = shard.New(shard.Options{Shards: opts.Shards, Engine: opts.Engine})
+	} else {
+		eng = core.New(predicate.NewRegistry(), index.New(), opts.Engine)
+	}
 	return &Broker{
 		opts: opts,
-		eng:  core.New(reg, idx, opts.Engine),
+		eng:  eng,
 		subs: make(map[matcher.SubID]*Subscription, 64),
 	}
 }

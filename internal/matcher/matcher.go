@@ -53,6 +53,12 @@ var (
 // traffic — so code that needs parallel matching must use the non-canonical
 // engine.
 //
+// The sharded engine (internal/shard) partitions subscriptions across N
+// core engines — each with a private registry, index and lock — encoding
+// the shard index in the high bits of SubID. Subscribe/Unsubscribe then
+// write-lock a single shard, and Match fans out over all of them, so
+// churn excludes only 1/N of the matching work.
+//
 // Engines constructed over a *shared* predicate.Registry and index.Index
 // (the benchmarking setup of paper §4) synchronise only their own store:
 // while one sharing engine mutates via Subscribe/Unsubscribe, no other

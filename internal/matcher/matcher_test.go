@@ -12,6 +12,7 @@ import (
 	"noncanon/internal/index"
 	"noncanon/internal/matcher"
 	"noncanon/internal/predicate"
+	"noncanon/internal/shard"
 )
 
 // engines returns every Matcher implementation over its own fresh
@@ -29,6 +30,8 @@ func engines() map[string]matcher.Matcher {
 		"non-canonical":    newNC(),
 		"counting":         newCnt(counting.Classic),
 		"counting-variant": newCnt(counting.Variant),
+		"sharded-1":        shard.New(shard.Options{Shards: 1}),
+		"sharded-4":        shard.New(shard.Options{Shards: 4, Parallel: 2}),
 	}
 }
 

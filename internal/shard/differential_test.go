@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/core"
+	"noncanon/internal/event"
+	"noncanon/internal/index"
+	"noncanon/internal/matcher"
+	"noncanon/internal/predicate"
+)
+
+// The differential property: for any workload, shard.Engine.Match,
+// core.Engine.Match and naive boolexpr evaluation agree on every event.
+//
+// The workloads deliberately include what the paper's AND/OR experiments
+// never exercise: NOT nodes, zero-satisfiable expressions (true under the
+// all-false assignment, e.g. `not a0 = 1`), unsatisfiable expressions,
+// and interleaved Unsubscribe that recycles IDs in both engines.
+
+// diffSub tracks one logical subscription across the three evaluators.
+type diffSub struct {
+	expr    boolexpr.Expr
+	shardID matcher.SubID
+	coreID  matcher.SubID
+	alive   bool
+}
+
+// diffHarness registers the same expressions into a sharded and an
+// unsharded engine and evaluates them naively.
+type diffHarness struct {
+	t       *testing.T
+	sharded *Engine
+	ref     *core.Engine
+	subs    []*diffSub
+	byShard map[matcher.SubID]int
+	byCore  map[matcher.SubID]int
+}
+
+func newDiffHarness(t *testing.T, shards, parallel int) *diffHarness {
+	return &diffHarness{
+		t:       t,
+		sharded: New(Options{Shards: shards, Parallel: parallel}),
+		ref:     core.New(predicate.NewRegistry(), index.New(), core.Options{}),
+		byShard: map[matcher.SubID]int{},
+		byCore:  map[matcher.SubID]int{},
+	}
+}
+
+func (h *diffHarness) subscribe(x boolexpr.Expr) {
+	h.t.Helper()
+	sid, err := h.sharded.Subscribe(x)
+	if err != nil {
+		h.t.Fatalf("sharded subscribe %v: %v", x, err)
+	}
+	cid, err := h.ref.Subscribe(x)
+	if err != nil {
+		h.t.Fatalf("core subscribe %v: %v", x, err)
+	}
+	i := len(h.subs)
+	h.subs = append(h.subs, &diffSub{expr: x, shardID: sid, coreID: cid, alive: true})
+	h.byShard[sid] = i
+	h.byCore[cid] = i
+}
+
+func (h *diffHarness) unsubscribe(i int) {
+	h.t.Helper()
+	s := h.subs[i]
+	if !s.alive {
+		return
+	}
+	if err := h.sharded.Unsubscribe(s.shardID); err != nil {
+		h.t.Fatalf("sharded unsubscribe %d: %v", s.shardID, err)
+	}
+	if err := h.ref.Unsubscribe(s.coreID); err != nil {
+		h.t.Fatalf("core unsubscribe %d: %v", s.coreID, err)
+	}
+	s.alive = false
+	delete(h.byShard, s.shardID)
+	delete(h.byCore, s.coreID)
+}
+
+// check asserts the three evaluators agree on ev. Dead IDs may have been
+// recycled, so the ID→logical maps only ever contain live subscriptions.
+func (h *diffHarness) check(ev event.Event) {
+	h.t.Helper()
+	naive := []int{}
+	for i, s := range h.subs {
+		if s.alive && s.expr.Eval(ev) {
+			naive = append(naive, i)
+		}
+	}
+	shardSet := h.project(h.sharded.Match(ev), h.byShard, "sharded")
+	coreSet := h.project(h.ref.Match(ev), h.byCore, "core")
+	if !equalInts(naive, shardSet) {
+		h.t.Fatalf("event %v:\n  naive   %v\n  sharded %v", ev, naive, shardSet)
+	}
+	if !equalInts(naive, coreSet) {
+		h.t.Fatalf("event %v:\n  naive %v\n  core  %v", ev, naive, coreSet)
+	}
+}
+
+func (h *diffHarness) project(ids []matcher.SubID, of map[matcher.SubID]int, name string) []int {
+	h.t.Helper()
+	out := make([]int, 0, len(ids))
+	seen := map[int]bool{}
+	for _, id := range ids {
+		i, ok := of[id]
+		if !ok {
+			h.t.Fatalf("%s returned ID %d which maps to no live subscription", name, id)
+		}
+		if seen[i] {
+			h.t.Fatalf("%s returned logical subscription %d twice", name, i)
+		}
+		seen[i] = true
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// diffEvent draws a random event over the RandomExpr attribute pool
+// a0..a7: ints and floats in the operand domain, matching strings,
+// booleans, and randomly absent attributes.
+func diffEvent(rng *rand.Rand) event.Event {
+	ev := event.New()
+	for i := 0; i < 8; i++ {
+		attr := "a" + fmt.Sprint(i)
+		switch rng.Intn(6) {
+		case 0: // absent
+		case 1:
+			ev = ev.Set(attr, rng.Intn(100))
+		case 2:
+			ev = ev.Set(attr, float64(rng.Intn(100))+0.5)
+		case 3:
+			ev = ev.Set(attr, "s"+fmt.Sprint(rng.Intn(100)))
+		case 4:
+			ev = ev.Set(attr, rng.Intn(2) == 0)
+		default:
+			ev = ev.Set(attr, rng.Intn(10)) // dense small ints hit Eq operands
+		}
+	}
+	return ev
+}
+
+// handPicked returns corner-case expressions the random generator only
+// rarely produces: zero-satisfiable, unsatisfiable, and double negation.
+func handPicked() []boolexpr.Expr {
+	a0eq1 := boolexpr.Pred("a0", predicate.Eq, 1)
+	return []boolexpr.Expr{
+		boolexpr.NewNot(a0eq1),                         // zero-satisfiable
+		boolexpr.NewAnd(a0eq1, boolexpr.NewNot(a0eq1)), // unsatisfiable
+		boolexpr.NewNot(boolexpr.NewAnd(
+			boolexpr.Pred("a1", predicate.Gt, 50),
+			boolexpr.Pred("a2", predicate.Exists, nil),
+		)), // zero-satisfiable via De Morgan
+		boolexpr.NewOr(
+			boolexpr.NewNot(boolexpr.Pred("a3", predicate.Exists, nil)),
+			boolexpr.Pred("a3", predicate.Ge, 0),
+		), // matches every event one way or the other
+	}
+}
+
+func TestDifferentialRandomWorkloads(t *testing.T) {
+	configs := []struct {
+		shards, parallel int
+	}{
+		{1, 1}, {3, 1}, {4, 2}, {8, 4},
+	}
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, c := range configs {
+		for _, seed := range seeds {
+			c, seed := c, seed
+			t.Run(fmt.Sprintf("shards=%d/par=%d/seed=%d", c.shards, c.parallel, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				h := newDiffHarness(t, c.shards, c.parallel)
+				cfg := boolexpr.RandomConfig{MaxDepth: 4, MaxFanout: 3, AllowNot: true}
+
+				for _, x := range handPicked() {
+					h.subscribe(x)
+				}
+				const rounds, perRound = 6, 25
+				for r := 0; r < rounds; r++ {
+					for i := 0; i < perRound; i++ {
+						h.subscribe(boolexpr.RandomExpr(rng, cfg))
+					}
+					// Interleave unsubscription of ~1/4 of the live population,
+					// recycling IDs in both engines.
+					for i := range h.subs {
+						if h.subs[i].alive && rng.Intn(4) == 0 {
+							h.unsubscribe(i)
+						}
+					}
+					for e := 0; e < 20; e++ {
+						h.check(diffEvent(rng))
+					}
+					// The empty event: only zero-satisfiable subscriptions match.
+					h.check(event.New())
+				}
+				if h.sharded.NumSubscriptions() != h.ref.NumSubscriptions() {
+					t.Fatalf("live count diverged: sharded %d, core %d",
+						h.sharded.NumSubscriptions(), h.ref.NumSubscriptions())
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialMatchPredicatesSingleShard extends the differential
+// check to the phase-two-only entry point, where per-shard predicate IDs
+// are exact for N=1: both engines see the same fulfilled-ID universe.
+func TestDifferentialMatchPredicatesSingleShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := newDiffHarness(t, 1, 1)
+	cfg := boolexpr.RandomConfig{MaxDepth: 3, MaxFanout: 3, AllowNot: true}
+	for i := 0; i < 120; i++ {
+		h.subscribe(boolexpr.RandomExpr(rng, cfg))
+	}
+	for i := range h.subs {
+		if rng.Intn(5) == 0 {
+			h.unsubscribe(i)
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		var fulfilled []predicate.ID
+		for id := 1; id <= 200; id++ {
+			if rng.Intn(8) == 0 {
+				fulfilled = append(fulfilled, predicate.ID(id))
+			}
+		}
+		got := h.sharded.MatchPredicates(fulfilled)
+		want := h.ref.MatchPredicates(fulfilled)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: sharded %v != core %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: sharded %v != core %v", trial, got, want)
+			}
+		}
+	}
+}

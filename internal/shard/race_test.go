@@ -1,0 +1,255 @@
+package shard
+
+import (
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/event"
+	"noncanon/internal/matcher"
+	"noncanon/internal/predicate"
+)
+
+// stormExpr builds a small random AND/OR/NOT expression over integer
+// attributes a0..a3 with operands in [0, 50), like the core engine's race
+// test — the stable population the matchers cross-check.
+func stormExpr(rng *rand.Rand, depth int) boolexpr.Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		attr := "a" + strconv.Itoa(rng.Intn(4))
+		ops := []predicate.Op{predicate.Eq, predicate.Lt, predicate.Le, predicate.Gt, predicate.Ge}
+		return boolexpr.Pred(attr, ops[rng.Intn(len(ops))], rng.Intn(50))
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return boolexpr.NewAnd(stormExpr(rng, depth-1), stormExpr(rng, depth-1))
+	case 1:
+		return boolexpr.NewOr(stormExpr(rng, depth-1), stormExpr(rng, depth-1))
+	default:
+		return boolexpr.NewNot(stormExpr(rng, depth-1))
+	}
+}
+
+func stormEvent(rng *rand.Rand) event.Event {
+	ev := event.New()
+	for i := 0; i < 4; i++ {
+		ev = ev.Set("a"+strconv.Itoa(i), rng.Intn(50))
+	}
+	return ev
+}
+
+// churnExpr yields throw-away subscriptions over the dedicated "churn"
+// attribute, which storm events never carry. Eq predicates are not
+// zero-satisfiable, so a churn subscription can never legitimately match
+// a storm event: any churn (or recycled-churn) ID in a Match result is a
+// delivery for a subscription that is dead or was never fulfilled.
+func churnExpr(rng *rand.Rand) boolexpr.Expr {
+	return boolexpr.NewAnd(
+		boolexpr.Pred("churn", predicate.Eq, rng.Intn(1000)),
+		boolexpr.Pred("churn", predicate.Ge, 0),
+	)
+}
+
+// TestShardChurnRaceCrossCheck is the churn race test of ISSUE 2: run
+// -race stress with concurrent Subscribe/Unsubscribe/Match across shards,
+// asserting that recycled SubIDs are never delivered for a dead
+// subscription and NumSubscriptions stays consistent.
+//
+// While core's race test exercises one store, this one additionally pins
+// the sharded property: churn constantly write-locks *some* shard, yet
+// every Match must still decide the whole stable population correctly —
+// matching never waits on all shards at once.
+func TestShardChurnRaceCrossCheck(t *testing.T) {
+	const shards = 4
+	e := New(Options{Shards: shards, Parallel: 2})
+	rng := rand.New(rand.NewSource(17))
+
+	const stableN = 150
+	stable := make(map[matcher.SubID]boolexpr.Expr, stableN)
+	for i := 0; i < stableN; i++ {
+		x := stormExpr(rng, 3)
+		id, err := e.Subscribe(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stable[id] = x
+	}
+
+	iters := 300
+	if testing.Short() {
+		iters = 75
+	}
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 4 {
+		workers = 4
+	}
+
+	var stop atomic.Bool
+	var churnWG, matchWG sync.WaitGroup
+	var leftover atomic.Int64
+
+	// Churn goroutines: register and remove throw-away subscriptions that
+	// can never match a storm event, landing on whichever shard the
+	// content hash picks — write locks keep rotating through the shards.
+	for w := 0; w < workers/2; w++ {
+		churnWG.Add(1)
+		go func(seed int64) {
+			defer churnWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var mine []matcher.SubID
+			for !stop.Load() {
+				if len(mine) < 8 && rng.Intn(2) == 0 {
+					id, err := e.Subscribe(churnExpr(rng))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mine = append(mine, id)
+				} else if len(mine) > 0 {
+					id := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if err := e.Unsubscribe(id); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			leftover.Add(int64(len(mine)))
+		}(300 + int64(w))
+	}
+
+	// Match goroutines: every result must decide the stable population
+	// exactly like naive evaluation, and must never contain a non-stable
+	// ID — churn subscriptions cannot match storm events, so a stray ID is
+	// a dead or recycled delivery.
+	for w := 0; w < (workers+1)/2; w++ {
+		matchWG.Add(1)
+		go func(seed int64) {
+			defer matchWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				ev := stormEvent(rng)
+				got := e.Match(ev)
+				gotStable := make(map[matcher.SubID]bool, len(got))
+				for _, id := range got {
+					if _, ok := stable[id]; !ok {
+						t.Errorf("event %v: matched non-stable subscription %d (shard %d) — dead or recycled delivery",
+							ev, id, e.ShardOf(id))
+						return
+					}
+					gotStable[id] = true
+				}
+				for id, x := range stable {
+					if want := x.Eval(ev); want != gotStable[id] {
+						t.Errorf("event %v: stable sub %d: naive=%v engine=%v (expr %v)",
+							ev, id, want, gotStable[id], x)
+						return
+					}
+				}
+				// The live count must never dip below the stable floor,
+				// whatever the churn is doing on other shards.
+				if n := e.NumSubscriptions(); n < stableN {
+					t.Errorf("NumSubscriptions = %d < stable floor %d", n, stableN)
+					return
+				}
+			}
+		}(400 + int64(w))
+	}
+
+	matchWG.Wait()
+	stop.Store(true)
+	churnWG.Wait()
+
+	// Post-storm consistency: the engine-level count equals the stable
+	// population plus the churn leftovers and the sum over shards.
+	want := stableN + int(leftover.Load())
+	if got := e.NumSubscriptions(); got != want {
+		t.Errorf("post-storm NumSubscriptions = %d, want %d", got, want)
+	}
+	sum := 0
+	for _, c := range e.ShardSizes() {
+		sum += c
+	}
+	if sum != want {
+		t.Errorf("post-storm shard sizes sum to %d, want %d (%v)", sum, want, e.ShardSizes())
+	}
+
+	// And a final serial cross-check of the intact store.
+	ev := stormEvent(rng)
+	got := map[matcher.SubID]bool{}
+	for _, id := range e.Match(ev) {
+		got[id] = true
+	}
+	for id, x := range stable {
+		if x.Eval(ev) != got[id] {
+			t.Fatalf("post-storm mismatch on stable sub %d", id)
+		}
+	}
+}
+
+// TestShardChurnDoesNotBlockOtherShards pins the structural claim behind
+// the tentpole: holding one shard's write lock must not stop Match from
+// completing on an engine whose fan-out is sequential over the remaining
+// shards... it cannot literally hold a core lock from outside, so instead
+// it drives sustained churn onto ONE shard (identical expressions
+// co-locate) while timing that matching throughput on the whole engine
+// continues — an existence proof that Subscribe on shard k excludes only
+// shard k. The strict latency experiment lives in internal/bench.
+func TestShardChurnDoesNotBlockOtherShards(t *testing.T) {
+	e := New(Options{Shards: 4, Parallel: 1})
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 100; i++ {
+		if _, err := e.Subscribe(stormExpr(rng, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// All churn lands on one shard: the expression is constant.
+	pin := boolexpr.Pred("churn", predicate.Eq, 42)
+	pinID, err := e.Subscribe(pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinShard, _ := Split(pinID)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			id, err := e.Subscribe(pin)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if s, _ := Split(id); s != pinShard {
+				t.Errorf("pinned churn landed on shard %d, want %d", s, pinShard)
+				return
+			}
+			if err := e.Unsubscribe(id); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		e.Match(stormEvent(rng))
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// The pinned shard saw all the churn; the others none.
+	sizes := e.ShardSizes()
+	total := 0
+	for _, c := range sizes {
+		total += c
+	}
+	if total != 101 {
+		t.Errorf("post-churn population %d, want 101 (%v)", total, sizes)
+	}
+}

@@ -1,0 +1,306 @@
+// Package shard scales the non-canonical engine across cores by
+// hash-partitioning subscriptions over N independent core.Engine shards.
+//
+// Each shard owns a full engine stack — predicate registry, phase-one
+// index, subscription store and lock — so the shards share no mutable
+// state at all. That buys two things the single engine cannot provide:
+//
+//   - Write-side churn stops stalling matching globally. Subscribe and
+//     Unsubscribe route to exactly one shard and take only that shard's
+//     write lock; matching proceeds unimpeded on the other N-1 shards.
+//   - A single event can use more than one core. Match fans the event out
+//     to all shards — sequentially for small N, or through a bounded
+//     worker pool for GOMAXPROCS-wide parallel single-event matching —
+//     and merges the per-shard results.
+//
+// Subscription identity stays stable and routable across the partition:
+// the shard index lives in the high ShardBits of every matcher.SubID
+// (see Join/Split), so Unsubscribe finds its shard with a shift, no
+// global lookup table required. Shard 0's IDs coincide with the wrapped
+// engine's own IDs, making a 1-shard Engine bit-for-bit compatible with a
+// bare core.Engine.
+//
+// Routing hashes the subscription's textual form (FNV-1a), so identical
+// subscriptions land on the same shard where the registry interns their
+// predicates once — content-hashing preserves the sharing that makes the
+// paper's association table compact.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/core"
+	"noncanon/internal/event"
+	"noncanon/internal/index"
+	"noncanon/internal/matcher"
+	"noncanon/internal/predicate"
+)
+
+// SubID layout: the shard index occupies the high ShardBits of the 64-bit
+// ID, the shard-local ID the low bits. Exported so wire-level consumers
+// (dashboards, debug tooling) can decode where a subscription lives.
+const (
+	// ShardBits is the width of the shard-index field.
+	ShardBits = 16
+	// MaxShards is the largest permitted shard count.
+	MaxShards = 1 << ShardBits
+	// localBits is the width of the shard-local ID field.
+	localBits = 64 - ShardBits
+	// MaxLocalID is the largest shard-local subscription ID that fits the
+	// layout (2^48-1 ≈ 2.8·10^14 live subscriptions per shard).
+	MaxLocalID = matcher.SubID(1)<<localBits - 1
+)
+
+// Join combines a shard index and a shard-local ID into a global SubID.
+func Join(shard int, local matcher.SubID) matcher.SubID {
+	return matcher.SubID(shard)<<localBits | local
+}
+
+// Split decomposes a global SubID into its shard index and shard-local ID.
+func Split(id matcher.SubID) (shard int, local matcher.SubID) {
+	return int(id >> localBits), id & MaxLocalID
+}
+
+// Options configures a sharded engine.
+type Options struct {
+	// Shards is the number of partitions (default 1, max MaxShards).
+	Shards int
+	// Parallel bounds the worker pool a single Match fans out over
+	// (default GOMAXPROCS, capped at Shards). 1 forces sequential fan-out.
+	Parallel int
+	// Engine configures every underlying core.Engine identically.
+	Engine core.Options
+}
+
+// Engine partitions subscriptions across N core engines. It implements
+// matcher.Matcher; see the package comment for the concurrency win over a
+// single engine.
+//
+// MatchPredicates is supported for N=1 only, where it coincides with
+// core.Engine.MatchPredicates. With more shards each shard owns a
+// private registry, so a fulfilled-predicate ID names a different
+// predicate on every shard and no correct answer exists; rather than
+// return plausible-looking garbage, the call panics. Full-event Match —
+// where each shard runs its own phase one — is the operation sharding
+// is built for.
+type Engine struct {
+	shards []*core.Engine
+	par    int
+	churn  atomic.Uint64 // completed Subscribe/Unsubscribe count
+}
+
+var _ matcher.Matcher = (*Engine)(nil)
+
+// normalize clamps out-of-range option values to the documented defaults
+// rather than rejecting them, mirroring broker.Options.
+func (o Options) normalize() (shards, parallel int) {
+	shards = o.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > MaxShards {
+		shards = MaxShards
+	}
+	parallel = o.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > shards {
+		parallel = shards
+	}
+	return shards, parallel
+}
+
+// New builds a sharded engine; see Options.normalize for value clamping.
+func New(opts Options) *Engine {
+	n, par := opts.normalize()
+	e := &Engine{shards: make([]*core.Engine, n), par: par}
+	for i := range e.shards {
+		e.shards[i] = core.New(predicate.NewRegistry(), index.New(), opts.Engine)
+	}
+	return e
+}
+
+// Name implements matcher.Matcher.
+func (e *Engine) Name() string {
+	return fmt.Sprintf("sharded-non-canonical(%d)", len(e.shards))
+}
+
+// NumShards returns the partition count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// ShardOf returns the shard index a global SubID routes to. It does not
+// check liveness; Unsubscribe reports unknown IDs.
+func (e *Engine) ShardOf(id matcher.SubID) int {
+	s, _ := Split(id)
+	return s
+}
+
+// route picks the shard for a new subscription: FNV-1a over the textual
+// form, so identical subscriptions co-locate and intern their predicates
+// once.
+func (e *Engine) route(expr boolexpr.Expr) int {
+	h := fnv.New64a()
+	h.Write([]byte(expr.String()))
+	return int(h.Sum64() % uint64(len(e.shards)))
+}
+
+// Subscribe registers the subscription on its content-hashed shard,
+// taking only that shard's write lock.
+func (e *Engine) Subscribe(expr boolexpr.Expr) (matcher.SubID, error) {
+	if expr == nil {
+		return 0, fmt.Errorf("shard: nil subscription expression")
+	}
+	s := e.route(expr)
+	local, err := e.shards[s].Subscribe(expr)
+	if err != nil {
+		return 0, err
+	}
+	if local > MaxLocalID {
+		// Unreachable at any realistic scale (2^48 live IDs per shard), but
+		// an overflowing ID must not silently alias another shard.
+		_ = e.shards[s].Unsubscribe(local)
+		return 0, fmt.Errorf("shard: shard %d exhausted its local ID space", s)
+	}
+	e.churn.Add(1)
+	return Join(s, local), nil
+}
+
+// Unsubscribe removes the subscription from the shard encoded in its ID,
+// touching no other shard.
+func (e *Engine) Unsubscribe(id matcher.SubID) error {
+	s, local := Split(id)
+	if s >= len(e.shards) {
+		return fmt.Errorf("%w: %d (shard %d of %d)", matcher.ErrUnknownSubscription, id, s, len(e.shards))
+	}
+	if err := e.shards[s].Unsubscribe(local); err != nil {
+		return err
+	}
+	e.churn.Add(1)
+	return nil
+}
+
+// Churn returns the total number of completed Subscribe/Unsubscribe
+// operations (observability for the shard experiment).
+func (e *Engine) Churn() uint64 { return e.churn.Load() }
+
+// Match fans the event out to every shard — each runs both filtering
+// phases over its private index and store — and merges the results in
+// shard order. Fan-out is sequential when the engine was configured with
+// Parallel=1 or has a single shard; otherwise up to Parallel workers pull
+// shards off a shared counter, so one event's matching spreads across
+// cores while churn on any shard blocks only that shard's slice of the
+// work.
+func (e *Engine) Match(ev event.Event) []matcher.SubID {
+	return e.fanOut(func(s *core.Engine) []matcher.SubID { return s.Match(ev) })
+}
+
+// MatchPredicates runs phase two on the single shard. It panics on a
+// multi-shard engine, where fulfilled IDs are ambiguous (see the Engine
+// comment); use Match, which runs phase one per shard.
+func (e *Engine) MatchPredicates(fulfilled []predicate.ID) []matcher.SubID {
+	if len(e.shards) > 1 {
+		panic(fmt.Sprintf("shard: MatchPredicates is ambiguous across %d shards with private registries; use Match", len(e.shards)))
+	}
+	return e.shards[0].MatchPredicates(fulfilled)
+}
+
+// fanOut runs fn on every shard and concatenates the globalised results
+// in shard order, so output is deterministic for a given store state
+// regardless of worker scheduling.
+func (e *Engine) fanOut(fn func(*core.Engine) []matcher.SubID) []matcher.SubID {
+	n := len(e.shards)
+	if n == 1 {
+		// Shard 0: Join is the identity, reuse the engine's fresh slice.
+		return fn(e.shards[0])
+	}
+	perShard := make([][]matcher.SubID, n)
+	if e.par <= 1 {
+		for i, s := range e.shards {
+			perShard[i] = fn(s)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < e.par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					perShard[i] = fn(e.shards[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	total := 0
+	for _, ids := range perShard {
+		total += len(ids)
+	}
+	out := make([]matcher.SubID, 0, total)
+	for i, ids := range perShard {
+		for _, local := range ids {
+			out = append(out, Join(i, local))
+		}
+	}
+	return out
+}
+
+// NumSubscriptions sums the live subscriptions over all shards. Each
+// shard is read under its own lock; concurrent churn may be counted in
+// one shard and not another, like any sharded aggregate.
+func (e *Engine) NumSubscriptions() int {
+	total := 0
+	for _, s := range e.shards {
+		total += s.NumSubscriptions()
+	}
+	return total
+}
+
+// NumUnits implements matcher.Matcher: one stored unit per subscription,
+// like the engine it partitions.
+func (e *Engine) NumUnits() int {
+	total := 0
+	for _, s := range e.shards {
+		total += s.NumUnits()
+	}
+	return total
+}
+
+// MemBytes sums the engine-owned phase-two memory over all shards.
+func (e *Engine) MemBytes() int {
+	total := 0
+	for _, s := range e.shards {
+		total += s.MemBytes()
+	}
+	return total
+}
+
+// Expr reconstructs the registered expression of a subscription, like
+// core.Engine.Expr.
+func (e *Engine) Expr(id matcher.SubID) (boolexpr.Expr, error) {
+	s, local := Split(id)
+	if s >= len(e.shards) {
+		return nil, fmt.Errorf("%w: %d (shard %d of %d)", matcher.ErrUnknownSubscription, id, s, len(e.shards))
+	}
+	return e.shards[s].Expr(local)
+}
+
+// ShardSizes returns the live subscription count per shard, for balance
+// introspection and the shard experiment.
+func (e *Engine) ShardSizes() []int {
+	out := make([]int, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = s.NumSubscriptions()
+	}
+	return out
+}

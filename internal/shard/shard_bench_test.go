@@ -1,0 +1,95 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"noncanon/internal/event"
+	"noncanon/internal/workload"
+)
+
+// benchEngine loads a sharded engine with the Table 1 workload and draws
+// a pool of events for it.
+func benchEngine(b *testing.B, shards, subs int) (*Engine, []event.Event) {
+	b.Helper()
+	params := workload.Params{
+		NumSubscriptions:  subs,
+		PredsPerSub:       6,
+		FulfilledPerEvent: 5000,
+		Seed:              1,
+	}
+	e := New(Options{Shards: shards})
+	for i := 0; i < subs; i++ {
+		if _, err := e.Subscribe(params.Sub(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	events := make([]event.Event, 16)
+	for i := range events {
+		events[i] = params.Event(rng)
+	}
+	return e, events
+}
+
+// BenchmarkShardMatch measures full-pipeline Match (phase 1 + 2 on every
+// shard) against the shard count; on a multi-core host higher shard
+// counts cut single-event latency.
+func BenchmarkShardMatch(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e, events := benchEngine(b, shards, 20_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Match(events[i%len(events)])
+			}
+		})
+	}
+}
+
+// BenchmarkShardMatchUnderChurn runs the same measurement while one
+// goroutine churns Subscribe/Unsubscribe as fast as it can: with one
+// shard every write excludes the matcher, with N shards only a 1/N slice
+// of each fan-out can stall behind the writer.
+func BenchmarkShardMatchUnderChurn(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e, events := benchEngine(b, shards, 20_000)
+			params := workload.Params{
+				NumSubscriptions: 1 << 30, PredsPerSub: 6,
+				FulfilledPerEvent: 5000, Seed: 3,
+			}
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					id, err := e.Subscribe(params.Sub(1_000_000 + i))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := e.Unsubscribe(id); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Match(events[i%len(events)])
+			}
+			b.StopTimer()
+			close(stop)
+			<-done
+		})
+	}
+}

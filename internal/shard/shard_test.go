@@ -1,0 +1,322 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/core"
+	"noncanon/internal/event"
+	"noncanon/internal/index"
+	"noncanon/internal/matcher"
+	"noncanon/internal/predicate"
+)
+
+func TestIDLayoutRoundTrip(t *testing.T) {
+	cases := []struct {
+		shard int
+		local matcher.SubID
+	}{
+		{0, 1}, {0, MaxLocalID}, {1, 1}, {7, 12345},
+		{MaxShards - 1, 1}, {MaxShards - 1, MaxLocalID},
+	}
+	for _, c := range cases {
+		id := Join(c.shard, c.local)
+		s, l := Split(id)
+		if s != c.shard || l != c.local {
+			t.Errorf("Join(%d,%d)=%d splits to (%d,%d)", c.shard, c.local, id, s, l)
+		}
+	}
+	// Shard 0 IDs must be bit-for-bit the local IDs.
+	if Join(0, 42) != 42 {
+		t.Errorf("Join(0, 42) = %d, want 42", Join(0, 42))
+	}
+}
+
+func TestOptionsClamping(t *testing.T) {
+	// normalize is tested directly: constructing MaxShards engines just to
+	// observe the clamp would allocate 65536 registries.
+	cases := []struct {
+		opts         Options
+		wantN, wantP int
+	}{
+		{Options{}, 1, 1},
+		{Options{Shards: -3}, 1, 1},
+		{Options{Shards: MaxShards + 5, Parallel: 2}, MaxShards, 2},
+		{Options{Shards: 2, Parallel: 64}, 2, 2},
+	}
+	for _, c := range cases {
+		n, p := c.opts.normalize()
+		if n != c.wantN {
+			t.Errorf("%+v: shards = %d, want %d", c.opts, n, c.wantN)
+		}
+		if c.opts.Parallel > 0 && p != c.wantP {
+			t.Errorf("%+v: parallel = %d, want %d", c.opts, p, c.wantP)
+		}
+	}
+	if n := New(Options{Shards: 3}).NumShards(); n != 3 {
+		t.Errorf("NumShards = %d, want 3", n)
+	}
+}
+
+// testExpr builds a deterministic expression whose identity i is
+// recoverable: it matches exactly events with k = i.
+func testExpr(i int) boolexpr.Expr {
+	return boolexpr.NewOr(
+		boolexpr.Pred("k", predicate.Eq, i),
+		boolexpr.NewAnd(
+			boolexpr.Pred("k", predicate.Ge, i),
+			boolexpr.Pred("k", predicate.Le, i),
+		),
+	)
+}
+
+// TestSingleShardMatchesCore pins the acceptance criterion: a 1-shard
+// engine returns exactly what a bare core.Engine returns — same IDs, same
+// order — for the same registration sequence.
+func TestSingleShardMatchesCore(t *testing.T) {
+	sharded := New(Options{Shards: 1})
+	bare := core.New(predicate.NewRegistry(), index.New(), core.Options{})
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		x := testExpr(i % 50) // duplicates exercise interning
+		sid, err := sharded.Subscribe(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bid, err := bare.Subscribe(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sid != bid {
+			t.Fatalf("sub %d: sharded ID %d != core ID %d", i, sid, bid)
+		}
+	}
+	// Interleave removals.
+	for i := 5; i < n; i += 7 {
+		if err := sharded.Unsubscribe(matcher.SubID(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := bare.Unsubscribe(matcher.SubID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 50; k++ {
+		ev := event.New().Set("k", k)
+		got := sharded.Match(ev)
+		want := bare.Match(ev)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: sharded %v != core %v", k, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("k=%d: sharded %v != core %v", k, got, want)
+			}
+		}
+	}
+	if sharded.NumSubscriptions() != bare.NumSubscriptions() {
+		t.Errorf("NumSubscriptions: sharded %d, core %d",
+			sharded.NumSubscriptions(), bare.NumSubscriptions())
+	}
+}
+
+// TestShardedMatchesUnsharded checks, for several shard counts and both
+// fan-out modes, that partitioning never changes the match *set* (IDs are
+// remapped, so compare via expression identity).
+func TestShardedMatchesUnsharded(t *testing.T) {
+	const n = 300
+	for _, shards := range []int{2, 3, 8} {
+		for _, par := range []int{1, 4} {
+			t.Run(fmt.Sprintf("shards=%d/par=%d", shards, par), func(t *testing.T) {
+				e := New(Options{Shards: shards, Parallel: par})
+				ref := core.New(predicate.NewRegistry(), index.New(), core.Options{})
+				idOf := map[matcher.SubID]int{}  // sharded ID -> logical i
+				refOf := map[matcher.SubID]int{} // core ID -> logical i
+				for i := 0; i < n; i++ {
+					x := testExpr(i)
+					sid, err := e.Subscribe(x)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rid, err := ref.Subscribe(x)
+					if err != nil {
+						t.Fatal(err)
+					}
+					idOf[sid] = i
+					refOf[rid] = i
+				}
+				for k := 0; k < n; k += 17 {
+					ev := event.New().Set("k", k)
+					got := logical(t, e.Match(ev), idOf)
+					want := logical(t, ref.Match(ev), refOf)
+					if !equalInts(got, want) {
+						t.Fatalf("k=%d: sharded %v != reference %v", k, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func logical(t *testing.T, ids []matcher.SubID, of map[matcher.SubID]int) []int {
+	t.Helper()
+	out := make([]int, 0, len(ids))
+	for _, id := range ids {
+		i, ok := of[id]
+		if !ok {
+			t.Fatalf("unknown ID %d in match result", id)
+		}
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoutingBalance checks the FNV partition spreads a randomized
+// workload roughly evenly and that Subscribe touches exactly one shard.
+func TestRoutingBalance(t *testing.T) {
+	const shards, n = 8, 4000
+	e := New(Options{Shards: shards})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < n; i++ {
+		if _, err := e.Subscribe(boolexpr.RandomExpr(rng, boolexpr.RandomConfig{})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizes := e.ShardSizes()
+	total := 0
+	for s, c := range sizes {
+		total += c
+		// Expect n/shards = 500 per shard; allow a generous ±50% band.
+		if c < n/shards/2 || c > n*3/shards/2 {
+			t.Errorf("shard %d holds %d of %d subscriptions — poor balance %v", s, c, n, sizes)
+		}
+	}
+	if total != n || e.NumSubscriptions() != n {
+		t.Errorf("total %d, NumSubscriptions %d, want %d", total, e.NumSubscriptions(), n)
+	}
+}
+
+// TestIdenticalSubscriptionsCoLocate pins the content-hash routing
+// property that makes predicate interning effective.
+func TestIdenticalSubscriptionsCoLocate(t *testing.T) {
+	e := New(Options{Shards: 8})
+	x := testExpr(7)
+	first, err := e.Subscribe(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Split(first)
+	for i := 0; i < 20; i++ {
+		id, err := e.Subscribe(testExpr(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s, _ := Split(id); s != want {
+			t.Fatalf("identical subscription landed on shard %d, want %d", s, want)
+		}
+	}
+}
+
+func TestUnsubscribeErrors(t *testing.T) {
+	e := New(Options{Shards: 4})
+	id, err := e.Subscribe(testExpr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown local ID on a valid shard.
+	if err := e.Unsubscribe(id + 1); !errors.Is(err, matcher.ErrUnknownSubscription) {
+		t.Errorf("Unsubscribe(unknown local) = %v", err)
+	}
+	// Shard index beyond the configured count.
+	if err := e.Unsubscribe(Join(4, 1)); !errors.Is(err, matcher.ErrUnknownSubscription) {
+		t.Errorf("Unsubscribe(bad shard) = %v", err)
+	}
+	if err := e.Unsubscribe(id); err != nil {
+		t.Errorf("Unsubscribe(live) = %v", err)
+	}
+	if err := e.Unsubscribe(id); !errors.Is(err, matcher.ErrUnknownSubscription) {
+		t.Errorf("double Unsubscribe = %v", err)
+	}
+	if got := e.Churn(); got != 2 { // one Subscribe + one successful Unsubscribe
+		t.Errorf("Churn() = %d, want 2", got)
+	}
+}
+
+func TestExprRoundTrip(t *testing.T) {
+	e := New(Options{Shards: 4})
+	x := testExpr(9)
+	id, err := e.Subscribe(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := e.Expr(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !boolexpr.Equal(x, back) {
+		t.Errorf("Expr round trip: got %v, want %v", back, x)
+	}
+	if _, err := e.Expr(Join(9, 1)); !errors.Is(err, matcher.ErrUnknownSubscription) {
+		t.Errorf("Expr(bad shard) = %v", err)
+	}
+	if e.ShardOf(id) >= e.NumShards() {
+		t.Errorf("ShardOf(%d) = %d out of range", id, e.ShardOf(id))
+	}
+}
+
+// TestMatchPredicatesSingleShard: with one shard the broadcast semantics
+// coincide with core.Engine.MatchPredicates exactly.
+func TestMatchPredicatesSingleShard(t *testing.T) {
+	e := New(Options{Shards: 1})
+	ref := core.New(predicate.NewRegistry(), index.New(), core.Options{})
+	for i := 0; i < 64; i++ {
+		x := testExpr(i)
+		if _, err := e.Subscribe(x); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Subscribe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fulfilled := []predicate.ID{1, 2, 5, 9}
+	got := e.MatchPredicates(fulfilled)
+	want := ref.MatchPredicates(fulfilled)
+	if len(got) != len(want) {
+		t.Fatalf("MatchPredicates: %v != %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("MatchPredicates: %v != %v", got, want)
+		}
+	}
+}
+
+// TestMatchPredicatesMultiShardPanics pins the loud-failure contract:
+// fulfilled predicate IDs are shard-local, so broadcasting them across
+// shards with private registries has no correct answer.
+func TestMatchPredicatesMultiShardPanics(t *testing.T) {
+	e := New(Options{Shards: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatchPredicates on a 2-shard engine did not panic")
+		}
+	}()
+	e.MatchPredicates([]predicate.ID{1})
+}

@@ -1,0 +1,57 @@
+package sublang
+
+import (
+	"testing"
+
+	"noncanon/internal/boolexpr"
+)
+
+// FuzzParse exercises the lexer and parser with arbitrary input. For any
+// input the parser must terminate without panicking; for input it
+// accepts, the printed form must re-parse to a structurally equal
+// expression (the String contract the round-trip property tests pin for
+// generated expressions — the fuzzer extends it to adversarial ones).
+//
+// Seeds beyond the inline f.Add corpus are checked in under
+// testdata/fuzz/FuzzParse.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		``,
+		`a = 1`,
+		`(price < 20 or price > 90) and sym = "ACME"`,
+		`not (a = 1 or b = 2) and exists c`,
+		`s prefix "AB" or s suffix "YZ" or s contains "MID"`,
+		`a >= 1.5 and b <= -2 and c != true`,
+		`not not not a = 1`,
+		`a = "unterminated`,
+		`((((a = 1))))`,
+		`a = 1 and`,
+		`AND OR NOT exists`,
+		"a = 1 \x00 and b = 2",
+		`ключ = "значение"`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		expr, err := Parse(input)
+		if err != nil {
+			if expr != nil {
+				t.Fatalf("Parse(%q) returned both an expression and %v", input, err)
+			}
+			return
+		}
+		if expr == nil {
+			t.Fatalf("Parse(%q) returned nil expression without error", input)
+		}
+		text := expr.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse of printed form failed\n  input: %q\n  printed: %q\n  error: %v",
+				input, text, err)
+		}
+		if !boolexpr.Equal(expr, back) {
+			t.Fatalf("print/parse round trip differs\n  input: %q\n  printed: %q\n  back: %q",
+				input, text, back)
+		}
+	})
+}

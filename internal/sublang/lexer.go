@@ -209,6 +209,38 @@ func (lx *lexer) lexString() (token, error) {
 				b.WriteByte('\t')
 			case 'r':
 				b.WriteByte('\r')
+			case 'a':
+				b.WriteByte('\a')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case 'v':
+				b.WriteByte('\v')
+			case 'x', 'u', 'U':
+				// Hex escapes as emitted by strconv.Quote, which prints
+				// string operands: \xHH is a raw byte, \uHHHH and
+				// \UHHHHHHHH are runes. Without these, printed
+				// subscriptions containing non-printable or non-UTF-8
+				// string operands would not re-parse.
+				n := 2
+				if esc == 'u' {
+					n = 4
+				} else if esc == 'U' {
+					n = 8
+				}
+				v, err := lx.hexDigits(n)
+				if err != nil {
+					return token{}, err
+				}
+				if esc == 'x' {
+					b.WriteByte(byte(v))
+				} else {
+					if v > unicode.MaxRune || (v >= 0xD800 && v <= 0xDFFF) {
+						return token{}, lx.errorf(lx.pos, "escape \\%c is not a valid rune", esc)
+					}
+					b.WriteRune(rune(v))
+				}
 			default:
 				return token{}, lx.errorf(lx.pos, "unknown escape \\%c", esc)
 			}
@@ -219,6 +251,32 @@ func (lx *lexer) lexString() (token, error) {
 		}
 	}
 	return token{}, lx.errorf(start, "unterminated string")
+}
+
+// hexDigits consumes n hex digits following the current escape letter and
+// returns their value, leaving lx.pos on the last digit.
+func (lx *lexer) hexDigits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		lx.pos++
+		if lx.pos >= len(lx.src) {
+			return 0, lx.errorf(lx.pos, "truncated hex escape")
+		}
+		c := lx.src[lx.pos]
+		var d byte
+		switch {
+		case c >= '0' && c <= '9':
+			d = c - '0'
+		case c >= 'a' && c <= 'f':
+			d = c - 'a' + 10
+		case c >= 'A' && c <= 'F':
+			d = c - 'A' + 10
+		default:
+			return 0, lx.errorf(lx.pos, "bad hex digit %q in escape", c)
+		}
+		v = v<<4 | uint32(d)
+	}
+	return v, nil
 }
 
 func (lx *lexer) lexNumber() (token, error) {

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"noncanon/internal/event"
+	"noncanon/internal/value"
+)
+
+// hasNaN reports whether any float attribute of ev is NaN.
+func hasNaN(ev event.Event) bool {
+	nan := false
+	ev.Range(func(_ string, v value.Value) bool {
+		if v.Kind() == value.Float && math.IsNaN(v.Float()) {
+			nan = true
+			return false
+		}
+		return true
+	})
+	return nan
+}
+
+// FuzzDecodeEvent is the native-fuzzing promotion of the old
+// random-bytes test (TestEventFuzzNoPanics): ReadEvent and ReadString
+// must reject arbitrary garbage gracefully, and any payload ReadEvent
+// accepts must survive a canonical re-encode/decode round trip —
+// AppendEvent of the decoded event re-reads equal, and re-encoding is a
+// byte-level fixed point (events encode attributes in sorted order, so
+// the second encoding is canonical regardless of the input's ordering).
+//
+// Seeds beyond the inline f.Add corpus are checked in under
+// testdata/fuzz/FuzzDecodeEvent.
+func FuzzDecodeEvent(f *testing.F) {
+	// Valid encodings of representative events.
+	events := []event.Event{
+		event.New(),
+		event.New().Set("price", 150).Set("sym", "ACME"),
+		event.New().Set("f", 1.5).Set("b", true).Set("s", ""),
+		event.New().Set("neg", -1234567890),
+	}
+	for _, ev := range events {
+		f.Add(AppendEvent(nil, ev))
+	}
+	// Malformed corners: truncated header, bad kind tag, short values.
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x00, 0x01, 0x01, 'a', 0x09})       // unknown kind 0x09
+	f.Add([]byte{0x00, 0x01, 0x01, 'a', 0x02, 0x40}) // short float
+	f.Add([]byte{0xff, 0xff})                        // 65535 attrs, no data
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = ReadString(data) // must not panic
+		ev, rest, err := ReadEvent(data)
+		if err != nil {
+			return
+		}
+		// Canonical round trip. ReadEvent may leave trailing bytes in rest
+		// (frames carry their own length); only the consumed prefix
+		// participates in the re-encoding.
+		_ = rest
+		enc := AppendEvent(nil, ev)
+		ev2, rest2, err := ReadEvent(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v (input %x)", err, data)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("canonical encoding left %d trailing bytes (input %x)", len(rest2), data)
+		}
+		// Event.Equal is IEEE equality, under which NaN differs from
+		// itself; for NaN-carrying events the byte-level fixed point below
+		// is the (stronger) round-trip witness.
+		if !hasNaN(ev) && !ev.Equal(ev2) {
+			t.Fatalf("round trip changed event\n  input: %x\n  first: %s\n  second: %s", data, ev, ev2)
+		}
+		if enc2 := AppendEvent(nil, ev2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding not a fixed point\n  input: %x\n  enc1: %x\n  enc2: %x", data, enc, enc2)
+		}
+	})
+}

@@ -182,7 +182,9 @@ func TestEventMalformedInputs(t *testing.T) {
 }
 
 // TestEventFuzzNoPanics feeds random bytes to the decoder; it must reject
-// garbage gracefully.
+// garbage gracefully. The native fuzz target FuzzDecodeEvent (fuzz_test.go)
+// extends this with coverage guidance and round-trip assertions; this
+// deterministic sweep remains as an always-on smoke pass.
 func TestEventFuzzNoPanics(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 2000; i++ {
