@@ -110,6 +110,15 @@ func (br *Broker) SubscribeExpr(x Expr, h func(ev Event)) (*BrokerSubscription, 
 // consumers.
 func (br *Broker) Publish(ev Event) (int, error) { return br.b.Publish(ev) }
 
+// PublishBatch routes a batch of events in one pass: the broker's lock
+// and the engine's matching fan-out are taken once for the whole batch,
+// so per-event overhead is amortised across it. It returns the
+// per-event enqueue counts,
+// aligned with evs — each entry is exactly what Publish of that event
+// would have returned — and, like Publish, never blocks on slow
+// consumers.
+func (br *Broker) PublishBatch(evs []Event) ([]int, error) { return br.b.PublishBatch(evs) }
+
 // Stats returns an activity snapshot.
 func (br *Broker) Stats() BrokerStats { return br.b.Stats() }
 

@@ -111,3 +111,50 @@ func TestBrokerSharded(t *testing.T) {
 		t.Errorf("Stats.Subscriptions = %d, want 8", s.Subscriptions)
 	}
 }
+
+func TestBrokerPublishBatch(t *testing.T) {
+	br := noncanon.NewBroker(noncanon.WithBrokerShards(2), noncanon.WithQueueSize(64))
+	defer br.Close()
+
+	var got atomic.Int64
+	if _, err := br.Subscribe(`price > 100`, func(noncanon.Event) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := br.PublishBatch([]noncanon.Event{
+		noncanon.NewEvent().Set("price", 150),
+		noncanon.NewEvent().Set("price", 50),
+		noncanon.NewEvent().Set("price", 200),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 || counts[0] != 1 || counts[1] != 0 || counts[2] != 1 {
+		t.Fatalf("counts = %v, want [1 0 1]", counts)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 2 {
+		t.Fatalf("delivered = %d, want 2", got.Load())
+	}
+	if st := br.Stats(); st.Published != 3 || st.Batches != 1 {
+		t.Errorf("Stats = %+v, want Published 3 Batches 1", st)
+	}
+}
+
+func TestEngineMatchBatch(t *testing.T) {
+	eng := noncanon.NewEngine()
+	id, err := eng.Subscribe(`(price < 20 or price > 90) and sym = "ACME"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []noncanon.Event{
+		noncanon.NewEvent().Set("price", 95).Set("sym", "ACME"),
+		noncanon.NewEvent().Set("price", 50).Set("sym", "ACME"),
+	}
+	got := eng.MatchBatch(evs)
+	if len(got) != 2 || len(got[0]) != 1 || got[0][0] != id || len(got[1]) != 0 {
+		t.Fatalf("MatchBatch = %v, want [[%d] []]", got, id)
+	}
+}

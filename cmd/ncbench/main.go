@@ -7,6 +7,7 @@
 //	ncbench -exp fig3b -swap                # with the 512 MB swap model (M2)
 //	ncbench -exp fig3a -csv > fig3a.csv     # machine-readable series
 //	ncbench -exp parallel                   # match throughput vs workers (P1)
+//	ncbench -exp batch                      # publish events/s vs batch size over TCP (B1)
 //	ncbench -list                           # experiment inventory
 //
 // -scale 1 reproduces the paper's subscription counts (the DNF baselines

@@ -70,3 +70,17 @@ func TestRunCSV(t *testing.T) {
 		t.Errorf("csv output:\n%s", buf.String())
 	}
 }
+
+func TestRunBatchTiny(t *testing.T) {
+	// Smoke the B1 experiment end to end (real loopback TCP) at tiny
+	// parameters, so the batch path in the experiment binary cannot rot.
+	var buf bytes.Buffer
+	args := []string{"-exp", "batch", "-scale", "0.001", "-trials", "1"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "B1:") || !strings.Contains(out, "batch") {
+		t.Errorf("batch output:\n%s", out)
+	}
+}

@@ -1,10 +1,30 @@
 package main
 
 import (
+	"bytes"
+	"net"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/event"
+	"noncanon/internal/netbroker"
+	"noncanon/internal/sublang"
 	"noncanon/internal/value"
 )
+
+// noncanonExpr parses a subscription for registration on the embedded
+// broker.
+func noncanonExpr(t *testing.T, s string) boolexpr.Expr {
+	t.Helper()
+	x, err := sublang.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
 
 func TestParseValue(t *testing.T) {
 	tests := []struct {
@@ -49,5 +69,56 @@ func TestBuildEvent(t *testing.T) {
 	}
 	if _, err := buildEvent([]string{"=x"}, 0); err == nil {
 		t.Error("empty key accepted")
+	}
+}
+
+// TestRunBatchAgainstLiveBroker smokes the -batch publish path end to
+// end: a live TCP server, one matching subscription registered on the
+// embedded broker, and run() driving PublishBatch in chunks. Per-event
+// and per-batch lines must land on stdout with the right match counts.
+func TestRunBatchAgainstLiveBroker(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := netbroker.NewServer(netbroker.ServerOptions{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+
+	var delivered atomic.Int64
+	if _, err := srv.Broker().Subscribe(
+		noncanonExpr(t, `price = 42`),
+		func(event.Event) { delivered.Add(1) },
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run(&buf, ln.Addr().String(), []string{"price=42", "seq=auto"}, 5, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "published "); got != 5 {
+		t.Fatalf("published lines = %d, want 5:\n%s", got, out)
+	}
+	// 5 events in batches of 2 → batches of 2, 2, 1.
+	for _, want := range []string{"batch of 2 -> 2 enqueue(s)", "batch of 1 -> 1 enqueue(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for delivered.Load() != 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := delivered.Load(); got != 5 {
+		t.Fatalf("delivered = %d, want 5", got)
 	}
 }

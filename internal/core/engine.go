@@ -258,6 +258,26 @@ func (e *Engine) Match(ev event.Event) []matcher.SubID {
 	return e.matchScratched(sc, sc.predBuf)
 }
 
+// MatchBatch runs both filtering phases for every event under a single
+// read-lock acquisition with a single pooled scratch, so a batch pays the
+// per-call envelope once. Every event in the batch matches against the
+// same store state.
+func (e *Engine) MatchBatch(evs []event.Event) [][]matcher.SubID {
+	if len(evs) == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sc := e.getScratchRLocked()
+	defer e.scratch.Put(sc)
+	out := make([][]matcher.SubID, len(evs))
+	for i, ev := range evs {
+		sc.predBuf = e.idx.Match(ev, sc.predBuf[:0])
+		out[i] = e.matchScratched(sc, sc.predBuf)
+	}
+	return out
+}
+
 // MatchPredicates runs phase two only, concurrently with other readers.
 func (e *Engine) MatchPredicates(fulfilled []predicate.ID) []matcher.SubID {
 	e.mu.RLock()

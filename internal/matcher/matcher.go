@@ -78,6 +78,15 @@ type Matcher interface {
 	// event fulfils. The returned slice is freshly allocated.
 	Match(ev event.Event) []SubID
 
+	// MatchBatch runs both phases for every event and returns the
+	// per-event match sets, aligned with evs. Results are equivalent to
+	// len(evs) sequential Match calls against an unchanging store, but the
+	// engine amortises its per-call envelope over the batch: one lock
+	// acquisition (and, for the sharded engine, one shard fan-out) covers
+	// all events, so every event in a batch observes the same store state.
+	// The returned slices are freshly allocated.
+	MatchBatch(evs []event.Event) [][]SubID
+
 	// MatchPredicates runs phase two only, taking the fulfilled-predicate
 	// set as input. This is the operation the paper's experiments time.
 	MatchPredicates(fulfilled []predicate.ID) []SubID

@@ -1,0 +1,246 @@
+package netbroker
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"noncanon/internal/event"
+	"noncanon/internal/wire"
+)
+
+// BatchPublisher defaults.
+const (
+	// DefaultMaxBatch is the flush threshold in pending events.
+	DefaultMaxBatch = 64
+	// DefaultMaxDelay is the longest an event waits before its batch is
+	// flushed regardless of size.
+	DefaultMaxDelay = 5 * time.Millisecond
+)
+
+// BatchPublisherOptions configures a BatchPublisher.
+type BatchPublisherOptions struct {
+	// MaxBatch flushes when this many events are pending (default
+	// DefaultMaxBatch, capped at wire.MaxBatchEvents).
+	MaxBatch int
+	// MaxDelay flushes this long after the first event of a batch arrived
+	// (default DefaultMaxDelay), bounding the latency batching adds.
+	MaxDelay time.Duration
+	// QueueSize bounds the intake queue between Publish callers and the
+	// flushing goroutine (default 4×MaxBatch). Publish never blocks: events
+	// beyond the queue are dropped and counted, the same back-pressure
+	// posture as the broker's per-subscriber queues.
+	QueueSize int
+}
+
+func (o BatchPublisherOptions) withDefaults() BatchPublisherOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.MaxBatch > wire.MaxBatchEvents {
+		o.MaxBatch = wire.MaxBatchEvents
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = DefaultMaxDelay
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 4 * o.MaxBatch
+	}
+	return o
+}
+
+// BatchPublisher coalesces Publish calls into MsgPublishBatch frames: a
+// batch is flushed as soon as MaxBatch events are pending or MaxDelay
+// after its first event, whichever comes first. It amortises the
+// per-event round trip without making any caller wait longer than
+// MaxDelay, and it is safe for concurrent use.
+//
+// Publish is fire-and-forget (per-event match counts are not reported
+// back); the first error of any flush is retained and returned by Flush
+// and Close. Callers that need per-event counts use Client.PublishBatch
+// directly.
+type BatchPublisher struct {
+	c    *Client
+	opts BatchPublisherOptions
+
+	in    chan event.Event
+	flush chan chan error
+	done  chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+
+	errMu   sync.Mutex
+	lastErr error
+
+	published atomic.Uint64 // events acknowledged by the broker
+	dropped   atomic.Uint64 // events discarded: intake queue full
+	lost      atomic.Uint64 // events abandoned by a failed flush
+}
+
+// NewBatchPublisher starts a publisher that batches onto c. Close it
+// before closing the client.
+func NewBatchPublisher(c *Client, opts BatchPublisherOptions) *BatchPublisher {
+	p := &BatchPublisher{
+		c:     c,
+		opts:  opts.withDefaults(),
+		flush: make(chan chan error),
+		done:  make(chan struct{}),
+	}
+	p.in = make(chan event.Event, p.opts.QueueSize)
+	go p.loop()
+	return p
+}
+
+// Publish enqueues an event for the next batch. It never blocks: when the
+// intake queue is full the event is dropped and counted (Dropped), like a
+// slow subscriber's deliveries. After Close it reports ErrClientClosed.
+func (p *BatchPublisher) Publish(ev event.Event) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClientClosed
+	}
+	select {
+	case p.in <- ev:
+	default:
+		p.dropped.Add(1)
+	}
+	return nil
+}
+
+// Flush sends every event accepted before the call. Like a bufio.Writer
+// the publisher's error is sticky: Flush returns the first error any
+// flush has hit so far, even if this one delivered cleanly — a caller
+// that needs per-delivery confirmation uses Client.PublishBatch
+// directly.
+func (p *BatchPublisher) Flush() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClientClosed
+	}
+	p.mu.Unlock()
+	ack := make(chan error, 1)
+	select {
+	case p.flush <- ack:
+		return <-ack
+	case <-p.done:
+		return ErrClientClosed
+	}
+}
+
+// Close flushes pending events, stops the flushing goroutine and returns
+// the first flush error. It is idempotent.
+func (p *BatchPublisher) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return p.err()
+	}
+	p.closed = true
+	close(p.in)
+	p.mu.Unlock()
+	<-p.done
+	return p.err()
+}
+
+// Published returns how many events the broker has acknowledged. Every
+// accepted event is eventually counted exactly once across Published,
+// Dropped and Lost (plus those still pending flush).
+func (p *BatchPublisher) Published() uint64 { return p.published.Load() }
+
+// Dropped returns how many events were discarded because the intake queue
+// was full.
+func (p *BatchPublisher) Dropped() uint64 { return p.dropped.Load() }
+
+// Lost returns how many events were abandoned because their flush failed
+// after they left the intake queue. Events of chunks the broker
+// acknowledged before the failure count as Published, not Lost.
+func (p *BatchPublisher) Lost() uint64 { return p.lost.Load() }
+
+func (p *BatchPublisher) err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.lastErr
+}
+
+func (p *BatchPublisher) setErr(err error) {
+	p.errMu.Lock()
+	if p.lastErr == nil {
+		p.lastErr = err
+	}
+	p.errMu.Unlock()
+}
+
+// loop drains the intake queue into batches. The timer is armed when a
+// batch gains its first event and disarmed on every flush, so an event
+// waits at most MaxDelay.
+func (p *BatchPublisher) loop() {
+	defer close(p.done)
+	buf := make([]event.Event, 0, p.opts.MaxBatch)
+	timer := time.NewTimer(p.opts.MaxDelay)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !timer.Stop() {
+			<-timer.C
+		}
+		armed = false
+	}
+	doFlush := func() {
+		disarm()
+		if len(buf) == 0 {
+			return
+		}
+		// On error PublishBatch still returns counts for the chunks the
+		// broker acknowledged; only the unacknowledged remainder is lost.
+		counts, err := p.c.PublishBatch(buf)
+		p.published.Add(uint64(len(counts)))
+		if err != nil {
+			p.setErr(err)
+			p.lost.Add(uint64(len(buf) - len(counts)))
+		}
+		buf = buf[:0]
+	}
+	for {
+		select {
+		case ev, ok := <-p.in:
+			if !ok {
+				doFlush()
+				return
+			}
+			buf = append(buf, ev)
+			if len(buf) >= p.opts.MaxBatch {
+				doFlush()
+			} else if !armed {
+				timer.Reset(p.opts.MaxDelay)
+				armed = true
+			}
+		case <-timer.C:
+			armed = false
+			doFlush()
+		case ack := <-p.flush:
+			// Drain whatever Publish already queued, then flush it all:
+			// every event accepted before the Flush call is covered. No
+			// MaxBatch cap — Client.PublishBatch chunks oversized batches.
+		drain:
+			for {
+				select {
+				case ev, ok := <-p.in:
+					if !ok {
+						break drain
+					}
+					buf = append(buf, ev)
+				default:
+					break drain
+				}
+			}
+			doFlush()
+			ack <- p.err()
+		}
+	}
+}

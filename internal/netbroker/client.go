@@ -259,6 +259,92 @@ func (c *Client) Publish(ev event.Event) (int, error) {
 	return int(n), err
 }
 
+// PublishBatch sends a batch of events in as few frames as possible and
+// returns the per-event matched-subscription counts, aligned with evs. A
+// batch costs one request round trip per chunk instead of one per event,
+// which is the whole point: over TCP the round trip, not the matching,
+// dominates per-event publish cost.
+//
+// Chunking is transparent and bounded both ways: a chunk closes at
+// wire.MaxBatchEvents events or when its encoded payload would exceed
+// the frame size limit, whichever comes first, so batches of many large
+// events split rather than fail. Only a single event too large for one
+// frame is unsendable (ErrFrameTooLarge).
+//
+// On error the returned counts are still valid for the events already
+// acknowledged — a prefix of evs — so callers can account for what the
+// broker actually enqueued before the failure.
+func (c *Client) PublishBatch(evs []event.Event) ([]int, error) {
+	if len(evs) == 0 {
+		return nil, nil
+	}
+	// chunkBudget is what a chunk's encoded events may occupy: the frame
+	// limit minus the type byte, request ID and event count.
+	const chunkBudget = wire.MaxFrameSize - 1 - 4 - 4
+	counts := make([]int, 0, len(evs))
+	var body, scratch []byte
+	n := 0
+	sendChunk := func() error {
+		if n == 0 {
+			return nil
+		}
+		got, err := c.publishChunk(n, body)
+		if err != nil {
+			return err
+		}
+		counts = append(counts, got...)
+		body, n = body[:0], 0
+		return nil
+	}
+	for _, ev := range evs {
+		scratch = wire.AppendEvent(scratch[:0], ev)
+		if n > 0 && (n >= wire.MaxBatchEvents || len(body)+len(scratch) > chunkBudget) {
+			if err := sendChunk(); err != nil {
+				return counts, err
+			}
+		}
+		body = append(body, scratch...)
+		n++
+	}
+	if err := sendChunk(); err != nil {
+		return counts, err
+	}
+	return counts, nil
+}
+
+// publishChunk round-trips one MsgPublishBatch frame carrying n
+// pre-encoded events.
+func (c *Client) publishChunk(n int, body []byte) ([]int, error) {
+	resp, err := c.roundTrip(wire.MsgPublishBatch, func(id uint32) []byte {
+		b := wire.AppendU32(make([]byte, 0, 8+len(body)), id)
+		b = wire.AppendU32(b, uint32(n))
+		return append(b, body...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.typ != wire.MsgPublishedBatch {
+		return nil, fmt.Errorf("%w: unexpected response type 0x%02x", ErrRemote, resp.typ)
+	}
+	got, rest, err := wire.ReadU32(resp.payload)
+	if err != nil {
+		return nil, err
+	}
+	if int(got) != n {
+		return nil, fmt.Errorf("%w: batch reply counts %d events, sent %d", ErrRemote, got, n)
+	}
+	counts := make([]int, got)
+	for i := range counts {
+		var v uint32
+		v, rest, err = wire.ReadU32(rest)
+		if err != nil {
+			return nil, err
+		}
+		counts[i] = int(v)
+	}
+	return counts, nil
+}
+
 // Ping round-trips a no-op request.
 func (c *Client) Ping() error {
 	resp, err := c.roundTrip(wire.MsgPing, func(id uint32) []byte {

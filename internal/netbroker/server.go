@@ -195,6 +195,8 @@ func (c *conn) handle(typ byte, payload []byte) error {
 		return c.handleUnsubscribe(reqID, rest)
 	case wire.MsgPublish:
 		return c.handlePublish(reqID, rest)
+	case wire.MsgPublishBatch:
+		return c.handlePublishBatch(reqID, rest)
 	case wire.MsgPing:
 		return c.write(wire.MsgPong, wire.AppendU32(nil, reqID))
 	default:
@@ -264,6 +266,28 @@ func (c *conn) handlePublish(reqID uint32, rest []byte) error {
 	resp := wire.AppendU32(nil, reqID)
 	resp = wire.AppendU32(resp, uint32(n))
 	return c.write(wire.MsgPublished, resp)
+}
+
+// handlePublishBatch feeds a whole event batch to the broker in one
+// PublishBatch call and replies with the per-event match counts. Batches
+// the decoder rejects — malformed bytes or more than wire.MaxBatchEvents
+// events — earn an error reply, not a disconnect: the frame itself was
+// well-delimited, so the connection state is intact.
+func (c *conn) handlePublishBatch(reqID uint32, rest []byte) error {
+	evs, _, err := wire.ReadEventBatch(rest)
+	if err != nil {
+		return c.writeError(reqID, "malformed batch: "+err.Error())
+	}
+	counts, err := c.srv.br.PublishBatch(evs)
+	if err != nil {
+		return c.writeError(reqID, err.Error())
+	}
+	resp := wire.AppendU32(nil, reqID)
+	resp = wire.AppendU32(resp, uint32(len(counts)))
+	for _, n := range counts {
+		resp = wire.AppendU32(resp, uint32(n))
+	}
+	return c.write(wire.MsgPublishedBatch, resp)
 }
 
 // deliverFor pushes one matched event to the client, tagged with the

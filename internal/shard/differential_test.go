@@ -247,3 +247,55 @@ func TestDifferentialMatchPredicatesSingleShard(t *testing.T) {
 		}
 	}
 }
+
+// TestDifferentialMatchBatch extends the differential property to the
+// batched entry point: for sharded and unsharded engines under ID-recycling
+// churn, MatchBatch agrees per event with Match and with naive evaluation.
+func TestDifferentialMatchBatch(t *testing.T) {
+	for _, c := range []struct{ shards, parallel int }{{1, 1}, {4, 2}, {8, 4}} {
+		c := c
+		t.Run(fmt.Sprintf("shards=%d/par=%d", c.shards, c.parallel), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			h := newDiffHarness(t, c.shards, c.parallel)
+			cfg := boolexpr.RandomConfig{MaxDepth: 4, MaxFanout: 3, AllowNot: true}
+			for _, x := range handPicked() {
+				h.subscribe(x)
+			}
+			for r := 0; r < 4; r++ {
+				for i := 0; i < 30; i++ {
+					h.subscribe(boolexpr.RandomExpr(rng, cfg))
+				}
+				for i := range h.subs {
+					if h.subs[i].alive && rng.Intn(4) == 0 {
+						h.unsubscribe(i)
+					}
+				}
+				evs := make([]event.Event, 1+rng.Intn(40))
+				for i := range evs {
+					evs[i] = diffEvent(rng)
+				}
+				evs[0] = event.New() // the empty event rides in every batch
+				batch := h.sharded.MatchBatch(evs)
+				if len(batch) != len(evs) {
+					t.Fatalf("MatchBatch returned %d results for %d events", len(batch), len(evs))
+				}
+				for i, ev := range evs {
+					got := h.project(batch[i], h.byShard, "sharded-batch")
+					single := h.project(h.sharded.Match(ev), h.byShard, "sharded")
+					naive := []int{}
+					for j, s := range h.subs {
+						if s.alive && s.expr.Eval(ev) {
+							naive = append(naive, j)
+						}
+					}
+					if !equalInts(got, naive) {
+						t.Fatalf("event %d (%v):\n  batch %v\n  naive %v", i, ev, got, naive)
+					}
+					if !equalInts(got, single) {
+						t.Fatalf("event %d (%v):\n  batch  %v\n  single %v", i, ev, got, single)
+					}
+				}
+			}
+		})
+	}
+}

@@ -200,6 +200,38 @@ func (e *Engine) Match(ev event.Event) []matcher.SubID {
 	return e.fanOut(func(s *core.Engine) []matcher.SubID { return s.Match(ev) })
 }
 
+// MatchBatch fans the whole batch out to every shard at once — one
+// fan-out (and one per-shard lock acquisition) per batch instead of per
+// event — and merges the per-shard results per event in shard order.
+// Within one batch every event observes the same state of each shard.
+func (e *Engine) MatchBatch(evs []event.Event) [][]matcher.SubID {
+	if len(evs) == 0 {
+		return nil
+	}
+	n := len(e.shards)
+	if n == 1 {
+		// Shard 0: Join is the identity, reuse the engine's fresh slices.
+		return e.shards[0].MatchBatch(evs)
+	}
+	perShard := make([][][]matcher.SubID, n)
+	e.eachShard(func(i int) { perShard[i] = e.shards[i].MatchBatch(evs) })
+	out := make([][]matcher.SubID, len(evs))
+	for ev := range evs {
+		total := 0
+		for s := 0; s < n; s++ {
+			total += len(perShard[s][ev])
+		}
+		ids := make([]matcher.SubID, 0, total)
+		for s := 0; s < n; s++ {
+			for _, local := range perShard[s][ev] {
+				ids = append(ids, Join(s, local))
+			}
+		}
+		out[ev] = ids
+	}
+	return out
+}
+
 // MatchPredicates runs phase two on the single shard. It panics on a
 // multi-shard engine, where fulfilled IDs are ambiguous (see the Engine
 // comment); use Match, which runs phase one per shard.
@@ -220,28 +252,7 @@ func (e *Engine) fanOut(fn func(*core.Engine) []matcher.SubID) []matcher.SubID {
 		return fn(e.shards[0])
 	}
 	perShard := make([][]matcher.SubID, n)
-	if e.par <= 1 {
-		for i, s := range e.shards {
-			perShard[i] = fn(s)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < e.par; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					perShard[i] = fn(e.shards[i])
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	e.eachShard(func(i int) { perShard[i] = fn(e.shards[i]) })
 	total := 0
 	for _, ids := range perShard {
 		total += len(ids)
@@ -253,6 +264,36 @@ func (e *Engine) fanOut(fn func(*core.Engine) []matcher.SubID) []matcher.SubID {
 		}
 	}
 	return out
+}
+
+// eachShard runs fn for every shard index — sequentially when the engine
+// was configured with Parallel=1, otherwise through a bounded worker pool
+// pulling indexes off a shared counter. Both Match (per event) and
+// MatchBatch (per batch) fan out through here.
+func (e *Engine) eachShard(fn func(i int)) {
+	n := len(e.shards)
+	if e.par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < e.par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // NumSubscriptions sums the live subscriptions over all shards. Each

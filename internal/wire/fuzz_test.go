@@ -78,3 +78,72 @@ func FuzzDecodeEvent(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodePublishBatch covers the MsgPublishBatch payload decoder:
+// ReadEventBatch must reject arbitrary garbage gracefully (including
+// hostile event counts, which are bounds-checked against MaxBatchEvents
+// and the remaining payload before anything is allocated), and any batch
+// it accepts must survive a canonical re-encode/decode round trip, like
+// FuzzDecodeEvent for single events.
+//
+// Seeds beyond the inline f.Add corpus are checked in under
+// testdata/fuzz/FuzzDecodePublishBatch: the empty batch, a single-event
+// batch, a max-count batch truncated after its header, and a truncated
+// count prefix.
+func FuzzDecodePublishBatch(f *testing.F) {
+	// Valid batches: empty, single event, mixed kinds, and the largest
+	// permitted count (empty events keep the seed small).
+	batches := [][]event.Event{
+		nil,
+		{event.New().Set("price", 150).Set("sym", "ACME")},
+		{
+			event.New(),
+			event.New().Set("f", 1.5).Set("b", true).Set("s", ""),
+			event.New().Set("neg", -1234567890),
+		},
+	}
+	maxBatch := make([]event.Event, MaxBatchEvents)
+	for i := range maxBatch {
+		maxBatch[i] = event.New()
+	}
+	batches = append(batches, maxBatch)
+	for _, evs := range batches {
+		f.Add(AppendEventBatch(nil, evs))
+	}
+	// Malformed corners: truncated count, count exceeding the payload,
+	// count exceeding MaxBatchEvents, malformed inner event.
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00})
+	f.Add(AppendU32(nil, 7))
+	f.Add(AppendU32(nil, MaxBatchEvents+1))
+	f.Add(append(AppendU32(nil, 1), 0x00, 0x01, 0x01, 'a', 0x63))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, _, err := ReadEventBatch(data)
+		if err != nil {
+			return
+		}
+		if len(evs) > MaxBatchEvents {
+			t.Fatalf("decoder admitted %d events (max %d)", len(evs), MaxBatchEvents)
+		}
+		enc := AppendEventBatch(nil, evs)
+		evs2, rest, err := ReadEventBatch(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v (input %x)", err, data)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("canonical encoding left %d trailing bytes (input %x)", len(rest), data)
+		}
+		if len(evs2) != len(evs) {
+			t.Fatalf("round trip changed batch size %d -> %d (input %x)", len(evs), len(evs2), data)
+		}
+		for i := range evs {
+			if !hasNaN(evs[i]) && !evs[i].Equal(evs2[i]) {
+				t.Fatalf("round trip changed event %d\n  input: %x\n  first: %s\n  second: %s",
+					i, data, evs[i], evs2[i])
+			}
+		}
+		if enc2 := AppendEventBatch(nil, evs2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding not a fixed point\n  input: %x\n  enc1: %x\n  enc2: %x", data, enc, enc2)
+		}
+	})
+}

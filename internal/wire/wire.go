@@ -50,12 +50,24 @@ const (
 	MsgPing
 	// MsgPong: u32 reqID.
 	MsgPong
+	// MsgPublishBatch: u32 reqID, event batch (u32 count, then events).
+	MsgPublishBatch
+	// MsgPublishedBatch: u32 reqID, u32 count, count × u32 per-event
+	// matched-subscription counts, aligned with the request's events.
+	MsgPublishedBatch
 )
+
+// MaxBatchEvents bounds the events in one MsgPublishBatch frame. The frame
+// size limit already bounds total bytes; this bounds the per-frame work a
+// single request can demand from the broker, so an oversized batch is a
+// rejectable request, not a protocol violation that drops the connection.
+const MaxBatchEvents = 4096
 
 // Protocol errors.
 var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 	ErrMalformed     = errors.New("wire: malformed payload")
+	ErrBatchTooLarge = errors.New("wire: batch exceeds event limit")
 )
 
 // WriteFrame writes one frame.
@@ -173,6 +185,45 @@ func AppendEvent(b []byte, ev event.Event) []byte {
 		}
 	}
 	return b
+}
+
+// AppendEventBatch appends the wire form of an event batch: a u32 event
+// count followed by the events back to back. Callers publishing over the
+// protocol must keep len(evs) within MaxBatchEvents and the encoded batch
+// within MaxFrameSize.
+func AppendEventBatch(b []byte, evs []event.Event) []byte {
+	b = AppendU32(b, uint32(len(evs)))
+	for _, ev := range evs {
+		b = AppendEvent(b, ev)
+	}
+	return b
+}
+
+// ReadEventBatch consumes the wire form of an event batch. Counts beyond
+// MaxBatchEvents fail with ErrBatchTooLarge; counts the remaining payload
+// cannot possibly hold (every event costs at least its two-byte attribute
+// count) fail with ErrMalformed before any event allocation happens.
+func ReadEventBatch(b []byte) ([]event.Event, []byte, error) {
+	n, b, err := ReadU32(b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: short batch header", ErrMalformed)
+	}
+	if n > MaxBatchEvents {
+		return nil, nil, fmt.Errorf("%w: %d events (max %d)", ErrBatchTooLarge, n, MaxBatchEvents)
+	}
+	if uint64(n)*2 > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("%w: batch count %d exceeds payload", ErrMalformed, n)
+	}
+	evs := make([]event.Event, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var ev event.Event
+		ev, b, err = ReadEvent(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		evs = append(evs, ev)
+	}
+	return evs, b, nil
 }
 
 // ReadEvent consumes the wire form of an event.

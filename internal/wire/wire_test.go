@@ -194,3 +194,81 @@ func TestEventFuzzNoPanics(t *testing.T) {
 		_, _, _ = ReadString(b)
 	}
 }
+
+func TestEventBatchRoundTrip(t *testing.T) {
+	batches := [][]event.Event{
+		nil, // empty batch
+		{event.New()},
+		{
+			event.New().Set("price", 150).Set("sym", "ACME"),
+			event.New(),
+			event.New().Set("f", 2.5).Set("b", true).Set("s", "x"),
+		},
+	}
+	for i, evs := range batches {
+		enc := AppendEventBatch(nil, evs)
+		got, rest, err := ReadEventBatch(enc)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("batch %d: %d trailing bytes", i, len(rest))
+		}
+		if len(got) != len(evs) {
+			t.Fatalf("batch %d: got %d events, want %d", i, len(got), len(evs))
+		}
+		for j := range evs {
+			if !got[j].Equal(evs[j]) {
+				t.Fatalf("batch %d event %d: got %s, want %s", i, j, got[j], evs[j])
+			}
+		}
+	}
+}
+
+func TestEventBatchTrailingBytes(t *testing.T) {
+	enc := AppendEventBatch(nil, []event.Event{event.New().Set("a", 1)})
+	enc = append(enc, 0xde, 0xad)
+	_, rest, err := ReadEventBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 2 {
+		t.Fatalf("rest = %d bytes, want 2", len(rest))
+	}
+}
+
+func TestEventBatchMalformedInputs(t *testing.T) {
+	overCount := AppendU32(nil, MaxBatchEvents+1)
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty input", nil, ErrMalformed},
+		{"truncated count", []byte{0, 0}, ErrMalformed},
+		{"count exceeds payload", AppendU32(nil, 3), ErrMalformed},
+		{"oversized count", overCount, ErrBatchTooLarge},
+		{"bad inner event", append(AppendU32(nil, 1), 0, 1, 1, 'a', 99), ErrMalformed},
+	}
+	for _, tc := range cases {
+		if _, _, err := ReadEventBatch(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestEventBatchMaxCountAccepted(t *testing.T) {
+	// Exactly MaxBatchEvents empty events decode fine; the bound is not
+	// off by one.
+	evs := make([]event.Event, MaxBatchEvents)
+	for i := range evs {
+		evs[i] = event.New()
+	}
+	got, _, err := ReadEventBatch(AppendEventBatch(nil, evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != MaxBatchEvents {
+		t.Fatalf("got %d events, want %d", len(got), MaxBatchEvents)
+	}
+}
