@@ -33,6 +33,7 @@ type BrokerOption func(*brokerConfig)
 type brokerConfig struct {
 	queueSize int
 	shards    int
+	aggregate bool
 	engine    core.Options
 }
 
@@ -48,6 +49,17 @@ func WithQueueSize(n int) BrokerOption {
 // lives in the high bits of every subscription ID (see internal/shard).
 func WithBrokerShards(n int) BrokerOption {
 	return func(c *brokerConfig) { c.shards = n }
+}
+
+// WithBrokerAggregation interns filters by canonical key: subscribers with
+// identical filters (modulo operand/operator-order normalisation, see
+// internal/cover) share one engine subscription fanning out to all of
+// them, so engine size — and matching cost — tracks the number of
+// distinct filters instead of the number of subscribers. Unsubscribe
+// detaches the shared engine entry only when its last subscriber leaves.
+// Delivery semantics are unchanged.
+func WithBrokerAggregation() BrokerOption {
+	return func(c *brokerConfig) { c.aggregate = true }
 }
 
 // WithBrokerCompactEncoding stores subscription trees in the compact varint
@@ -71,6 +83,7 @@ func NewBroker(opts ...BrokerOption) *Broker {
 	return &Broker{b: broker.New(broker.Options{
 		QueueSize: cfg.queueSize,
 		Shards:    cfg.shards,
+		Aggregate: cfg.aggregate,
 		Engine:    cfg.engine,
 	})}
 }

@@ -158,3 +158,45 @@ func TestEngineMatchBatch(t *testing.T) {
 		t.Fatalf("MatchBatch = %v, want [[%d] []]", got, id)
 	}
 }
+
+func TestBrokerAggregation(t *testing.T) {
+	br := noncanon.NewBroker(noncanon.WithBrokerAggregation())
+	defer br.Close()
+
+	var got atomic.Int64
+	subs := make([]*noncanon.BrokerSubscription, 0, 6)
+	for i := 0; i < 6; i++ {
+		// Textual variants of the same filter must intern onto one engine
+		// entry (commuted conjuncts, 3 vs 3.0).
+		text := `price < 10 and cat = 3`
+		if i%2 == 1 {
+			text = `cat = 3.0 and price < 10`
+		}
+		s, err := br.Subscribe(text, func(noncanon.Event) { got.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, s)
+	}
+	st := br.Stats()
+	if st.Subscriptions != 6 || st.DistinctFilters != 1 || st.AggregatedSubscribers != 5 {
+		t.Fatalf("stats = %+v, want 6 subscribers over 1 distinct filter (5 aggregated)", st)
+	}
+	if n, err := br.Publish(noncanon.NewEvent().Set("price", 5).Set("cat", 3)); err != nil || n != 6 {
+		t.Fatalf("Publish = %d, %v; want 6", n, err)
+	}
+	for _, s := range subs[:5] {
+		if err := s.Unsubscribe(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := br.Stats(); st.Subscriptions != 1 || st.DistinctFilters != 1 {
+		t.Fatalf("after partial unsubscribe: %+v", st)
+	}
+	if err := subs[5].Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if st := br.Stats(); st.Subscriptions != 0 || st.DistinctFilters != 0 {
+		t.Fatalf("after full unsubscribe: %+v", st)
+	}
+}

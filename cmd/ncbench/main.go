@@ -8,6 +8,8 @@
 //	ncbench -exp fig3a -csv > fig3a.csv     # machine-readable series
 //	ncbench -exp parallel                   # match throughput vs workers (P1)
 //	ncbench -exp batch                      # publish events/s vs batch size over TCP (B1)
+//	ncbench -exp cover                      # aggregation + covering vs popularity skew (C1)
+//	ncbench -exp cover -json                # machine-readable series (BENCH_*.json)
 //	ncbench -list                           # experiment inventory
 //
 // -scale 1 reproduces the paper's subscription counts (the DNF baselines
@@ -41,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		trials  = fs.Int("trials", 5, "measured events per point")
 		seed    = fs.Int64("seed", 1, "workload seed")
 		csv     = fs.Bool("csv", false, "CSV output")
+		jsonOut = fs.Bool("json", false, "JSON output (experiment id + measurement series; single -exp only)")
 		swap    = fs.Bool("swap", false, "apply the page-swap cost model (experiment M2)")
 		budget  = fs.Int("swap-budget-mb", 512, "swap model memory budget in MiB")
 		penalty = fs.Float64("swap-penalty", memmodel.DefaultPenalty, "swap model slowdown factor")
@@ -70,6 +73,9 @@ func run(args []string, out io.Writer) error {
 		cfg.Swap = &memmodel.SwapModel{BudgetBytes: *budget << 20, Penalty: *penalty}
 	}
 	if *exp == "all" {
+		if *jsonOut {
+			return fmt.Errorf("-json requires a single -exp (one JSON document per experiment)")
+		}
 		for _, e := range bench.Experiments() {
 			fmt.Fprintf(out, "=== %s: %s ===\n", e.ID, e.Title)
 			if err := e.Run(cfg); err != nil {
@@ -81,6 +87,9 @@ func run(args []string, out io.Writer) error {
 	e, ok := bench.Lookup(*exp)
 	if !ok {
 		return fmt.Errorf("unknown experiment %q; use -list", *exp)
+	}
+	if *jsonOut {
+		return bench.RunJSON(e, cfg)
 	}
 	return e.Run(cfg)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -82,5 +83,43 @@ func TestRunBatchTiny(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "B1:") || !strings.Contains(out, "batch") {
 		t.Errorf("batch output:\n%s", out)
+	}
+}
+
+func TestRunCoverTiny(t *testing.T) {
+	// Smoke the C1 experiment (broker aggregation + overlay covering) at
+	// tiny parameters.
+	var buf bytes.Buffer
+	args := []string{"-exp", "cover", "-scale", "0.004", "-trials", "1"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "C1:") || !strings.Contains(buf.String(), "skew") {
+		t.Errorf("cover output:\n%s", buf.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-exp", "cover", "-scale", "0.004", "-trials", "1", "-json"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string           `json:"experiment"`
+		Points     []map[string]any `json:"points"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Experiment != "cover" || len(doc.Points) == 0 {
+		t.Errorf("unexpected JSON document: %+v", doc)
+	}
+}
+
+func TestRunJSONRejectsAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "all", "-json"}, &buf); err == nil {
+		t.Error("-exp all -json accepted")
 	}
 }

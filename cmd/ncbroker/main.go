@@ -5,10 +5,15 @@
 // store across N independent engine shards so subscription churn stalls
 // only 1/N of the matching work (see internal/shard).
 //
+// With -aggregate, subscribers with identical filters share one engine
+// subscription (see internal/cover): engine size tracks distinct filters,
+// not connection count, and the shutdown report shows how much was saved.
+//
 // Usage:
 //
 //	ncbroker -addr :7070
 //	ncbroker -addr :7070 -shards 8
+//	ncbroker -addr :7070 -aggregate
 package main
 
 import (
@@ -40,12 +45,13 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 	fs := flag.NewFlagSet("ncbroker", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		addr    = fs.String("addr", ":7070", "listen address")
-		queue   = fs.Int("queue", broker.DefaultQueueSize, "per-subscription delivery queue size")
-		shards  = fs.Int("shards", 1, "partition subscriptions across this many engine shards (see internal/shard)")
-		compact = fs.Bool("compact", false, "use the compact subscription-tree encoding")
-		reorder = fs.Bool("reorder", false, "reorder subscription-tree children cheapest-first")
-		quiet   = fs.Bool("quiet", false, "suppress connection diagnostics")
+		addr      = fs.String("addr", ":7070", "listen address")
+		queue     = fs.Int("queue", broker.DefaultQueueSize, "per-subscription delivery queue size")
+		shards    = fs.Int("shards", 1, "partition subscriptions across this many engine shards (see internal/shard)")
+		aggregate = fs.Bool("aggregate", false, "intern identical filters: one engine entry per distinct filter (see internal/cover)")
+		compact   = fs.Bool("compact", false, "use the compact subscription-tree encoding")
+		reorder   = fs.Bool("reorder", false, "reorder subscription-tree children cheapest-first")
+		quiet     = fs.Bool("quiet", false, "suppress connection diagnostics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -70,6 +76,7 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 			Broker: broker.Options{
 				QueueSize: *queue,
 				Shards:    *shards,
+				Aggregate: *aggregate,
 				Engine:    core.Options{Encoding: enc, Reorder: *reorder},
 			},
 		},
@@ -95,6 +102,7 @@ func main() {
 	go func() {
 		<-sig
 		log.Println("ncbroker: shutting down")
+		logStats(srv.Broker().Stats())
 		if err := srv.Close(); err != nil {
 			log.Printf("ncbroker: close: %v", err)
 		}
@@ -105,4 +113,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ncbroker:", err)
 		os.Exit(1)
 	}
+}
+
+// logStats reports final broker activity, making aggregation observable:
+// DistinctFilters is the engine entry count, AggregatedSubscribers the
+// number of subscribes that were deduplicated onto an existing filter.
+func logStats(st broker.Stats) {
+	log.Printf("ncbroker: stats: subscriptions=%d distinct_filters=%d aggregated_subscribers=%d published=%d delivered=%d dropped=%d",
+		st.Subscriptions, st.DistinctFilters, st.AggregatedSubscribers,
+		st.Published, st.Delivered, st.Dropped)
 }

@@ -30,6 +30,9 @@ func TestParseArgsDefaults(t *testing.T) {
 	if cfg.opts.Broker.Shards != 1 {
 		t.Errorf("shards = %d, want 1", cfg.opts.Broker.Shards)
 	}
+	if cfg.opts.Broker.Aggregate {
+		t.Error("aggregation on by default")
+	}
 	if cfg.opts.Logf == nil {
 		t.Error("diagnostics silenced by default")
 	}
@@ -37,7 +40,7 @@ func TestParseArgsDefaults(t *testing.T) {
 
 func TestParseArgsFlags(t *testing.T) {
 	var errOut bytes.Buffer
-	cfg, err := parseArgs([]string{"-addr", ":9000", "-queue", "128", "-shards", "8", "-compact", "-reorder", "-quiet"}, &errOut)
+	cfg, err := parseArgs([]string{"-addr", ":9000", "-queue", "128", "-shards", "8", "-aggregate", "-compact", "-reorder", "-quiet"}, &errOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,6 +58,9 @@ func TestParseArgsFlags(t *testing.T) {
 	}
 	if cfg.opts.Broker.Shards != 8 {
 		t.Errorf("shards = %d, want 8", cfg.opts.Broker.Shards)
+	}
+	if !cfg.opts.Broker.Aggregate {
+		t.Error("-aggregate not set")
 	}
 	if cfg.opts.Logf != nil {
 		t.Error("-quiet did not silence diagnostics")
@@ -88,7 +94,7 @@ func TestParseArgsHelp(t *testing.T) {
 	if err == nil {
 		t.Fatal("-h should return flag.ErrHelp")
 	}
-	for _, flagName := range []string{"-addr", "-queue", "-shards", "-compact", "-reorder", "-quiet"} {
+	for _, flagName := range []string{"-addr", "-queue", "-shards", "-aggregate", "-compact", "-reorder", "-quiet"} {
 		if !strings.Contains(errOut.String(), flagName) {
 			t.Errorf("help output missing %s: %q", flagName, errOut.String())
 		}

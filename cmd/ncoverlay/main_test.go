@@ -4,20 +4,22 @@ import "testing"
 
 func TestRunTopologies(t *testing.T) {
 	for _, topo := range []string{"line", "star", "tree"} {
-		if err := run(7, topo, 2, 20, 100, 1); err != nil {
-			t.Errorf("%s: %v", topo, err)
+		for _, coverOn := range []bool{false, true} {
+			if err := run(7, topo, 2, 20, 100, 1, coverOn); err != nil {
+				t.Errorf("%s (cover=%v): %v", topo, coverOn, err)
+			}
 		}
 	}
 }
 
 func TestRunUnknownTopology(t *testing.T) {
-	if err := run(7, "ring", 2, 20, 100, 1); err == nil {
+	if err := run(7, "ring", 2, 20, 100, 1, false); err == nil {
 		t.Error("unknown topology accepted")
 	}
 }
 
 func TestRunSingleNode(t *testing.T) {
-	if err := run(1, "line", 2, 5, 20, 1); err != nil {
+	if err := run(1, "line", 2, 5, 20, 1, true); err != nil {
 		t.Errorf("single node: %v", err)
 	}
 }

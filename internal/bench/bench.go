@@ -98,6 +98,7 @@ func Experiments() []Experiment {
 		Experiment{ID: "parallel", Title: "P1: concurrent match throughput vs workers (RWMutex vs single lock)", Run: RunParallel},
 		Experiment{ID: "shard", Title: "S1: sharded matching throughput and p99 vs shard count (± churn)", Run: RunShard},
 		Experiment{ID: "batch", Title: "B1: batched publish events/s and p50/p99 vs batch size over TCP (± churn)", Run: RunBatch},
+		Experiment{ID: "cover", Title: "C1: filter aggregation + covering flood pruning vs popularity skew", Run: RunCover},
 	)
 	return exps
 }

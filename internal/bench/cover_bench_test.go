@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCoverFilterPool(t *testing.T) {
+	const pool = 64
+	// Distinct ranks must yield distinct filters (the pool size is the
+	// aggregated engine's ceiling).
+	seen := map[string]int{}
+	for r := 0; r < pool; r++ {
+		s := coverFilter(r, pool).String()
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("ranks %d and %d collide: %s", prev, r, s)
+		}
+		seen[s] = r
+	}
+}
+
+func TestMeasureCover(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Scale: 0.004, Trials: 1, Seed: 7}
+	res, err := MeasureCover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(coverSkews()) {
+		t.Fatalf("%d points, want %d", len(res.Points), len(coverSkews()))
+	}
+	for _, p := range res.Points {
+		// The headline claims of C1, at every skew setting:
+		// engine size tracks distinct filters, not subscribers…
+		if p.EngineOff != res.Subscribers {
+			t.Errorf("skew %.2f: plain engine = %d, want %d", p.Skew, p.EngineOff, res.Subscribers)
+		}
+		if p.EngineOn > res.Pool {
+			t.Errorf("skew %.2f: aggregated engine = %d entries > pool %d", p.Skew, p.EngineOn, res.Pool)
+		}
+		if p.EngineOn >= p.EngineOff {
+			t.Errorf("skew %.2f: aggregation did not shrink the engine (%d vs %d)",
+				p.Skew, p.EngineOn, p.EngineOff)
+		}
+		// …and covering prunes the subscription flood.
+		if p.FloodMsgsOn >= p.FloodMsgsOff {
+			t.Errorf("skew %.2f: covering did not prune the flood (%d vs %d)",
+				p.Skew, p.FloodMsgsOn, p.FloodMsgsOff)
+		}
+		if p.Suppressed == 0 {
+			t.Errorf("skew %.2f: no suppressions recorded", p.Skew)
+		}
+		if p.SubsPerSecOff <= 0 || p.SubsPerSecOn <= 0 {
+			t.Errorf("skew %.2f: non-positive subscribe throughput", p.Skew)
+		}
+		if p.P99Off < p.P50Off || p.P99On < p.P50On {
+			t.Errorf("skew %.2f: p99 below p50", p.Skew)
+		}
+	}
+
+	// Output paths: text and CSV.
+	if err := RunCover(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "C1:") {
+		t.Errorf("text output missing header: %q", buf.String())
+	}
+	buf.Reset()
+	cfg.CSV = true
+	if err := RunCover(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "skew,engine_off") {
+		t.Errorf("CSV output missing header: %q", buf.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Scale: 0.004, Trials: 1, Seed: 7}
+	e, ok := Lookup("cover")
+	if !ok {
+		t.Fatal("cover experiment not registered")
+	}
+	if err := RunJSON(e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var res JSONResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if res.Experiment != "cover" {
+		t.Errorf("experiment = %q", res.Experiment)
+	}
+	if len(res.Points) != len(coverSkews()) {
+		t.Fatalf("%d points, want %d", len(res.Points), len(coverSkews()))
+	}
+	for _, key := range []string{"skew", "engine_off", "engine_on", "flood_off", "flood_on", "pub_p50_on_s", "pub_p99_on_s"} {
+		if _, ok := res.Points[0][key]; !ok {
+			t.Errorf("point missing %q: %v", key, res.Points[0])
+		}
+	}
+	if _, isNum := res.Points[0]["engine_on"].(float64); !isNum {
+		t.Errorf("engine_on not numeric: %T", res.Points[0]["engine_on"])
+	}
+
+	// Experiments without a CSV series must refuse -json cleanly.
+	table1, _ := Lookup("table1")
+	if err := RunJSON(table1, cfg); err == nil {
+		t.Error("table1 accepted -json despite having no tabular series")
+	}
+}

@@ -19,6 +19,17 @@
 // Subscribe/Unsubscribe then write-lock a single shard, so subscription
 // churn stalls only 1/N of each publication's matching work, and a single
 // Publish matches on up to GOMAXPROCS cores.
+//
+// Aggregation: with Options.Aggregate the broker interns filters by their
+// canonical key (internal/cover): subscribers with identical filters share
+// one engine subscription fanning out to all of them, so engine size — and
+// therefore matching work — tracks the number of *distinct* filters rather
+// than the number of subscribers. Unsubscribe decrements the share count
+// and only the last subscriber detaches the engine entry. Under
+// filter-popularity skew (many users wanting the same feeds) this is the
+// difference between an engine of millions of entries and one of
+// thousands; Stats.DistinctFilters and Stats.AggregatedSubscribers make
+// the effect observable.
 package broker
 
 import (
@@ -29,6 +40,7 @@ import (
 
 	"noncanon/internal/boolexpr"
 	"noncanon/internal/core"
+	"noncanon/internal/cover"
 	"noncanon/internal/event"
 	"noncanon/internal/index"
 	"noncanon/internal/matcher"
@@ -56,6 +68,12 @@ type Options struct {
 	// shards (default 1: a single non-canonical engine). See
 	// internal/shard for the SubID layout and concurrency win.
 	Shards int
+	// Aggregate interns filters by canonical key (cover.Key): subscribers
+	// with identical filters share one engine subscription, so engine size
+	// tracks distinct filters instead of subscriber count. Delivery
+	// semantics are unchanged — every subscriber still receives every
+	// matching event on its own queue.
+	Aggregate bool
 	// Engine configures the underlying non-canonical engine(s).
 	Engine core.Options
 }
@@ -76,20 +94,52 @@ type Broker struct {
 	eng  engine
 
 	mu     sync.RWMutex
-	subs   map[matcher.SubID]*Subscription
+	groups map[matcher.SubID]*filterGroup // engine entry → attached subscribers
+	byKey  map[string]*filterGroup        // intern table (Aggregate only)
+	nsubs  int                            // live subscriber count
 	closed bool
 
-	wg        sync.WaitGroup
-	published atomic.Uint64
-	batches   atomic.Uint64
-	delivered atomic.Uint64
-	dropped   atomic.Uint64
+	wg         sync.WaitGroup
+	published  atomic.Uint64
+	batches    atomic.Uint64
+	delivered  atomic.Uint64
+	dropped    atomic.Uint64
+	aggregated atomic.Uint64 // subscribes deduped onto an existing filter
+}
+
+// filterGroup is one engine subscription fanning out to every subscriber
+// that registered the (canonically) same filter. Without aggregation each
+// group has exactly one member.
+type filterGroup struct {
+	id      matcher.SubID
+	key     string // intern key; "" when aggregation is off
+	members []*Subscription
+}
+
+// remove detaches s in O(1) via its stored member index and reports
+// whether it was attached. Mass unsubscribe of a hot aggregated filter
+// happens under the broker write lock, so removal must not scan the
+// group's (possibly huge) member list.
+func (g *filterGroup) remove(s *Subscription) bool {
+	i := s.gidx
+	if i < 0 || i >= len(g.members) || g.members[i] != s {
+		return false
+	}
+	last := len(g.members) - 1
+	moved := g.members[last]
+	g.members[i] = moved
+	moved.gidx = i
+	g.members[last] = nil
+	g.members = g.members[:last]
+	s.gidx = -1
+	return true
 }
 
 // Subscription is a live registration with its delivery pipeline.
 type Subscription struct {
 	id      matcher.SubID
 	b       *Broker
+	gidx    int // index in its filterGroup's members; guarded by b.mu
 	queue   chan event.Event
 	out     chan event.Event // non-nil for channel subscriptions
 	dropped atomic.Uint64
@@ -108,11 +158,15 @@ func New(opts Options) *Broker {
 	} else {
 		eng = core.New(predicate.NewRegistry(), index.New(), opts.Engine)
 	}
-	return &Broker{
-		opts: opts,
-		eng:  eng,
-		subs: make(map[matcher.SubID]*Subscription, 64),
+	b := &Broker{
+		opts:   opts,
+		eng:    eng,
+		groups: make(map[matcher.SubID]*filterGroup, 64),
 	}
+	if opts.Aggregate {
+		b.byKey = make(map[string]*filterGroup, 64)
+	}
+	return b
 }
 
 // Subscribe registers an expression with a handler. The handler runs on a
@@ -158,26 +212,48 @@ func (b *Broker) SubscribeChan(expr boolexpr.Expr) (*Subscription, <-chan event.
 }
 
 func (b *Broker) subscribe(expr boolexpr.Expr, out chan event.Event) (*Subscription, error) {
+	var key string
+	if b.opts.Aggregate {
+		// Key computation walks the expression; do it outside the lock.
+		key = cover.Key(expr)
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return nil, ErrClosed
 	}
-	id, err := b.eng.Subscribe(expr)
-	if err != nil {
-		return nil, err
+	var g *filterGroup
+	if b.opts.Aggregate {
+		g = b.byKey[key]
+	}
+	if g == nil {
+		id, err := b.eng.Subscribe(expr)
+		if err != nil {
+			return nil, err
+		}
+		g = &filterGroup{id: id, key: key}
+		b.groups[id] = g
+		if b.opts.Aggregate {
+			b.byKey[key] = g
+		}
+	} else {
+		b.aggregated.Add(1)
 	}
 	s := &Subscription{
-		id:    id,
+		id:    g.id,
 		b:     b,
+		gidx:  len(g.members),
 		queue: make(chan event.Event, b.opts.QueueSize),
 		out:   out,
 	}
-	b.subs[id] = s
+	g.members = append(g.members, s)
+	b.nsubs++
 	return s, nil
 }
 
-// ID returns the engine subscription ID.
+// ID returns the engine subscription ID. With Options.Aggregate,
+// subscribers sharing a filter share the ID — it names the engine entry,
+// not the subscriber.
 func (s *Subscription) ID() matcher.SubID { return s.id }
 
 // Dropped returns how many events were discarded because this
@@ -185,20 +261,28 @@ func (s *Subscription) ID() matcher.SubID { return s.id }
 func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 
 // Unsubscribe removes the subscription and ends its delivery goroutine
-// after draining queued events. It is idempotent.
+// after draining queued events. Under aggregation the shared engine entry
+// is detached only when the last attached subscriber unsubscribes. It is
+// idempotent.
 func (s *Subscription) Unsubscribe() error {
 	var err error
 	didCancel := false
 	s.cancelOnce.Do(func() {
 		didCancel = true
 		s.b.mu.Lock()
-		if _, live := s.b.subs[s.id]; live {
-			delete(s.b.subs, s.id)
-			err = s.b.eng.Unsubscribe(s.id)
+		if g, live := s.b.groups[s.id]; live && g.remove(s) {
+			s.b.nsubs--
+			if len(g.members) == 0 {
+				delete(s.b.groups, s.id)
+				if g.key != "" {
+					delete(s.b.byKey, g.key)
+				}
+				err = s.b.eng.Unsubscribe(s.id)
+			}
 		}
 		s.b.mu.Unlock()
-		// No publisher can hold s.queue once the map entry is gone (Publish
-		// enqueues under the read lock), so closing is safe.
+		// No publisher can hold s.queue once the group membership is gone
+		// (Publish enqueues under the read lock), so closing is safe.
 		close(s.queue)
 	})
 	if !didCancel {
@@ -208,7 +292,7 @@ func (s *Subscription) Unsubscribe() error {
 }
 
 // Publish matches the event and enqueues it to every matching subscriber.
-// It returns the number of subscriptions the event was enqueued for and
+// It returns the number of subscribers the event was enqueued for and
 // never blocks on slow consumers. Publish runs entirely under read locks,
 // so any number of publishers proceed concurrently.
 func (b *Broker) Publish(ev event.Event) (int, error) {
@@ -220,16 +304,18 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 	b.published.Add(1)
 	n := 0
 	for _, id := range b.eng.Match(ev) {
-		s, ok := b.subs[id]
+		g, ok := b.groups[id]
 		if !ok {
 			continue
 		}
-		select {
-		case s.queue <- ev:
-			n++
-		default:
-			s.dropped.Add(1)
-			b.dropped.Add(1)
+		for _, s := range g.members {
+			select {
+			case s.queue <- ev:
+				n++
+			default:
+				s.dropped.Add(1)
+				b.dropped.Add(1)
+			}
 		}
 	}
 	return n, nil
@@ -260,48 +346,62 @@ func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 	b.batches.Add(1)
 	for i, ids := range b.eng.MatchBatch(evs) {
 		for _, id := range ids {
-			s, ok := b.subs[id]
+			g, ok := b.groups[id]
 			if !ok {
 				continue
 			}
-			select {
-			case s.queue <- evs[i]:
-				counts[i]++
-			default:
-				s.dropped.Add(1)
-				b.dropped.Add(1)
+			for _, s := range g.members {
+				select {
+				case s.queue <- evs[i]:
+					counts[i]++
+				default:
+					s.dropped.Add(1)
+					b.dropped.Add(1)
+				}
 			}
 		}
 	}
 	return counts, nil
 }
 
-// NumSubscriptions returns the live subscription count.
+// NumSubscriptions returns the live subscriber count (not the engine entry
+// count; see Stats.DistinctFilters for that).
 func (b *Broker) NumSubscriptions() int {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	return len(b.subs)
+	return b.nsubs
 }
 
 // Stats is a broker activity snapshot. Published counts events (a batch
 // of n grows it by n); Batches counts PublishBatch calls; Dropped counts
 // per-subscriber queue-full discards from both publish paths.
+// DistinctFilters is the number of live engine entries — with aggregation
+// this is the number of distinct filters, without it it equals
+// Subscriptions. AggregatedSubscribers counts Subscribe calls that were
+// deduplicated onto an existing filter over the broker's lifetime.
 type Stats struct {
-	Subscriptions int
-	Published     uint64
-	Batches       uint64
-	Delivered     uint64
-	Dropped       uint64
+	Subscriptions         int
+	DistinctFilters       int
+	AggregatedSubscribers uint64
+	Published             uint64
+	Batches               uint64
+	Delivered             uint64
+	Dropped               uint64
 }
 
 // Stats returns a snapshot of broker activity.
 func (b *Broker) Stats() Stats {
+	b.mu.RLock()
+	subs, filters := b.nsubs, len(b.groups)
+	b.mu.RUnlock()
 	return Stats{
-		Subscriptions: b.NumSubscriptions(),
-		Published:     b.published.Load(),
-		Batches:       b.batches.Load(),
-		Delivered:     b.delivered.Load(),
-		Dropped:       b.dropped.Load(),
+		Subscriptions:         subs,
+		DistinctFilters:       filters,
+		AggregatedSubscribers: b.aggregated.Load(),
+		Published:             b.published.Load(),
+		Batches:               b.batches.Load(),
+		Delivered:             b.delivered.Load(),
+		Dropped:               b.dropped.Load(),
 	}
 }
 
@@ -315,17 +415,21 @@ func (b *Broker) Close() error {
 		return nil
 	}
 	b.closed = true
-	remaining := make([]*Subscription, 0, len(b.subs))
-	for _, s := range b.subs {
-		remaining = append(remaining, s)
+	var remaining []*Subscription
+	for _, g := range b.groups {
+		remaining = append(remaining, g.members...)
 	}
+	// Publish is locked out for good (closed flag), so the groups can go;
+	// in-flight Unsubscribe calls see empty maps and no-op.
+	b.groups = make(map[matcher.SubID]*filterGroup)
+	if b.byKey != nil {
+		b.byKey = make(map[string]*filterGroup)
+	}
+	b.nsubs = 0
 	b.mu.Unlock()
 
 	for _, s := range remaining {
 		s.cancelOnce.Do(func() {
-			b.mu.Lock()
-			delete(b.subs, s.id)
-			b.mu.Unlock()
 			close(s.queue)
 		})
 	}

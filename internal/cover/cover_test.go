@@ -1,0 +1,388 @@
+package cover
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/event"
+	"noncanon/internal/predicate"
+	"noncanon/internal/sublang"
+)
+
+func parse(t *testing.T, s string) boolexpr.Expr {
+	t.Helper()
+	x, err := sublang.Parse(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return x
+}
+
+// TestCoversProvable pins relations the test must prove: each pair here is
+// a real covering that the abstract domains are expected to find.
+func TestCoversProvable(t *testing.T) {
+	cases := [][2]string{
+		// Reflexivity and trivial weakening.
+		{`price < 10`, `price < 10`},
+		{`price < 10`, `price < 5`},
+		{`price <= 10`, `price < 10`},
+		{`price > 3`, `price > 3.5`},
+		{`price >= 4`, `price > 4`},
+		{`price != 7`, `price = 3 and price > 0`}, // the > conjunct excludes NaN
+		{`price <= 10`, `price = 10`},
+		{`price = 3`, `price = 3.0`},
+		{`exists price`, `price > 10`},
+		{`exists price`, `price != 1`},
+		// Or-weakening: a broader disjunction covers each branch.
+		{`price < 10 or price > 90`, `price < 10`},
+		{`price < 10 or price > 90`, `price < 5 or price > 95`},
+		{`price < 10 or sym = "A"`, `price < 10 and sym = "A"`},
+		// And-strengthening: more conjuncts are covered by fewer.
+		{`price < 10`, `price < 10 and sym = "A"`},
+		{`price < 10 and sym = "A"`, `sym = "A" and price < 5 and vol > 3`},
+		// Conjoined interval reasoning on one attribute.
+		{`price != 9`, `price > 5 and price < 8`},
+		{`price > 0`, `price > 2 and price < 8`},
+		{`price <= 10`, `price = 3 and sym = "A"`},
+		{`price < 10`, `price = 3 and price > 0 and sym = "A"`},
+		// String family.
+		{`sym prefix "AB"`, `sym prefix "ABC"`},
+		{`sym suffix "Z"`, `sym suffix "XYZ"`},
+		{`sym contains "BC"`, `sym contains "ABCD"`},
+		{`sym contains "BC"`, `sym prefix "ABC"`},
+		{`sym contains "BC"`, `sym suffix "ABC"`},
+		{`sym contains "BC"`, `sym = "ABCD"`},
+		{`sym prefix "AB"`, `sym = "ABCD"`},
+		{`sym >= "AB"`, `sym prefix "ABC"`},
+		{`sym != "Q"`, `sym prefix "AB"`},
+		// Negation.
+		{`not price < 3`, `price > 5`},
+		{`not price = 3`, `price > 5`},
+		{`not (price > 5)`, `not (price > 5 or sym = "A")`},
+		{`not (price > 5 and sym = "A")`, `not price > 5`},
+		{`not price < 3`, `not price < 4`}, // contrapositive of < weakening
+		{`not (price <= 5)`, `price > 5 and sym = "A"`},
+		// And/Or commutativity via structural paths.
+		{`sym = "A" and price < 10`, `price < 10 and sym = "A"`},
+		{`price < 10 or sym = "A"`, `sym = "A" or price < 10`},
+		// Unsatisfiable subscriber is covered by anything.
+		{`vol = 1`, `price > 5 and price < 3`},
+		{`vol = 1`, `sym = "A" and sym prefix "B"`},
+		{`vol = 1`, `sym = "A" and price < 10 and sym = "B"`},
+	}
+	for _, c := range cases {
+		a, b := parse(t, c[0]), parse(t, c[1])
+		if !Covers(a, b) {
+			t.Errorf("Covers(%q, %q) = false, want provable", c[0], c[1])
+		}
+	}
+}
+
+// TestCoversRejected pins relations that do NOT hold semantically: a sound
+// test must return false (a true here is an outright soundness bug, not
+// incompleteness).
+func TestCoversRejected(t *testing.T) {
+	cases := [][2]string{
+		{`price < 5`, `price < 10`},
+		{`price < 10`, `price <= 10`},
+		{`price = 3`, `price <= 3`},
+		{`price != 3`, `price != 4`},
+		{`price > 5`, `vol > 5`},
+		{`price > 5 and sym = "A"`, `price > 5`},
+		{`price < 10`, `price < 5 or vol > 3`},
+		{`sym prefix "ABC"`, `sym prefix "AB"`},
+		{`sym contains "ABCD"`, `sym contains "BC"`},
+		{`sym prefix "AB"`, `sym contains "AB"`}, // contains admits "XAB"
+		{`price > 10`, `exists price`},
+		{`price > 5`, `not price <= 5`}, // missing attr matches the Not only
+		{`not price < 4`, `not price < 3`},
+		{`price = 3`, `price = 3 or vol = 1`},
+		{`exists price`, `exists vol`},
+		// NaN event values satisfy every non-strict numeric comparison
+		// (value.Compare yields 0 against NaN) while failing every strict
+		// one, so none of these hold: the event price=NaN matches b only.
+		{`price < 10`, `price <= 9`},
+		{`price != 7`, `price = 3`},
+		{`price < 10`, `price = 3 and sym = "A"`},
+		{`vol = 1`, `price = 2 and price = 3`},
+		{`vol = 1`, `price <= 2 and price >= 3`},
+	}
+	for _, c := range cases {
+		a, b := parse(t, c[0]), parse(t, c[1])
+		if Covers(a, b) {
+			t.Errorf("Covers(%q, %q) = true, but the relation does not hold", c[0], c[1])
+		}
+	}
+}
+
+func TestCoversNil(t *testing.T) {
+	x := parse(t, `price < 5`)
+	if Covers(nil, x) || Covers(x, nil) || Covers(nil, nil) {
+		t.Error("nil expressions must not cover or be covered")
+	}
+}
+
+// adversarialNumerics are the event values where value.Compare's order is
+// exact no longer: NaN (compares "equal" to everything numeric), ±Inf,
+// and the ±2^53 boundary where Int/Int comparisons are exact but
+// Int/Float ones round. Soundness must hold for them too — the domain
+// handles them by refusing to reason, and the property tests inject them
+// to prove it.
+var adversarialNumerics = []any{
+	math.NaN(), math.Inf(1), math.Inf(-1),
+	int64(1) << 53, int64(1)<<53 + 1, -(int64(1) << 53), -(int64(1)<<53 + 1),
+	float64(int64(1) << 53), -float64(int64(1) << 53),
+}
+
+// randomEvent draws an event over the RandomExpr attribute pool, mixing
+// kinds — including the adversarial numerics — and deliberately leaving
+// some attributes absent so the missing-attribute semantics of Not and
+// Exists are exercised.
+func randomEvent(rng *rand.Rand, domain int) event.Event {
+	ev := event.New()
+	for i := 0; i < 8; i++ {
+		switch rng.Intn(6) {
+		case 0: // absent
+		case 1:
+			ev = ev.Set("a"+strconv.Itoa(i), rng.Intn(domain))
+		case 2:
+			ev = ev.Set("a"+strconv.Itoa(i), float64(rng.Intn(domain))+0.5)
+		case 3:
+			ev = ev.Set("a"+strconv.Itoa(i), rng.Intn(2) == 0)
+		case 4:
+			ev = ev.Set("a"+strconv.Itoa(i), adversarialNumerics[rng.Intn(len(adversarialNumerics))])
+		default:
+			// Strings from the operand pool plus noise, so prefix/suffix/
+			// contains predicates both hit and miss.
+			s := "s" + strconv.Itoa(rng.Intn(domain))
+			switch rng.Intn(3) {
+			case 0:
+				s = s + "x"
+			case 1:
+				s = "x" + s
+			}
+			ev = ev.Set("a"+strconv.Itoa(i), s)
+		}
+	}
+	return ev
+}
+
+// derivePair builds an (a, b) candidate with a high chance of a genuine
+// covering relation, so the soundness property is exercised on positive
+// verdicts rather than a sea of false ones.
+func derivePair(rng *rand.Rand, cfg boolexpr.RandomConfig) (a, b boolexpr.Expr) {
+	x := boolexpr.RandomExpr(rng, cfg)
+	y := boolexpr.RandomExpr(rng, cfg)
+	switch rng.Intn(6) {
+	case 0: // identical
+		return x, x
+	case 1: // a is an Or-weakening of b
+		return boolexpr.NewOr(x, y), x
+	case 2: // b is an And-strengthening of a
+		return x, boolexpr.NewAnd(x, y)
+	case 3: // complement pair
+		return boolexpr.NewNot(x), boolexpr.NewNot(boolexpr.NewOr(x, y))
+	case 4: // unrelated random pair
+		return x, y
+	default: // random pair sharing structure
+		return boolexpr.NewAnd(x, y), boolexpr.NewAnd(y, x)
+	}
+}
+
+// TestCoversSoundnessProperty is the pinned soundness property:
+// Covers(a, b) ⇒ every random event matching b matches a, over randomized
+// non-canonical expressions (And/Or/Not, all operator families).
+func TestCoversSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := boolexpr.RandomConfig{MaxDepth: 4, MaxFanout: 3, AllowNot: true, Domain: 20}
+	const pairs = 3000
+	covered := 0
+	for i := 0; i < pairs; i++ {
+		a, b := derivePair(rng, cfg)
+		if !Covers(a, b) {
+			continue
+		}
+		covered++
+		for j := 0; j < 60; j++ {
+			ev := randomEvent(rng, 20)
+			if b.Eval(ev) && !a.Eval(ev) {
+				t.Fatalf("unsound: Covers(%s, %s) but event %v matches b only", a, b, ev)
+			}
+		}
+	}
+	if covered < pairs/10 {
+		t.Errorf("only %d/%d pairs proved covered; the test lost its teeth", covered, pairs)
+	}
+	t.Logf("proved %d/%d covering pairs", covered, pairs)
+}
+
+// TestCoversTransitivityProperty: covering is a preorder; whenever the test
+// proves a ⊇ b and b ⊇ c it must never be possible to observe an event in
+// c but not a.
+func TestCoversTransitivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := boolexpr.RandomConfig{MaxDepth: 3, MaxFanout: 3, AllowNot: true, Domain: 12}
+	for i := 0; i < 800; i++ {
+		c := boolexpr.RandomExpr(rng, cfg)
+		b := boolexpr.NewOr(c, boolexpr.RandomExpr(rng, cfg))
+		a := boolexpr.NewOr(b, boolexpr.RandomExpr(rng, cfg))
+		if Covers(a, b) && Covers(b, c) {
+			for j := 0; j < 40; j++ {
+				ev := randomEvent(rng, 12)
+				if c.Eval(ev) && !a.Eval(ev) {
+					t.Fatalf("transitive unsoundness: %s ⊉ %s via %s on %v", a, c, b, ev)
+				}
+			}
+		}
+	}
+}
+
+func TestKeyEquivalences(t *testing.T) {
+	same := [][2]string{
+		{`price < 10 and sym = "A"`, `sym = "A" and price < 10`},
+		{`price < 10 or sym = "A"`, `sym = "A" or price < 10`},
+		{`price < 10 and price < 10`, `price < 10`},
+		{`not not price < 10`, `price < 10`},
+		{`price = 3`, `price = 3.0`},
+		{`a = 1 and (b = 2 and c = 3)`, `(a = 1 and b = 2) and c = 3`},
+		{`a = 1 or (b = 2 or c = 3)`, `(a = 1 or b = 2) or c = 3`},
+	}
+	for _, c := range same {
+		a, b := parse(t, c[0]), parse(t, c[1])
+		if Key(a) != Key(b) {
+			t.Errorf("Key(%q) = %q != Key(%q) = %q", c[0], Key(a), c[1], Key(b))
+		}
+	}
+	diff := [][2]string{
+		{`price < 10`, `price <= 10`},
+		{`price < 10`, `vol < 10`},
+		{`price < 10 and sym = "A"`, `price < 10 or sym = "A"`},
+		{`price = 3`, `price = 4`},
+		{`sym = "A"`, `sym = "a"`},
+		{`not price < 10`, `price < 10`},
+		{`exists price`, `exists vol`},
+	}
+	for _, c := range diff {
+		a, b := parse(t, c[0]), parse(t, c[1])
+		if Key(a) == Key(b) {
+			t.Errorf("Key(%q) == Key(%q) = %q, want distinct", c[0], c[1], Key(a))
+		}
+	}
+}
+
+func TestKeyExistsIgnoresOperand(t *testing.T) {
+	a := boolexpr.NewLeaf(predicate.New("price", predicate.Exists, 5))
+	b := boolexpr.NewLeaf(predicate.New("price", predicate.Exists, nil))
+	if Key(a) != Key(b) {
+		t.Errorf("Exists keys differ: %q vs %q", Key(a), Key(b))
+	}
+}
+
+func TestKeyNegativeZero(t *testing.T) {
+	a := boolexpr.NewLeaf(predicate.New("price", predicate.Eq, math.Copysign(0, -1)))
+	b := boolexpr.NewLeaf(predicate.New("price", predicate.Eq, 0))
+	if Key(a) != Key(b) {
+		t.Errorf("-0 and 0 keys differ: %q vs %q", Key(a), Key(b))
+	}
+}
+
+// TestKeySoundnessProperty: equal keys must mean equal matched event sets.
+func TestKeySoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cfg := boolexpr.RandomConfig{MaxDepth: 3, MaxFanout: 3, AllowNot: true, Domain: 8}
+	byKey := map[string]boolexpr.Expr{}
+	for i := 0; i < 4000; i++ {
+		x := boolexpr.RandomExpr(rng, cfg)
+		k := Key(x)
+		prev, ok := byKey[k]
+		if !ok {
+			byKey[k] = x
+			continue
+		}
+		for j := 0; j < 40; j++ {
+			ev := randomEvent(rng, 8)
+			if prev.Eval(ev) != x.Eval(ev) {
+				t.Fatalf("key collision with different semantics: %s vs %s (key %q) on %v",
+					prev, x, k, ev)
+			}
+		}
+	}
+}
+
+// TestKeyDeterministic: Key must not depend on map iteration or other
+// per-run state.
+func TestKeyDeterministic(t *testing.T) {
+	x := parse(t, `(a = 1 or b = 2 or c prefix "s") and not d > 3 and exists e`)
+	k := Key(x)
+	for i := 0; i < 10; i++ {
+		if Key(boolexpr.Clone(x)) != k {
+			t.Fatal("Key is not deterministic across clones")
+		}
+	}
+}
+
+// TestCoversLargeNumericBoundary is the regression test for the 2^53
+// soundness hole: value.Compare compares Int/Int exactly but Int/Float
+// through float64, so its order is not transitive across kinds once
+// magnitudes reach 2^53 — e.g. Int(2^53+1) compares equal to Float(2^53)
+// but greater than Int(2^53). The domain must refuse to reason there.
+func TestCoversLargeNumericBoundary(t *testing.T) {
+	const big = int64(1) << 53 // 9007199254740992
+	bigF := float64(big)
+
+	// The original counterexample: the domain used to pin the covered
+	// filter to Float(2^53), "equal" to Int(2^53+1) on the float path,
+	// while the event Int(2^53) matches the covered filter but not the
+	// coverer (exact Int comparison).
+	a := boolexpr.NewLeaf(predicate.New("a", predicate.Eq, big+1))
+	b := boolexpr.NewAnd(
+		boolexpr.NewLeaf(predicate.New("a", predicate.Ge, bigF)),
+		boolexpr.NewLeaf(predicate.New("a", predicate.Le, bigF)),
+	)
+	if Covers(a, b) {
+		t.Errorf("unsound: Covers(a=2^53+1, 2^53.0<=a<=2^53.0) — event a=Int(2^53) matches b only")
+	}
+
+	// Exactly ±2^53 is already untrustworthy: Int(2^53+1) is "≤ Float(2^53)"
+	// on the float path but "> Int(2^53)" exactly.
+	le := boolexpr.NewLeaf(predicate.New("a", predicate.Le, big))
+	leF := boolexpr.NewLeaf(predicate.New("a", predicate.Le, bigF))
+	if Covers(le, leF) || Covers(leF, le) {
+		t.Errorf("unsound: Le reasoning at the 2^53 boundary — event a=Int(2^53+1) distinguishes the operand kinds")
+	}
+
+	// Safely inside the boundary, reasoning must still work.
+	inside := boolexpr.NewLeaf(predicate.New("a", predicate.Lt, big-2))
+	wider := boolexpr.NewLeaf(predicate.New("a", predicate.Lt, float64(big-1)))
+	if !Covers(wider, inside) {
+		t.Errorf("Covers(a < 2^53-1.0, a < 2^53-2) = false, want provable")
+	}
+
+	// And the events the old bug lost must actually route: whenever
+	// Covers holds for ±big operands, verify against the critical values.
+	crit := []any{big - 1, big, big + 1, bigF, -big, -(big + 1), float64(-big)}
+	ops := []predicate.Op{predicate.Eq, predicate.Ne, predicate.Lt, predicate.Le, predicate.Gt, predicate.Ge}
+	for _, opA := range ops {
+		for _, vA := range crit {
+			for _, opB := range ops {
+				for _, vB := range crit {
+					pa := boolexpr.NewLeaf(predicate.New("a", opA, vA))
+					pb := boolexpr.NewLeaf(predicate.New("a", opB, vB))
+					if !Covers(pa, pb) {
+						continue
+					}
+					for _, ev := range crit {
+						e := event.New().Set("a", ev)
+						if pb.Eval(e) && !pa.Eval(e) {
+							t.Fatalf("unsound at boundary: Covers(%s, %s) but event a=%v matches b only",
+								pa, pb, ev)
+						}
+					}
+				}
+			}
+		}
+	}
+}

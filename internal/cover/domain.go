@@ -1,0 +1,429 @@
+package cover
+
+import (
+	"math"
+	"strings"
+
+	"noncanon/internal/predicate"
+	"noncanon/internal/value"
+)
+
+// class partitions operand values by mutual comparability: value.Compare
+// succeeds exactly within a class (Int and Float compare with each other,
+// strings with strings, bools with bools). Every predicate operator except
+// Exists requires the event value to be comparable with — or, for the
+// substring family, of the same String kind as — its operand, so a
+// conjunction whose operands span two classes admits no value at all.
+type class uint8
+
+const (
+	classAny class = iota // unconstrained (only Exists conjuncts seen)
+	classNum
+	classStr
+	classBool
+)
+
+func classOf(v value.Value) (class, bool) {
+	switch v.Kind() {
+	case value.Int, value.Float:
+		return classNum, true
+	case value.String:
+		return classStr, true
+	case value.Bool:
+		return classBool, true
+	default:
+		return 0, false
+	}
+}
+
+// dom is the per-attribute abstract domain: a conservative constraint on the
+// value an event must carry for one attribute. Conjoining predicates only
+// ever OVER-approximates — the concretisation γ(dom) always contains every
+// value admitted by the conjoined predicates — so the two conclusions drawn
+// from a dom are sound:
+//
+//   - entails(q): γ(dom) ⊆ sat(q), hence the conjunction implies q;
+//   - conjoin returning false: γ(dom) = ∅, hence the conjunction is
+//     unsatisfiable (and implies anything).
+//
+// The domain tracks an interval for the ordered operators (within one
+// comparability class), required prefix/suffix/substrings for the string
+// family, and excluded points for !=. Constraints it cannot represent are
+// dropped, which widens γ and stays sound.
+type dom struct {
+	cls class
+
+	// noNaN records that some conjoined predicate provably excludes a NaN
+	// event value. value.Compare returns (0, ok) for NaN against any
+	// number, so NaN satisfies every NON-strict numeric comparison
+	// (=, <=, >=) and fails every strict one (<, >, !=): a numeric
+	// conjunction therefore admits NaN — outside any real interval —
+	// unless a Lt/Gt/Ne conjunct kills it. While NaN may inhabit γ, the
+	// domain must not entail strict/Ne predicates (NaN would violate
+	// them) nor conclude emptiness from interval contradictions (NaN
+	// satisfies both sides of `x <= 5 and x >= 10`).
+	noNaN bool
+
+	lower, upper             value.Value
+	lowerOK, upperOK         bool
+	lowerStrict, upperStrict bool
+
+	pre   string // required prefix, valid when preOK
+	preOK bool
+	suf   string // required suffix, valid when sufOK
+	sufOK bool
+	subs  []string // required substrings
+
+	excluded []value.Value // != points
+}
+
+// untrustedNumeric reports whether a numeric operand must be excluded from
+// domain reasoning. Two regions of value.Compare's order cannot support
+// sound operand-to-operand conclusions:
+//
+//   - NaN: the order is degenerate (everything compares "equal" to it);
+//   - magnitudes ≥ 2^53 (including ±Inf): Int/Int comparisons are exact
+//     while Int/Float ones round through float64, so the order stops
+//     being transitive across kinds — e.g. Int(2^53+1) compares equal to
+//     Float(2^53) but greater than Int(2^53), which would let the domain
+//     "prove" implications the engine then contradicts.
+//
+// Operands strictly inside (−2^53, 2^53) are exact on every comparison
+// path, so conclusions drawn among them transfer to arbitrary event
+// values. Everything else is dropped by conjoin and rejected by entails —
+// widening, never unsound.
+func untrustedNumeric(v value.Value) bool {
+	f, ok := v.AsFloat()
+	if !ok {
+		return false // not numeric; other guards decide
+	}
+	return math.IsNaN(f) || math.Abs(f) >= 1<<53
+}
+
+// conjoin intersects predicate p into the domain. It reports false only
+// when the domain is now provably empty — no single value satisfies all
+// conjoined predicates — which is a licence to conclude anything from the
+// conjunction. Unrepresentable constraints are dropped (sound: the domain
+// only widens).
+func (d *dom) conjoin(p predicate.P) bool {
+	if p.Op == predicate.Exists {
+		return true // presence only; no value constraint
+	}
+	c, ok := classOf(p.Operand)
+	if !ok {
+		// Invalid operand: the comparison can never succeed, so the
+		// predicate matches nothing.
+		return false
+	}
+	switch p.Op {
+	case predicate.Prefix, predicate.Suffix, predicate.Contains:
+		if c != classStr {
+			// The substring family demands a String operand; with any other
+			// kind the predicate matches nothing.
+			return false
+		}
+	}
+	if d.cls == classAny {
+		d.cls = c
+	} else if d.cls != c {
+		// Two operand classes: the event value would have to be comparable
+		// with both, which no value is.
+		return false
+	}
+	if untrustedNumeric(p.Operand) {
+		return true // drop: see untrustedNumeric
+	}
+	switch p.Op {
+	case predicate.Lt, predicate.Gt, predicate.Ne:
+		// Strict comparisons and != fail on a NaN event value
+		// (Compare yields c == 0), so they pin γ inside the reals.
+		d.noNaN = true
+	}
+	switch p.Op {
+	case predicate.Eq:
+		if !d.tightenLower(p.Operand, false) || !d.tightenUpper(p.Operand, false) {
+			return false
+		}
+		if c == classStr {
+			if !d.requirePrefix(p.Operand.Str()) || !d.requireSuffix(p.Operand.Str()) {
+				return false
+			}
+		}
+	case predicate.Ne:
+		d.excluded = append(d.excluded, p.Operand)
+	case predicate.Lt:
+		if !d.tightenUpper(p.Operand, true) {
+			return false
+		}
+	case predicate.Le:
+		if !d.tightenUpper(p.Operand, false) {
+			return false
+		}
+	case predicate.Gt:
+		if !d.tightenLower(p.Operand, true) {
+			return false
+		}
+	case predicate.Ge:
+		if !d.tightenLower(p.Operand, false) {
+			return false
+		}
+	case predicate.Prefix:
+		// A string starting with s is lexicographically >= s.
+		if !d.requirePrefix(p.Operand.Str()) || !d.tightenLower(p.Operand, false) {
+			return false
+		}
+	case predicate.Suffix:
+		if !d.requireSuffix(p.Operand.Str()) {
+			return false
+		}
+	case predicate.Contains:
+		d.subs = append(d.subs, p.Operand.Str())
+	default:
+		// Unknown operator: matches nothing (predicate.EvalValue returns
+		// false), so the conjunction is empty.
+		return false
+	}
+	return d.feasible()
+}
+
+func (d *dom) tightenLower(v value.Value, strict bool) bool {
+	if !d.lowerOK {
+		d.lower, d.lowerStrict, d.lowerOK = v, strict, true
+		return d.feasible()
+	}
+	c, ok := v.Compare(d.lower)
+	if !ok {
+		return true // cannot order: drop the new bound
+	}
+	if c > 0 || (c == 0 && strict && !d.lowerStrict) {
+		d.lower, d.lowerStrict = v, strict
+	}
+	return d.feasible()
+}
+
+func (d *dom) tightenUpper(v value.Value, strict bool) bool {
+	if !d.upperOK {
+		d.upper, d.upperStrict, d.upperOK = v, strict, true
+		return d.feasible()
+	}
+	c, ok := v.Compare(d.upper)
+	if !ok {
+		return true
+	}
+	if c < 0 || (c == 0 && strict && !d.upperStrict) {
+		d.upper, d.upperStrict = v, strict
+	}
+	return d.feasible()
+}
+
+// requirePrefix intersects a required prefix: of two compatible prefixes the
+// longer one subsumes the shorter; incompatible ones admit no string.
+func (d *dom) requirePrefix(s string) bool {
+	if !d.preOK {
+		d.pre, d.preOK = s, true
+		return d.feasible()
+	}
+	if strings.HasPrefix(d.pre, s) {
+		return true
+	}
+	if strings.HasPrefix(s, d.pre) {
+		d.pre = s
+		return d.feasible()
+	}
+	return false
+}
+
+func (d *dom) requireSuffix(s string) bool {
+	if !d.sufOK {
+		d.suf, d.sufOK = s, true
+		return d.feasible()
+	}
+	if strings.HasSuffix(d.suf, s) {
+		return true
+	}
+	if strings.HasSuffix(s, d.suf) {
+		d.suf = s
+		return d.feasible()
+	}
+	return false
+}
+
+// feasible reports whether the domain still admits at least one value as
+// far as it can tell; false is only returned on a definite contradiction.
+func (d *dom) feasible() bool {
+	if d.cls == classNum && !d.noNaN {
+		// NaN satisfies every conjoined constraint (all are non-strict in
+		// Compare's degenerate NaN order), so no interval contradiction
+		// can empty the domain: `x = 2 and x = 3` still admits NaN.
+		return true
+	}
+	if d.lowerOK && d.upperOK {
+		c, ok := d.lower.Compare(d.upper)
+		if ok {
+			if c > 0 {
+				return false
+			}
+			if c == 0 && (d.lowerStrict || d.upperStrict) {
+				return false
+			}
+			if c == 0 && d.pinned() {
+				// Single admissible point: check it against the point-wise
+				// constraints.
+				v := d.lower
+				for _, x := range d.excluded {
+					if v.Equal(x) {
+						return false
+					}
+				}
+				if d.cls == classStr {
+					s := v.Str()
+					if d.preOK && !strings.HasPrefix(s, d.pre) {
+						return false
+					}
+					if d.sufOK && !strings.HasSuffix(s, d.suf) {
+						return false
+					}
+					for _, sub := range d.subs {
+						if !strings.Contains(s, sub) {
+							return false
+						}
+					}
+				}
+			}
+		}
+	}
+	// Class-extremum contradictions: nothing below the class minimum or
+	// above the class maximum.
+	switch d.cls {
+	case classStr:
+		if d.upperOK && d.upperStrict && d.upper.Str() == "" {
+			return false // no string < ""
+		}
+	case classBool:
+		if d.upperOK && d.upperStrict && !d.upper.Bool() {
+			return false // no bool < false
+		}
+		if d.lowerOK && d.lowerStrict && d.lower.Bool() {
+			return false // no bool > true
+		}
+		// classNum needs no extremum check: untrustedNumeric keeps ±Inf
+		// (and anything ≥ 2^53) out of the interval bounds.
+	}
+	return true
+}
+
+// pinned reports whether the domain admits exactly the single value d.lower.
+func (d *dom) pinned() bool {
+	return d.lowerOK && d.upperOK && !d.lowerStrict && !d.upperStrict && d.lower.Equal(d.upper)
+}
+
+// entails reports whether every value admitted by the domain satisfies
+// predicate q (on the same attribute). The caller guarantees that the
+// attribute is present — every conjoined leaf, including Exists, requires
+// presence — so Exists is entailed unconditionally.
+func (d *dom) entails(q predicate.P) bool {
+	if q.Op == predicate.Exists {
+		return true
+	}
+	qc, ok := classOf(q.Operand)
+	if !ok || untrustedNumeric(q.Operand) {
+		return false
+	}
+	if d.cls != qc {
+		// Either unconstrained (classAny: γ spans every class) or the
+		// classes differ, in which case no admitted value can even be
+		// compared with q's operand.
+		return false
+	}
+	if qc == classNum && !d.noNaN {
+		switch q.Op {
+		case predicate.Lt, predicate.Gt, predicate.Ne:
+			// γ may contain NaN, which fails every strict/!= comparison
+			// while having satisfied the (non-strict) conjuncts.
+			return false
+		}
+	}
+	switch q.Op {
+	case predicate.Eq:
+		return d.pinned() && d.lower.Equal(q.Operand)
+	case predicate.Ne:
+		return d.excludes(q.Operand)
+	case predicate.Lt:
+		if !d.upperOK {
+			return false
+		}
+		c, ok := d.upper.Compare(q.Operand)
+		return ok && (c < 0 || (c == 0 && d.upperStrict))
+	case predicate.Le:
+		if !d.upperOK {
+			return false
+		}
+		c, ok := d.upper.Compare(q.Operand)
+		return ok && c <= 0
+	case predicate.Gt:
+		if !d.lowerOK {
+			return false
+		}
+		c, ok := d.lower.Compare(q.Operand)
+		return ok && (c > 0 || (c == 0 && d.lowerStrict))
+	case predicate.Ge:
+		if !d.lowerOK {
+			return false
+		}
+		c, ok := d.lower.Compare(q.Operand)
+		return ok && c >= 0
+	case predicate.Prefix:
+		return d.preOK && strings.HasPrefix(d.pre, q.Operand.Str())
+	case predicate.Suffix:
+		return d.sufOK && strings.HasSuffix(d.suf, q.Operand.Str())
+	case predicate.Contains:
+		y := q.Operand.Str()
+		if d.preOK && strings.Contains(d.pre, y) {
+			return true
+		}
+		if d.sufOK && strings.Contains(d.suf, y) {
+			return true
+		}
+		for _, s := range d.subs {
+			if strings.Contains(s, y) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// excludes reports whether the domain provably admits no value equal to y.
+func (d *dom) excludes(y value.Value) bool {
+	for _, x := range d.excluded {
+		if x.Equal(y) {
+			return true
+		}
+	}
+	if d.lowerOK {
+		if c, ok := y.Compare(d.lower); ok && (c < 0 || (c == 0 && d.lowerStrict)) {
+			return true
+		}
+	}
+	if d.upperOK {
+		if c, ok := y.Compare(d.upper); ok && (c > 0 || (c == 0 && d.upperStrict)) {
+			return true
+		}
+	}
+	if d.cls == classStr && y.Kind() == value.String {
+		s := y.Str()
+		if d.preOK && !strings.HasPrefix(s, d.pre) {
+			return true
+		}
+		if d.sufOK && !strings.HasSuffix(s, d.suf) {
+			return true
+		}
+		for _, sub := range d.subs {
+			if !strings.Contains(s, sub) {
+				return true
+			}
+		}
+	}
+	return false
+}

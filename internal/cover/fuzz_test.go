@@ -1,0 +1,72 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+
+	"noncanon/internal/boolexpr"
+)
+
+// FuzzCovers is the differential soundness fuzzer for the covering test:
+// from two generator seeds and a pairing mode it derives a random
+// non-canonical expression pair (a, b), and whenever Covers(a, b) claims
+// the relation, it replays random events and asserts that none matches b
+// without matching a. Any counterexample is an outright soundness bug —
+// incompleteness (false negatives) is permitted, unsoundness never.
+//
+// The same inputs also cross-check Key: expressions that intern to the
+// same key must match exactly the same events.
+//
+// Seeds beyond the inline f.Add corpus are checked in under
+// testdata/fuzz/FuzzCovers.
+func FuzzCovers(f *testing.F) {
+	for mode := 0; mode < 6; mode++ {
+		f.Add(int64(1), int64(2), uint8(mode), int64(3))
+	}
+	f.Add(int64(42), int64(42), uint8(0), int64(7))
+	f.Add(int64(-9), int64(1<<40), uint8(3), int64(0))
+	f.Fuzz(func(t *testing.T, seedA, seedB int64, mode uint8, evSeed int64) {
+		cfgA := boolexpr.RandomConfig{MaxDepth: 4, MaxFanout: 3, AllowNot: true, Domain: 16}
+		cfgB := cfgA
+		if mode&0x40 != 0 {
+			cfgB.MaxDepth = 2 // asymmetric shapes
+		}
+		x := boolexpr.RandomExpr(rand.New(rand.NewSource(seedA)), cfgA)
+		y := boolexpr.RandomExpr(rand.New(rand.NewSource(seedB)), cfgB)
+
+		var a, b boolexpr.Expr
+		switch mode % 6 {
+		case 0:
+			a, b = x, y
+		case 1:
+			a, b = boolexpr.NewOr(x, y), x
+		case 2:
+			a, b = x, boolexpr.NewAnd(x, y)
+		case 3:
+			a, b = boolexpr.NewNot(x), boolexpr.NewNot(boolexpr.NewOr(x, y))
+		case 4:
+			a, b = boolexpr.NewAnd(x, y), boolexpr.NewAnd(y, x)
+		default:
+			a, b = x, x
+		}
+
+		covers := Covers(a, b)
+		sameKey := Key(a) == Key(b)
+		if !covers && !sameKey {
+			return
+		}
+		erng := rand.New(rand.NewSource(evSeed))
+		for i := 0; i < 64; i++ {
+			ev := randomEvent(erng, 16)
+			am, bm := a.Eval(ev), b.Eval(ev)
+			if covers && bm && !am {
+				t.Fatalf("unsound cover: Covers(a, b) but event matches b only\n  a: %s\n  b: %s\n  event: %v",
+					a, b, ev)
+			}
+			if sameKey && am != bm {
+				t.Fatalf("unsound key: Key(a) == Key(b) but event differs\n  a: %s\n  b: %s\n  event: %v",
+					a, b, ev)
+			}
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package netbroker
+
+import (
+	"testing"
+
+	"noncanon/internal/broker"
+	"noncanon/internal/event"
+)
+
+// TestAggregatedServerDuplicateFilters pins the wire-handle layer over an
+// aggregating broker: two identical filters on one connection share an
+// engine entry but remain separately addressable — both receive matching
+// events, and unsubscribing one must not detach the other.
+func TestAggregatedServerDuplicateFilters(t *testing.T) {
+	addr, srv := startServer(t, ServerOptions{
+		Broker: broker.Options{Aggregate: true},
+	})
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	s1, err := cli.Subscribe(`price > 100 and sym = "ACME"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cli.Subscribe(`sym = "ACME" and price > 100`) // same filter, commuted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.ID() == s2.ID() {
+		t.Fatalf("wire handles collide: %d", s1.ID())
+	}
+	if st := srv.Broker().Stats(); st.DistinctFilters != 1 || st.Subscriptions != 2 {
+		t.Fatalf("server stats = %+v, want 2 subscribers over 1 distinct filter", st)
+	}
+
+	ev := event.New().Set("price", 150).Set("sym", "ACME")
+	if n, err := cli.Publish(ev); err != nil || n != 2 {
+		t.Fatalf("Publish = %d, %v; want 2", n, err)
+	}
+	if got := recvEvent(t, s1.C()); !got.Equal(ev) {
+		t.Error("s1 received wrong event")
+	}
+	if got := recvEvent(t, s2.C()); !got.Equal(ev) {
+		t.Error("s2 received wrong event")
+	}
+
+	if err := s1.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Broker().Stats(); st.DistinctFilters != 1 || st.Subscriptions != 1 {
+		t.Fatalf("after one unsubscribe: %+v, want engine entry kept alive", st)
+	}
+	if n, err := cli.Publish(ev); err != nil || n != 1 {
+		t.Fatalf("Publish after unsubscribe = %d, %v; want 1", n, err)
+	}
+	if got := recvEvent(t, s2.C()); !got.Equal(ev) {
+		t.Error("s2 lost its delivery after s1 unsubscribed")
+	}
+	if err := s2.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Broker().Stats(); st.DistinctFilters != 0 {
+		t.Fatalf("after both unsubscribes: %+v, want empty engine", st)
+	}
+}

@@ -17,7 +17,6 @@ import (
 
 	"noncanon/internal/broker"
 	"noncanon/internal/event"
-	"noncanon/internal/matcher"
 	"noncanon/internal/sublang"
 	"noncanon/internal/wire"
 )
@@ -149,8 +148,9 @@ type conn struct {
 
 	wmu sync.Mutex // serialises response and event writes
 
-	smu  sync.Mutex
-	subs map[uint64]*broker.Subscription
+	smu     sync.Mutex
+	nextSub uint64 // connection-local subscription handle source
+	subs    map[uint64]*broker.Subscription
 }
 
 func (c *conn) serve() {
@@ -213,26 +213,25 @@ func (c *conn) handleSubscribe(reqID uint32, rest []byte) error {
 	if err != nil {
 		return c.writeError(reqID, err.Error())
 	}
-	// The push frames must carry the subscription ID, which only exists
-	// once Subscribe returns; the handler blocks on idCh for its first
-	// delivery (the channel is filled immediately below).
-	idCh := make(chan matcher.SubID, 1)
-	var subID matcher.SubID
-	var idOnce sync.Once
-	handler := func(ev event.Event) {
-		idOnce.Do(func() { subID = <-idCh })
-		c.deliverFor(subID, ev)
-	}
-	sub, err := c.srv.br.Subscribe(expr, handler)
+	// Subscriptions are identified on the wire by a connection-local
+	// handle, never by the engine ID: with broker aggregation two
+	// identical filters on one connection share an engine entry, and the
+	// handle keeps them separately addressable.
+	c.smu.Lock()
+	c.nextSub++
+	handle := c.nextSub
+	c.smu.Unlock()
+	sub, err := c.srv.br.Subscribe(expr, func(ev event.Event) {
+		c.deliverFor(handle, ev)
+	})
 	if err != nil {
 		return c.writeError(reqID, err.Error())
 	}
-	idCh <- sub.ID()
 	c.smu.Lock()
-	c.subs[uint64(sub.ID())] = sub
+	c.subs[handle] = sub
 	c.smu.Unlock()
 	resp := wire.AppendU32(nil, reqID)
-	resp = wire.AppendU64(resp, uint64(sub.ID()))
+	resp = wire.AppendU64(resp, handle)
 	return c.write(wire.MsgSubscribed, resp)
 }
 
@@ -291,10 +290,10 @@ func (c *conn) handlePublishBatch(reqID uint32, rest []byte) error {
 }
 
 // deliverFor pushes one matched event to the client, tagged with the
-// subscription it matched. It runs on the broker's per-subscription
-// delivery goroutine.
-func (c *conn) deliverFor(subID matcher.SubID, ev event.Event) {
-	buf := wire.AppendU64(nil, uint64(subID))
+// connection-local handle of the subscription it matched. It runs on the
+// broker's per-subscription delivery goroutine.
+func (c *conn) deliverFor(handle uint64, ev event.Event) {
+	buf := wire.AppendU64(nil, handle)
 	buf = wire.AppendEvent(buf, ev)
 	if err := c.write(wire.MsgEvent, buf); err != nil {
 		c.srv.opts.Logf("netbroker: push to %s: %v", c.nc.RemoteAddr(), err)

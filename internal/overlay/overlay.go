@@ -16,6 +16,16 @@
 //     from). On a tree this delivers every matching subscription exactly
 //     once while filtering prunes all branches without subscribers.
 //
+// With Config.Cover the flood is pruned by subscription covering
+// (internal/cover): a broker does not forward a subscription over a link
+// that already carries one covering it — events selected by the narrower
+// filter are a subset of those the wider one already attracts, so routing
+// stays exact while the flood shrinks. The suppressed subscription is
+// remembered against its coverer; when the coverer is unsubscribed the
+// broker re-floods the filters it was shadowing over that link (each
+// re-checked against the remaining forwarded set, so a second coverer
+// re-suppresses instead of re-flooding).
+//
 // Every broker runs the full non-canonical engine, so overlay scalability
 // inherits the filtering scalability the paper argues for.
 package overlay
@@ -23,12 +33,14 @@ package overlay
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"noncanon/internal/boolexpr"
 	"noncanon/internal/core"
+	"noncanon/internal/cover"
 	"noncanon/internal/event"
 	"noncanon/internal/index"
 	"noncanon/internal/matcher"
@@ -62,6 +74,11 @@ const MaxHops = 255
 type Config struct {
 	// InboxSize is the per-broker inbox capacity (default DefaultInboxSize).
 	InboxSize int
+	// Cover enables covering-based subscription forwarding: a subscription
+	// is not flooded past a link that already carries a covering one, and
+	// unsubscribing a coverer re-floods the filters it was shadowing.
+	// Event routing is unaffected; delivery stays exactly-once.
+	Cover bool
 	// Engine configures each broker's matching engine.
 	Engine core.Options
 }
@@ -81,6 +98,9 @@ type Stats struct {
 	Delivered uint64
 	// SubscriptionMsgs counts subscription-propagation link messages.
 	SubscriptionMsgs uint64
+	// CoverSuppressed counts subscription forwards pruned because the link
+	// already carried a covering subscription (Config.Cover only).
+	CoverSuppressed uint64
 }
 
 // Network is a simulated broker overlay.
@@ -96,10 +116,11 @@ type Network struct {
 
 	subOrigin sync.Map // sub id → NodeID, for Unsubscribe validation
 
-	published  atomic.Uint64
-	forwarded  atomic.Uint64
-	delivered  atomic.Uint64
-	subMsgSent atomic.Uint64
+	published     atomic.Uint64
+	forwarded     atomic.Uint64
+	delivered     atomic.Uint64
+	subMsgSent    atomic.Uint64
+	coverSuppress atomic.Uint64
 }
 
 type node struct {
@@ -118,14 +139,23 @@ type node struct {
 	routes map[uint64]*route
 	// byEngine maps engine subscription IDs back to routes after matching.
 	byEngine map[matcher.SubID]*route
+
+	// Covering state (Config.Cover only), indexed by link. fwd[i] holds
+	// the subscriptions this node actually sent over link i; coveredBy[i]
+	// maps a suppressed subscription to the forwarded one that shadows it,
+	// and coverees[i] is the reverse index consulted on unsubscribe.
+	fwd       []map[uint64]boolexpr.Expr
+	coveredBy []map[uint64]uint64
+	coverees  []map[uint64]map[uint64]struct{}
 }
 
 // route is a node's view of one overlay subscription.
 type route struct {
 	subID    uint64
 	engineID matcher.SubID
-	handler  Handler // non-nil only at the subscriber's home broker
-	nextHop  int     // link index toward the subscriber; -1 when local
+	expr     boolexpr.Expr // kept for covering re-floods
+	handler  Handler       // non-nil only at the subscriber's home broker
+	nextHop  int           // link index toward the subscriber; -1 when local
 }
 
 type message struct {
@@ -178,6 +208,19 @@ func New(n int, edges [][2]NodeID, cfg Config) (*Network, error) {
 		b.neighbors = append(b.neighbors, a)
 		a.revIdx = append(a.revIdx, len(b.neighbors)-1)
 		b.revIdx = append(b.revIdx, len(a.neighbors)-1)
+	}
+	if cfg.Cover {
+		for _, nd := range nw.nodes {
+			links := len(nd.neighbors)
+			nd.fwd = make([]map[uint64]boolexpr.Expr, links)
+			nd.coveredBy = make([]map[uint64]uint64, links)
+			nd.coverees = make([]map[uint64]map[uint64]struct{}, links)
+			for i := 0; i < links; i++ {
+				nd.fwd[i] = make(map[uint64]boolexpr.Expr)
+				nd.coveredBy[i] = make(map[uint64]uint64)
+				nd.coverees[i] = make(map[uint64]map[uint64]struct{})
+			}
+		}
 	}
 	for _, nd := range nw.nodes {
 		nw.wg.Add(1)
@@ -332,6 +375,7 @@ func (nw *Network) Stats() Stats {
 		Forwarded:        nw.forwarded.Load(),
 		Delivered:        nw.delivered.Load(),
 		SubscriptionMsgs: nw.subMsgSent.Load(),
+		CoverSuppressed:  nw.coverSuppress.Load(),
 	}
 }
 
@@ -379,15 +423,49 @@ func (nd *node) handleSubscribe(m message) {
 		// the simulation.
 		panic(fmt.Sprintf("overlay: node %d: install subscription %d: %v", nd.id, m.subID, err))
 	}
-	r := &route{subID: m.subID, engineID: engineID, nextHop: m.from}
+	r := &route{subID: m.subID, engineID: engineID, expr: m.expr, nextHop: m.from}
 	if m.from == -1 {
 		r.handler = m.handler
 	}
 	nd.routes[m.subID] = r
 	nd.byEngine[engineID] = r
 	// Flood to all other links.
+	if nd.net.cfg.Cover {
+		for i := range nd.neighbors {
+			if i != m.from {
+				nd.sendSubOverLink(i, m.subID, m.expr)
+			}
+		}
+		return
+	}
 	fwd := message{kind: msgSubscribe, subID: m.subID, expr: m.expr}
 	nd.forwardExcept(m.from, fwd, &nd.net.subMsgSent)
+}
+
+// sendSubOverLink forwards a subscription over one link unless a
+// subscription already forwarded there covers it: the far side then
+// already attracts a superset of the matching events toward this node, so
+// routing stays exact and the flood is pruned. Suppressions are recorded
+// so an unsubscribe of the coverer can re-flood them.
+func (nd *node) sendSubOverLink(i int, subID uint64, expr boolexpr.Expr) {
+	for tid, texpr := range nd.fwd[i] {
+		if cover.Covers(texpr, expr) {
+			nd.coveredBy[i][subID] = tid
+			set := nd.coverees[i][tid]
+			if set == nil {
+				set = make(map[uint64]struct{})
+				nd.coverees[i][tid] = set
+			}
+			set[subID] = struct{}{}
+			nd.net.coverSuppress.Add(1)
+			return
+		}
+	}
+	nd.fwd[i][subID] = expr
+	nd.net.subMsgSent.Add(1)
+	nd.net.send(nd.neighbors[i], message{
+		kind: msgSubscribe, from: nd.revIdx[i], subID: subID, expr: expr,
+	})
 }
 
 func (nd *node) handleUnsubscribe(m message) {
@@ -400,7 +478,63 @@ func (nd *node) handleUnsubscribe(m message) {
 	if err := nd.eng.Unsubscribe(r.engineID); err != nil {
 		panic(fmt.Sprintf("overlay: node %d: remove subscription %d: %v", nd.id, m.subID, err))
 	}
+	if nd.net.cfg.Cover {
+		for i := range nd.neighbors {
+			if i != m.from {
+				nd.unsubOverLink(i, m.subID)
+			}
+		}
+		return
+	}
 	nd.forwardExcept(m.from, message{kind: msgUnsubscribe, subID: m.subID}, &nd.net.subMsgSent)
+}
+
+// unsubOverLink retracts a subscription from one link. Only subscriptions
+// actually forwarded there need a link message; a suppressed one just
+// clears its shadow bookkeeping. Retracting a forwarded subscription
+// re-floods everything it was covering (in deterministic order), each
+// re-checked against the remaining forwarded set so another coverer can
+// re-suppress it.
+//
+// Ordering matters: the re-floods are sent BEFORE the retraction. The far
+// side then briefly carries both the coverer and the re-flooded filters —
+// which routes a single event copy anyway (next-hop links are
+// deduplicated) — whereas the opposite order would open a window carrying
+// neither, dropping events for stable subscribers.
+func (nd *node) unsubOverLink(i int, subID uint64) {
+	if _, sent := nd.fwd[i][subID]; !sent {
+		if cid, covered := nd.coveredBy[i][subID]; covered {
+			delete(nd.coveredBy[i], subID)
+			if set := nd.coverees[i][cid]; set != nil {
+				delete(set, subID)
+				if len(set) == 0 {
+					delete(nd.coverees[i], cid)
+				}
+			}
+		}
+		return
+	}
+	delete(nd.fwd[i], subID) // before re-flooding: no self-covering
+	if shadowed := nd.coverees[i][subID]; len(shadowed) > 0 {
+		delete(nd.coverees[i], subID)
+		ids := make([]uint64, 0, len(shadowed))
+		for sid := range shadowed {
+			ids = append(ids, sid)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, sid := range ids {
+			delete(nd.coveredBy[i], sid)
+			if rr, live := nd.routes[sid]; live {
+				nd.sendSubOverLink(i, sid, rr.expr)
+			}
+		}
+	} else {
+		delete(nd.coverees[i], subID)
+	}
+	nd.net.subMsgSent.Add(1)
+	nd.net.send(nd.neighbors[i], message{
+		kind: msgUnsubscribe, from: nd.revIdx[i], subID: subID,
+	})
 }
 
 // forwardExcept sends m to every neighbor except the link it arrived on,

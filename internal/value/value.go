@@ -197,12 +197,16 @@ func order[T int64 | uint64 | float64](a, b T) int {
 func (v Value) Key() Key {
 	switch v.kind {
 	case Int:
-		// Integers exactly representable as float64 share the float's key
-		// so that 3 and 3.0 collide; the vast int64 range outside ±2^53 is
-		// keyed exactly as ints.
+		// Integers strictly inside ±2^53 share the float's key so that 3
+		// and 3.0 collide; outside (and at exactly ±2^53) ints are keyed
+		// exactly, because there Int and Float operands stop being
+		// interchangeable: Compare(Int(2^53+1), Float(2^53)) rounds to
+		// "equal" on the float path while Compare against Int(2^53) is
+		// exactly "greater", so conflating the operand kinds at the
+		// boundary would intern semantically different predicates.
 		i := int64(v.num)
 		f := float64(i)
-		if int64(f) == i && f >= -(1<<53) && f <= 1<<53 {
+		if int64(f) == i && f > -(1<<53) && f < 1<<53 {
 			return Key{kind: Float, num: math.Float64bits(f)}
 		}
 		return Key{kind: Int, num: v.num}
@@ -228,6 +232,32 @@ type Key struct {
 	kind Kind
 	num  uint64
 	str  string
+}
+
+// KeyString renders the canonical Key as a short prefixed string, for
+// embedding in composite string keys (e.g. subscription-filter interning,
+// internal/cover). Equal Keys always yield equal strings; distinct Keys
+// yield distinct strings, with one deliberate exception — every NaN
+// bit-pattern shares a string, which is safe because Compare cannot tell
+// NaNs apart. Deriving the rendering from Key keeps it in lockstep with
+// the registry's interning semantics (3 and 3.0 collide, -0 normalises).
+func (v Value) KeyString() string {
+	k := v.Key()
+	switch k.kind {
+	case Int:
+		return "i" + strconv.FormatInt(int64(k.num), 10)
+	case Float:
+		return "n" + strconv.FormatFloat(math.Float64frombits(k.num), 'g', -1, 64)
+	case String:
+		return "s" + strconv.Quote(k.str)
+	case Bool:
+		if k.num != 0 {
+			return "b1"
+		}
+		return "b0"
+	default:
+		return "x"
+	}
 }
 
 // String renders the value as a literal in the subscription language: quoted

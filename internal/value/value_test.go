@@ -235,3 +235,45 @@ func TestAsFloat(t *testing.T) {
 		t.Error("bool AsFloat should fail")
 	}
 }
+
+func TestKeyStringMatchesKey(t *testing.T) {
+	// KeyString must be in lockstep with Key: equal keys ⇒ equal strings,
+	// distinct keys ⇒ distinct strings (NaN payloads excepted — Compare
+	// cannot tell NaNs apart, so sharing a string is deliberate).
+	vals := []Value{
+		OfInt(0), OfInt(3), OfInt(-3), OfFloat(3), OfFloat(3.5), OfFloat(0),
+		OfFloat(math.Copysign(0, -1)), OfInt(1 << 53), OfFloat(1 << 53),
+		OfInt(-(1 << 53)), OfFloat(-(1 << 53)), OfInt(1<<53 - 1), OfFloat(1<<53 - 1),
+		OfInt(1<<53 + 1), OfString(""), OfString("x"), OfString("3"),
+		OfBool(true), OfBool(false), {},
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			sameKey := a.Key() == b.Key()
+			sameStr := a.KeyString() == b.KeyString()
+			if sameKey != sameStr {
+				t.Errorf("Key/KeyString disagree: %#v vs %#v (key equal %v, string %q vs %q)",
+					a, b, sameKey, a.KeyString(), b.KeyString())
+			}
+		}
+	}
+}
+
+func TestKeyBoundaryIntFloatDistinct(t *testing.T) {
+	// At exactly ±2^53 the Int and Float operands are semantically
+	// different (Int(2^53+1) float-compares equal to Float(2^53) but
+	// exact-compares greater than Int(2^53)), so they must NOT intern
+	// together; strictly inside the window they must.
+	if OfInt(1<<53).Key() == OfFloat(1<<53).Key() {
+		t.Error("Int(2^53) and Float(2^53) intern together")
+	}
+	if OfInt(-(1 << 53)).Key() == OfFloat(-(1 << 53)).Key() {
+		t.Error("Int(-2^53) and Float(-2^53) intern together")
+	}
+	if OfInt(1<<53-1).Key() != OfFloat(1<<53-1).Key() {
+		t.Error("Int(2^53-1) and Float(2^53-1) do not intern together")
+	}
+	if OfInt(3).Key() != OfFloat(3).Key() {
+		t.Error("3 and 3.0 do not intern together")
+	}
+}
