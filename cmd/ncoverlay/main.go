@@ -1,7 +1,20 @@
-// Command ncoverlay runs a broker-overlay simulation: N brokers in a
-// line/star/tree topology, random Boolean subscriptions spread over the
-// brokers, random events published at random brokers, routing statistics
-// printed at the end.
+// Command ncoverlay runs a broker overlay, in one of two modes.
+//
+// Simulation (default): N brokers in a line/star/tree topology inside one
+// process, random Boolean subscriptions spread over the brokers, random
+// events published at random brokers, routing statistics printed at the
+// end.
+//
+// Federation (-listen / -peer): this process IS one broker, federated with
+// other ncoverlay processes over real TCP using the wire protocol. Links
+// must form a tree across the deployment; each process contributes -subs
+// local subscriptions and publishes -events local events, then keeps
+// serving for -hold before printing its routing statistics.
+//
+//	# process-per-broker quickstart: a three-broker line on one machine
+//	ncoverlay -listen :7001 -id 1 -subs 50 -events 0 -hold 20s &
+//	ncoverlay -listen :7002 -id 2 -peer localhost:7001 -subs 50 -events 0 -hold 15s &
+//	ncoverlay -id 3 -peer localhost:7002 -subs 0 -events 1000
 //
 // With -cover, subscription flooding is pruned by covering (a filter is
 // not forwarded past a link already carrying a broader one; see
@@ -11,36 +24,211 @@
 //
 //	ncoverlay -nodes 15 -topology tree -subs 200 -events 1000
 //	ncoverlay -nodes 15 -topology tree -subs 200 -events 1000 -cover
+//	ncoverlay -listen :7001 -id 1 -hold 30s
+//	ncoverlay -id 2 -peer host:7001 -subs 100 -events 500 -cover
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"noncanon/internal/boolexpr"
 	"noncanon/internal/event"
+	"noncanon/internal/netoverlay"
 	"noncanon/internal/overlay"
 	"noncanon/internal/predicate"
 )
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 15, "broker count")
-		topology = flag.String("topology", "tree", "line | star | tree")
-		fanout   = flag.Int("fanout", 2, "tree fanout")
-		subs     = flag.Int("subs", 200, "subscription count")
-		events   = flag.Int("events", 1000, "events to publish")
+		nodes    = flag.Int("nodes", 15, "broker count (simulation mode)")
+		topology = flag.String("topology", "tree", "line | star | tree (simulation mode)")
+		fanout   = flag.Int("fanout", 2, "tree fanout (simulation mode)")
+		subs     = flag.Int("subs", 200, "subscription count (local to this process in federation mode)")
+		events   = flag.Int("events", 1000, "events to publish (local in federation mode)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		coverOn  = flag.Bool("cover", false, "prune subscription flooding by covering (see internal/cover)")
+
+		listen = flag.String("listen", "", "federation mode: accept peer brokers on this address")
+		peers  = flag.String("peer", "", "federation mode: comma-separated parent broker addresses to link to")
+		id     = flag.Uint("id", 0, "federation mode: this broker's node ID (distinct per process; required)")
+		settle = flag.Duration("settle", 500*time.Millisecond, "federation mode: quiet window treated as quiescence")
+		hold   = flag.Duration("hold", 0, "federation mode: keep serving this long after the local workload")
 	)
 	flag.Parse()
-	if err := run(*nodes, *topology, *fanout, *subs, *events, *seed, *coverOn); err != nil {
+	var err error
+	if *listen != "" || *peers != "" {
+		err = runFederated(os.Stdout, fedConfig{
+			ID:     uint32(*id),
+			Listen: *listen,
+			Peers:  splitPeers(*peers),
+			Subs:   *subs,
+			Events: *events,
+			Seed:   *seed,
+			Cover:  *coverOn,
+			Settle: *settle,
+			Hold:   *hold,
+		})
+	} else {
+		err = run(*nodes, *topology, *fanout, *subs, *events, *seed, *coverOn)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ncoverlay:", err)
 		os.Exit(1)
+	}
+}
+
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// randomSub returns subscription #i of the shared workload: interest in a
+// price band of one of a few symbols.
+func randomSub(rng *rand.Rand) boolexpr.Expr {
+	sym := symbols[rng.Intn(len(symbols))]
+	lo := rng.Intn(80)
+	return boolexpr.NewAnd(
+		boolexpr.Pred("sym", predicate.Eq, sym),
+		boolexpr.NewOr(
+			boolexpr.Pred("price", predicate.Lt, lo),
+			boolexpr.Pred("price", predicate.Gt, lo+20),
+		),
+	)
+}
+
+func randomEvent(rng *rand.Rand, seq int) event.Event {
+	return event.New().
+		Set("sym", symbols[rng.Intn(len(symbols))]).
+		Set("price", rng.Intn(100)).
+		Set("seq", seq)
+}
+
+var symbols = []string{"ACME", "GLOBEX", "INITECH", "UMBRELLA"}
+
+// fedConfig parameterises one federated broker process.
+type fedConfig struct {
+	ID     uint32
+	Listen string
+	Peers  []string
+	Subs   int
+	Events int
+	Seed   int64
+	Cover  bool
+	Settle time.Duration
+	Hold   time.Duration
+}
+
+// dialRetry covers peers started in any order: a parent that is still
+// coming up is retried for this long before the link fails.
+const (
+	dialRetry    = 10 * time.Second
+	dialInterval = 200 * time.Millisecond
+)
+
+func runFederated(w io.Writer, cfg fedConfig) error {
+	if cfg.ID == 0 {
+		return fmt.Errorf("federation mode needs a distinct -id per process")
+	}
+	b := netoverlay.NewBroker(netoverlay.Options{
+		NodeID: cfg.ID,
+		Cover:  cfg.Cover,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	defer b.Close()
+	if cfg.Listen != "" {
+		addr, err := b.Listen(cfg.Listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "broker %d listening on %s\n", cfg.ID, addr)
+	}
+	for _, p := range cfg.Peers {
+		if err := connectRetry(b, p); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "broker %d linked to %s\n", cfg.ID, p)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var delivered atomic.Int64
+	for i := 0; i < cfg.Subs; i++ {
+		if _, err := b.Subscribe(randomSub(rng), func(event.Event) { delivered.Add(1) }); err != nil {
+			return err
+		}
+	}
+	b.Quiesce(cfg.Settle)
+
+	var elapsed time.Duration
+	if cfg.Events > 0 {
+		start := time.Now()
+		for i := 0; i < cfg.Events; i++ {
+			if err := b.Publish(randomEvent(rng, i)); err != nil {
+				return err
+			}
+		}
+		b.Quiesce(cfg.Settle)
+		// Quiesce by construction spends its last cfg.Settle observing an
+		// already-quiet broker; don't bill that to throughput.
+		elapsed = time.Since(start) - cfg.Settle
+		if elapsed <= 0 {
+			elapsed = time.Millisecond
+		}
+	}
+	if cfg.Hold > 0 {
+		time.Sleep(cfg.Hold)
+	}
+
+	st := b.Stats()
+	fmt.Fprintf(w, "broker          %d (federated, cover=%v)\n", cfg.ID, cfg.Cover)
+	fmt.Fprintf(w, "peers           %d\n", st.Peers)
+	fmt.Fprintf(w, "local subs      %d\n", cfg.Subs)
+	if cfg.Events > 0 {
+		fmt.Fprintf(w, "events          %d in %v (%.0f events/s)\n",
+			cfg.Events, elapsed.Round(time.Millisecond), float64(cfg.Events)/elapsed.Seconds())
+	}
+	fmt.Fprintf(w, "deliveries      %d local handler calls\n", delivered.Load())
+	fmt.Fprintf(w, "link crossings  %d events forwarded to peers\n", st.Forwarded)
+	fmt.Fprintf(w, "sub flood msgs  %d\n", st.SubscriptionMsgs)
+	if cfg.Cover {
+		fmt.Fprintf(w, "cover pruned    %d forwards\n", st.CoverSuppressed)
+	}
+	if st.HopDropped != 0 || st.InstallErrors != 0 {
+		fmt.Fprintf(w, "ANOMALIES       hop-dropped %d, install errors %d\n", st.HopDropped, st.InstallErrors)
+	}
+	return nil
+}
+
+func connectRetry(b *netoverlay.Broker, addr string) error {
+	deadline := time.Now().Add(dialRetry)
+	for {
+		err := b.Connect(addr)
+		if err == nil {
+			return nil
+		}
+		// Retrying is for peers still starting up; a handshake rejection
+		// (version mismatch, duplicate link, self-link) is deterministic.
+		if errors.Is(err, netoverlay.ErrHandshake) || time.Now().After(deadline) {
+			return fmt.Errorf("link to %s: %w", addr, err)
+		}
+		time.Sleep(dialInterval)
 	}
 }
 
@@ -68,21 +256,9 @@ func run(nodes int, topology string, fanout, subs, events int, seed int64, cover
 	rng := rand.New(rand.NewSource(seed))
 	var delivered atomic.Int64
 
-	// Random subscriptions: interest in a price band of one of a few
-	// symbols, optionally requiring an alert flag.
-	symbols := []string{"ACME", "GLOBEX", "INITECH", "UMBRELLA"}
 	for i := 0; i < subs; i++ {
-		sym := symbols[rng.Intn(len(symbols))]
-		lo := rng.Intn(80)
-		expr := boolexpr.NewAnd(
-			boolexpr.Pred("sym", predicate.Eq, sym),
-			boolexpr.NewOr(
-				boolexpr.Pred("price", predicate.Lt, lo),
-				boolexpr.Pred("price", predicate.Gt, lo+20),
-			),
-		)
 		at := overlay.NodeID(rng.Intn(nodes))
-		if _, err := nw.Subscribe(at, expr, func(event.Event) { delivered.Add(1) }); err != nil {
+		if _, err := nw.Subscribe(at, randomSub(rng), func(event.Event) { delivered.Add(1) }); err != nil {
 			return err
 		}
 	}
@@ -90,11 +266,7 @@ func run(nodes int, topology string, fanout, subs, events int, seed int64, cover
 
 	start := time.Now()
 	for i := 0; i < events; i++ {
-		ev := event.New().
-			Set("sym", symbols[rng.Intn(len(symbols))]).
-			Set("price", rng.Intn(100)).
-			Set("seq", i)
-		if err := nw.Publish(overlay.NodeID(rng.Intn(nodes)), ev); err != nil {
+		if err := nw.Publish(overlay.NodeID(rng.Intn(nodes)), randomEvent(rng, i)); err != nil {
 			return err
 		}
 	}

@@ -198,23 +198,20 @@ func coverOverlayRun(cfg Config, ranks []int, pool, nodes int, coverOn bool) (fl
 	if len(ranks) > 4096 {
 		ranks = ranks[:4096]
 	}
-	// Roomy inboxes plus periodic quiescing keep the registration storm's
-	// in-flight flood bounded well below the inbox capacity — a full
-	// inbox cycle between neighbours would deadlock the simulation.
-	nw, err := overlay.NewTree(nodes, 2, overlay.Config{Cover: coverOn, InboxSize: 1 << 15})
+	// The registration storm runs unthrottled: spill-queue forwarding means
+	// a full inbox can delay but never deadlock the flood, so the old
+	// oversized-inbox + periodic-quiescing workaround is gone.
+	nw, err := overlay.NewTree(nodes, 2, overlay.Config{Cover: coverOn})
 	if err != nil {
 		return 0, 0, err
 	}
 	defer nw.Close()
 	rng := rand.New(rand.NewSource(cfg.Seed + 101))
 	noop := func(event.Event) {}
-	for i, r := range ranks {
+	for _, r := range ranks {
 		at := overlay.NodeID(rng.Intn(nodes))
 		if _, err := nw.Subscribe(at, coverFilter(r, pool), noop); err != nil {
 			return 0, 0, fmt.Errorf("bench: cover overlay subscribe: %w", err)
-		}
-		if i%1024 == 1023 {
-			nw.Flush()
 		}
 	}
 	nw.Flush()

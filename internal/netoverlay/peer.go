@@ -1,0 +1,243 @@
+package netoverlay
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"noncanon/internal/router"
+	"noncanon/internal/sublang"
+	"noncanon/internal/wire"
+)
+
+// peer is one live broker-to-broker TCP link.
+type peer struct {
+	b      *Broker
+	nc     net.Conn
+	nodeID uint32
+	link   int // router link index, assigned at attach
+
+	// out is the spill queue the broker goroutine pushes forwards into;
+	// writeLoop drains it onto the connection. Unbounded, so routing never
+	// blocks on this peer's pace.
+	out *router.Queue[router.Msg]
+
+	closeOnce sync.Once
+}
+
+// handshake runs the hello exchange: the dialer speaks first, the acceptor
+// answers. Both directions carry the protocol version and the sender's
+// node ID. Returns the peer's node ID.
+func (b *Broker) handshake(nc net.Conn, dialer bool) (uint32, error) {
+	deadline := time.Now().Add(handshakeTimeout)
+	nc.SetDeadline(deadline)
+	defer nc.SetDeadline(time.Time{})
+
+	sendHello := func() error {
+		return wire.WriteFrame(nc, wire.MsgHello, wire.AppendHello(nil, wire.FederationVersion, b.opts.NodeID))
+	}
+	recvHello := func() (uint32, error) {
+		typ, payload, err := wire.ReadFrame(nc)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		if typ != wire.MsgHello {
+			return 0, fmt.Errorf("%w: unexpected frame type 0x%02x", ErrHandshake, typ)
+		}
+		ver, peerID, err := wire.ReadHello(payload)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		if ver != wire.FederationVersion {
+			return 0, fmt.Errorf("%w: protocol version %d, want %d", ErrHandshake, ver, wire.FederationVersion)
+		}
+		if peerID == b.opts.NodeID {
+			return 0, fmt.Errorf("%w: peer claims our own node ID %d (self-link?)", ErrHandshake, peerID)
+		}
+		return peerID, nil
+	}
+
+	if dialer {
+		if err := sendHello(); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		return recvHello()
+	}
+	peerID, err := recvHello()
+	if err != nil {
+		return 0, err
+	}
+	if err := sendHello(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	return peerID, nil
+}
+
+// attach registers a handshaken connection as a live link: it claims the
+// peer's node ID (vetoing duplicate links), asks the broker goroutine for a
+// router link, starts the reader and writer and floods existing routes over
+// the fresh link. Blocks until the link is live.
+func (b *Broker) attach(nc net.Conn, peerID uint32) error {
+	p := &peer{b: b, nc: nc, nodeID: peerID, out: router.NewQueue[router.Msg]()}
+	b.mu.Lock()
+	delete(b.pending, nc)
+	if b.closed.Load() {
+		b.mu.Unlock()
+		nc.Close()
+		return ErrClosed
+	}
+	if _, dup := b.peers[peerID]; dup {
+		b.mu.Unlock()
+		nc.Close()
+		return fmt.Errorf("%w: already linked to node %d (duplicate link would close a cycle)", ErrHandshake, peerID)
+	}
+	b.peers[peerID] = p
+	b.mu.Unlock()
+
+	attached := make(chan struct{})
+	ok := b.enqueue(inMsg{ctl: func() {
+		p.link = b.rt.AddLink()
+		b.links = append(b.links, p)
+		b.wg.Add(2)
+		go p.readLoop()
+		go p.writeLoop()
+		b.rt.SyncLink(p.link)
+		close(attached)
+	}})
+	if !ok {
+		b.mu.Lock()
+		delete(b.peers, peerID)
+		b.mu.Unlock()
+		nc.Close()
+		return ErrClosed
+	}
+	select {
+	case <-attached:
+		b.opts.Logf("netoverlay: node %d: linked to node %d (%s)", b.opts.NodeID, peerID, nc.RemoteAddr())
+		return nil
+	case <-b.quit:
+		return ErrClosed
+	}
+}
+
+// detach tears the link down: the connection and queue close, and the
+// broker goroutine retracts every route learned through it so the rest of
+// the federation stops routing events this way.
+func (p *peer) detach(reason error) {
+	p.closeOnce.Do(func() {
+		p.nc.Close()
+		p.out.Close()
+		p.b.mu.Lock()
+		delete(p.b.peers, p.nodeID)
+		p.b.mu.Unlock()
+		if reason != nil {
+			p.b.opts.Logf("netoverlay: node %d: peer %d detached: %v", p.b.opts.NodeID, p.nodeID, reason)
+		}
+		// Route retraction must run on the broker goroutine; skip it when
+		// the whole broker is going down anyway.
+		p.b.enqueue(inMsg{ctl: func() {
+			p.b.links[p.link] = nil
+			p.b.rt.RemoveLink(p.link)
+		}})
+	})
+}
+
+// shutdown closes the link without the route retraction dance; Close uses
+// it when the whole broker is stopping.
+func (p *peer) shutdown() {
+	p.closeOnce.Do(func() {
+		p.nc.Close()
+		p.out.Close()
+	})
+}
+
+// readLoop decodes inbound frames into broker-inbox messages. Blocking on a
+// full inbox is harmless: this goroutine serves only this link, and the
+// broker goroutine (which drains the inbox) never waits on it.
+func (p *peer) readLoop() {
+	defer p.b.wg.Done()
+	for {
+		typ, payload, err := wire.ReadFrame(p.nc)
+		if err != nil {
+			p.detach(err)
+			return
+		}
+		switch typ {
+		case wire.MsgSubForward:
+			subID, filter, err := wire.ReadSubForward(payload)
+			if err != nil {
+				p.detach(err)
+				return
+			}
+			expr, err := sublang.Parse(filter)
+			if err != nil {
+				// A filter we cannot parse would silently black-hole a
+				// subscriber; count it loudly and keep the link (the peer's
+				// other traffic is fine).
+				p.b.anomaly(fmt.Errorf("netoverlay: unparseable filter from node %d for sub %d: %w", p.nodeID, subID, err))
+				continue
+			}
+			if !p.b.enqueue(inMsg{m: router.Msg{Kind: router.Sub, SubID: subID, Expr: expr}, from: p.link}) {
+				return
+			}
+		case wire.MsgUnsubForward:
+			subID, err := wire.ReadUnsubForward(payload)
+			if err != nil {
+				p.detach(err)
+				return
+			}
+			if !p.b.enqueue(inMsg{m: router.Msg{Kind: router.Unsub, SubID: subID}, from: p.link}) {
+				return
+			}
+		case wire.MsgEventForward:
+			hops, ev, err := wire.ReadEventForward(payload)
+			if err != nil {
+				p.detach(err)
+				return
+			}
+			if !p.b.enqueue(inMsg{m: router.Msg{Kind: router.Event, Ev: ev, Hops: int(hops)}, from: p.link}) {
+				return
+			}
+		case wire.MsgPing:
+			// Tolerated for liveness probes; no reply needed on peer links.
+		default:
+			p.detach(fmt.Errorf("netoverlay: unexpected frame type 0x%02x from node %d", typ, p.nodeID))
+			return
+		}
+	}
+}
+
+// writeLoop drains the spill queue onto the connection, one frame per
+// routing message.
+func (p *peer) writeLoop() {
+	defer p.b.wg.Done()
+	var buf []byte
+	for {
+		m, ok := p.out.Pop()
+		if !ok {
+			return
+		}
+		buf = buf[:0]
+		var typ byte
+		switch m.Kind {
+		case router.Sub:
+			typ = wire.MsgSubForward
+			buf = wire.AppendSubForward(buf, m.SubID, m.Expr.String())
+		case router.Unsub:
+			typ = wire.MsgUnsubForward
+			buf = wire.AppendUnsubForward(buf, m.SubID)
+		case router.Event:
+			typ = wire.MsgEventForward
+			buf = wire.AppendEventForward(buf, uint8(m.Hops), m.Ev)
+		default:
+			continue
+		}
+		p.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if err := wire.WriteFrame(p.nc, typ, buf); err != nil {
+			p.detach(err)
+			return
+		}
+		p.b.activity.Add(1)
+	}
+}

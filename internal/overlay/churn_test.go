@@ -169,17 +169,18 @@ func TestChurnUnsubscribeDuringFlood(t *testing.T) {
 			}
 			nw.Flush()
 			for _, nd := range nw.nodes {
-				if len(nd.routes) != 0 || len(nd.byEngine) != 0 {
-					t.Fatalf("node %d still holds %d routes after churn", nd.id, len(nd.routes))
+				if n := nd.rt.NumRoutes(); n != 0 {
+					t.Fatalf("node %d still holds %d routes after churn", nd.id, n)
 				}
 				if nd.eng.NumSubscriptions() != 0 {
 					t.Fatalf("node %d engine still holds %d subscriptions", nd.id, nd.eng.NumSubscriptions())
 				}
 				if coverOn {
-					for i := range nd.fwd {
-						if len(nd.fwd[i]) != 0 || len(nd.coveredBy[i]) != 0 || len(nd.coverees[i]) != 0 {
+					for i := 0; i < nd.rt.NumLinks(); i++ {
+						fwd, covered, coverers := nd.rt.CoverState(i)
+						if fwd != 0 || covered != 0 || coverers != 0 {
 							t.Fatalf("node %d link %d covering state leaked: fwd=%d coveredBy=%d coverees=%d",
-								nd.id, i, len(nd.fwd[i]), len(nd.coveredBy[i]), len(nd.coverees[i]))
+								nd.id, i, fwd, covered, coverers)
 						}
 					}
 				}

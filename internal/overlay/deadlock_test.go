@@ -1,0 +1,220 @@
+package overlay
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"noncanon/internal/event"
+	"noncanon/internal/predicate"
+)
+
+// waitNumGoroutine polls until the goroutine count drops back to at most
+// `want` (runtime cleanup is asynchronous) or the deadline passes, and
+// returns the last observed count.
+func waitNumGoroutine(want int, deadline time.Duration) int {
+	var n int
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		n = runtime.NumGoroutine()
+		if n <= want {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	return n
+}
+
+// assertNoGoroutineLeak fails the test if the goroutine count has not
+// returned to its pre-network level (with slack for runtime helpers).
+func assertNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	const slack = 2
+	if n := waitNumGoroutine(before+slack, 5*time.Second); n > before+slack {
+		t.Errorf("goroutine leak: %d before, %d after close", before, n)
+	}
+}
+
+// TestRegistrationStormInboxOne is the deadlock regression test for the
+// inbox cycle PR 4 papered over in the C1 benchmark: with InboxSize 1 on a
+// line topology, any forwarding design where a broker goroutine blocks
+// sending into a neighbour's inbox wedges immediately — node A mid-send
+// into B's full inbox while B is mid-send into A's. The spill-queue
+// forwarding must survive an unthrottled registration storm (plus
+// unsubscribes and publishes, which ride the same links) without any
+// quiescing, and deliver a correct routing state at the end.
+func TestRegistrationStormInboxOne(t *testing.T) {
+	for _, coverOn := range []bool{false, true} {
+		name := "plain"
+		if coverOn {
+			name = "cover"
+		}
+		t.Run(name, func(t *testing.T) {
+			goroutinesBefore := runtime.NumGoroutine()
+			const (
+				nodes   = 8
+				storms  = 4
+				perGoro = 300
+			)
+			nw, err := NewLine(nodes, Config{InboxSize: 1, Cover: coverOn})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The storm must finish well before the suite timeout; run it
+			// under a watchdog so a deadlock reports as a failure here, not
+			// as an opaque test-binary timeout panic.
+			done := make(chan struct{})
+			var delivered atomic.Int64
+			type kept struct {
+				ref SubRef
+				at  NodeID
+			}
+			survivors := make([][]kept, storms)
+			go func() {
+				defer close(done)
+				var wg sync.WaitGroup
+				for g := 0; g < storms; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						for i := 0; i < perGoro; i++ {
+							at := NodeID((g + i) % nodes)
+							ref, err := nw.Subscribe(at, band(g%3, 10*(1+i%12)), func(event.Event) {
+								delivered.Add(1)
+							})
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							if i%3 == 0 {
+								if err := nw.Unsubscribe(ref); err != nil {
+									t.Error(err)
+									return
+								}
+							} else {
+								survivors[g] = append(survivors[g], kept{ref: ref, at: at})
+							}
+							if i%7 == 0 {
+								if err := nw.Publish(at, bandEvent(g%3, 5)); err != nil {
+									t.Error(err)
+									return
+								}
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+				nw.Flush()
+			}()
+			select {
+			case <-done:
+			case <-time.After(90 * time.Second):
+				buf := make([]byte, 1<<20)
+				t.Fatalf("registration storm deadlocked; goroutines:\n%s", buf[:runtime.Stack(buf, true)])
+			}
+
+			// The storm's survivors are fully routed. Without covering every
+			// broker knows every live subscription; with it a broker at
+			// least holds the survivors homed at itself (remote knowledge is
+			// legitimately pruned by coverers).
+			live := 0
+			for _, ks := range survivors {
+				live += len(ks)
+			}
+			for _, ks := range survivors {
+				for _, k := range ks {
+					if !nw.nodes[k.at].rt.HasRoute(k.ref.id) {
+						t.Errorf("node %d lost surviving subscription %d", k.at, k.ref.id)
+					}
+				}
+			}
+			for _, nd := range nw.nodes {
+				got := nd.rt.NumRoutes()
+				if !coverOn && got != live {
+					t.Errorf("node %d routes = %d, want %d", nd.id, got, live)
+				}
+				if coverOn && got > live {
+					t.Errorf("node %d routes = %d > %d live", nd.id, got, live)
+				}
+			}
+			if coverOn && nw.Stats().CoverSuppressed == 0 {
+				t.Error("covering storm never suppressed a forward; the test lost its teeth")
+			}
+			if st := nw.Stats(); st.HopDropped != 0 || st.InstallErrors != 0 {
+				t.Errorf("storm dropped or failed messages: %+v", st)
+			}
+			nw.Close()
+			assertNoGoroutineLeak(t, goroutinesBefore)
+		})
+	}
+}
+
+// TestFlushReturnsAfterClose pins the Flush liveness fix: messages queued
+// when the network closes are discarded, so a Flush that raced Close (or
+// follows it) must return instead of spinning on an inflight count that
+// will never reach zero.
+func TestFlushReturnsAfterClose(t *testing.T) {
+	nw, err := NewLine(4, Config{InboxSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park messages in the network: a slow handler wedges node 3's broker
+	// goroutine while more publishes pile into inboxes and spill queues.
+	block := make(chan struct{})
+	var once sync.Once
+	if _, err := nw.Subscribe(3, pred("p", predicate.Gt, 0), func(event.Event) {
+		once.Do(func() { <-block })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Flush()
+	for i := 0; i < 64; i++ {
+		if err := nw.Publish(0, event.New().Set("p", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	flushed := make(chan struct{})
+	go func() {
+		nw.Flush()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+		t.Fatal("Flush returned while messages were wedged in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(block) // free the handler so Close can join the broker goroutine
+	nw.Close()
+	select {
+	case <-flushed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Flush still blocked after Close")
+	}
+	nw.Flush() // post-Close Flush returns immediately too
+}
+
+// TestCloseReleasesGoroutines asserts the broker and writer goroutines all
+// exit on Close even with traffic still queued.
+func TestCloseReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	nw, err := NewTree(15, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := nw.Subscribe(NodeID(i%15), band(i%3, 100), func(event.Event) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := nw.Publish(NodeID(i%15), bandEvent(i%3, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Close() // no Flush: close with work still in flight
+	assertNoGoroutineLeak(t, before)
+}

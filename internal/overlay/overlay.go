@@ -3,28 +3,17 @@
 // routing — the peer-to-peer deployment the paper motivates ("in typical
 // real world situations we will find peer-to-peer networks of less equipped
 // machines, such as laptops and mobile devices to perform event filtering",
-// §1).
+// §1). The routing state machine itself — next-hop tables, covering-pruned
+// flooding, re-flood-before-retract ordering — lives in internal/router;
+// this package supplies the in-process transport, internal/netoverlay the
+// TCP one.
 //
-// Routing model (SIENA-style, specialised to acyclic topologies):
-//
-//   - A subscription registered at node S is flooded through the tree.
-//     Every broker installs it in its local non-canonical engine and
-//     remembers the link it arrived on — the next hop toward S.
-//   - An event published at node O is matched at every broker it visits.
-//     Local subscribers are notified; for remote matches the event is
-//     forwarded once per distinct next-hop link (never back where it came
-//     from). On a tree this delivers every matching subscription exactly
-//     once while filtering prunes all branches without subscribers.
-//
-// With Config.Cover the flood is pruned by subscription covering
-// (internal/cover): a broker does not forward a subscription over a link
-// that already carries one covering it — events selected by the narrower
-// filter are a subset of those the wider one already attracts, so routing
-// stays exact while the flood shrinks. The suppressed subscription is
-// remembered against its coverer; when the coverer is unsubscribed the
-// broker re-floods the filters it was shadowing over that link (each
-// re-checked against the remaining forwarded set, so a second coverer
-// re-suppresses instead of re-flooding).
+// Forwarding is deadlock-free by construction: a broker goroutine never
+// blocks on a neighbour's inbox. Outbound messages go through a per-link
+// unbounded spill queue drained by a writer goroutine, so the classic A↔B
+// full-inbox cycle — each broker wedged mid-send into the other's full
+// inbox, neither draining its own — cannot form, no matter how small
+// Config.InboxSize is or how violent a registration storm gets.
 //
 // Every broker runs the full non-canonical engine, so overlay scalability
 // inherits the filtering scalability the paper argues for.
@@ -33,18 +22,15 @@ package overlay
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"noncanon/internal/boolexpr"
 	"noncanon/internal/core"
-	"noncanon/internal/cover"
 	"noncanon/internal/event"
 	"noncanon/internal/index"
-	"noncanon/internal/matcher"
 	"noncanon/internal/predicate"
+	"noncanon/internal/router"
 	"noncanon/internal/subtree"
 )
 
@@ -53,7 +39,7 @@ type NodeID int
 
 // Handler consumes events delivered to a local subscriber. Handlers run on
 // the owning broker's goroutine and must not block.
-type Handler func(ev event.Event)
+type Handler = router.Handler
 
 // Errors returned by the network API.
 var (
@@ -63,12 +49,15 @@ var (
 	ErrNotATree    = errors.New("overlay: topology must be a connected acyclic graph")
 )
 
-// DefaultInboxSize is the per-broker message queue capacity.
+// DefaultInboxSize is the per-broker message queue capacity. Forwarding
+// progress does not depend on it (see the package comment); it only bounds
+// how far a broker's unprocessed backlog can grow before the spill queues
+// feeding it absorb the rest.
 const DefaultInboxSize = 1024
 
 // MaxHops bounds event forwarding as a safety net; tree routing never
-// reaches it.
-const MaxHops = 255
+// reaches it. Events dropped here are counted in Stats.HopDropped.
+const MaxHops = router.MaxHops
 
 // Config tunes the simulation.
 type Config struct {
@@ -81,6 +70,12 @@ type Config struct {
 	Cover bool
 	// Engine configures each broker's matching engine.
 	Engine core.Options
+	// OnError, when non-nil, receives routing anomalies (a subscription a
+	// broker failed to install, a duplicate flood suggesting a cycle) that
+	// a federated deployment must observe rather than panic over. Called on
+	// a broker goroutine; must not block. The anomalies are also counted in
+	// Stats.InstallErrors.
+	OnError func(at NodeID, err error)
 }
 
 // SubRef names a subscription in the overlay.
@@ -101,6 +96,13 @@ type Stats struct {
 	// CoverSuppressed counts subscription forwards pruned because the link
 	// already carried a covering subscription (Config.Cover only).
 	CoverSuppressed uint64
+	// HopDropped counts events discarded at the MaxHops safety net; on a
+	// tree topology it stays zero.
+	HopDropped uint64
+	// InstallErrors counts subscriptions a broker failed to install
+	// mid-flood (see Config.OnError). Zero in correct deployments:
+	// subscriptions are validated before flooding.
+	InstallErrors uint64
 }
 
 // Network is a simulated broker overlay.
@@ -108,19 +110,22 @@ type Network struct {
 	cfg   Config
 	nodes []*node
 
-	nextSub  atomic.Uint64
-	inflight atomic.Int64
-	closed   atomic.Bool
-	quit     chan struct{}
-	wg       sync.WaitGroup
+	nextSub atomic.Uint64
+	closed  atomic.Bool
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	// inflight counts messages queued anywhere in the network (inboxes and
+	// spill queues). Flush waits on flushed until it reaches zero; Close
+	// wakes waiters regardless.
+	mu       sync.Mutex
+	flushed  *sync.Cond
+	inflight int64
 
 	subOrigin sync.Map // sub id → NodeID, for Unsubscribe validation
 
 	published     atomic.Uint64
-	forwarded     atomic.Uint64
-	delivered     atomic.Uint64
-	subMsgSent    atomic.Uint64
-	coverSuppress atomic.Uint64
+	installErrors atomic.Uint64
 }
 
 type node struct {
@@ -128,6 +133,7 @@ type node struct {
 	net   *Network
 	inbox chan message
 	eng   *core.Engine
+	rt    *router.Router
 
 	// neighbors[i] is a directly linked broker; revIdx[i] is this node's
 	// position in that neighbor's neighbor list (so messages can tell the
@@ -135,46 +141,20 @@ type node struct {
 	neighbors []*node
 	revIdx    []int
 
-	// routes maps overlay subscription IDs to their local registration.
-	routes map[uint64]*route
-	// byEngine maps engine subscription IDs back to routes after matching.
-	byEngine map[matcher.SubID]*route
-
-	// Covering state (Config.Cover only), indexed by link. fwd[i] holds
-	// the subscriptions this node actually sent over link i; coveredBy[i]
-	// maps a suppressed subscription to the forwarded one that shadows it,
-	// and coverees[i] is the reverse index consulted on unsubscribe.
-	fwd       []map[uint64]boolexpr.Expr
-	coveredBy []map[uint64]uint64
-	coverees  []map[uint64]map[uint64]struct{}
+	// out[i] is the spill queue toward neighbors[i], drained by one writer
+	// goroutine per link. The broker goroutine only ever pushes here —
+	// never into a neighbour's inbox — so it cannot be wedged by a
+	// congested peer.
+	out []*router.Queue[router.Msg]
 }
 
-// route is a node's view of one overlay subscription.
-type route struct {
-	subID    uint64
-	engineID matcher.SubID
-	expr     boolexpr.Expr // kept for covering re-floods
-	handler  Handler       // non-nil only at the subscriber's home broker
-	nextHop  int           // link index toward the subscriber; -1 when local
-}
-
+// message is one inbox entry: a routing message plus the receiving link
+// (-1 when injected through the API, which also carries the handler).
 type message struct {
-	kind    msgKind
-	from    int // receiver's link index the message arrived on; -1 = api
-	subID   uint64
-	expr    boolexpr.Expr
+	m       router.Msg
+	from    int
 	handler Handler
-	ev      event.Event
-	hops    int
 }
-
-type msgKind uint8
-
-const (
-	msgSubscribe msgKind = iota + 1
-	msgUnsubscribe
-	msgEvent
-)
 
 // New builds a network of n brokers connected by the given undirected
 // edges. The topology must be a connected tree (n-1 edges, no cycles).
@@ -189,17 +169,16 @@ func New(n int, edges [][2]NodeID, cfg Config) (*Network, error) {
 		cfg.InboxSize = DefaultInboxSize
 	}
 	nw := &Network{cfg: cfg, quit: make(chan struct{})}
+	nw.flushed = sync.NewCond(&nw.mu)
 	nw.nodes = make([]*node, n)
 	for i := range nw.nodes {
 		reg := predicate.NewRegistry()
 		idx := index.New()
 		nw.nodes[i] = &node{
-			id:       NodeID(i),
-			net:      nw,
-			inbox:    make(chan message, cfg.InboxSize),
-			eng:      core.New(reg, idx, cfg.Engine),
-			routes:   make(map[uint64]*route),
-			byEngine: make(map[matcher.SubID]*route),
+			id:    NodeID(i),
+			net:   nw,
+			inbox: make(chan message, cfg.InboxSize),
+			eng:   core.New(reg, idx, cfg.Engine),
 		}
 	}
 	for _, e := range edges {
@@ -209,22 +188,25 @@ func New(n int, edges [][2]NodeID, cfg Config) (*Network, error) {
 		a.revIdx = append(a.revIdx, len(b.neighbors)-1)
 		b.revIdx = append(b.revIdx, len(a.neighbors)-1)
 	}
-	if cfg.Cover {
-		for _, nd := range nw.nodes {
-			links := len(nd.neighbors)
-			nd.fwd = make([]map[uint64]boolexpr.Expr, links)
-			nd.coveredBy = make([]map[uint64]uint64, links)
-			nd.coverees = make([]map[uint64]map[uint64]struct{}, links)
-			for i := 0; i < links; i++ {
-				nd.fwd[i] = make(map[uint64]boolexpr.Expr)
-				nd.coveredBy[i] = make(map[uint64]uint64)
-				nd.coverees[i] = make(map[uint64]map[uint64]struct{})
-			}
+	for _, nd := range nw.nodes {
+		nd.rt = router.New(router.Config{
+			Links:     len(nd.neighbors),
+			Cover:     cfg.Cover,
+			Engine:    nd.eng,
+			Transport: (*nodeTransport)(nd),
+		})
+		nd.out = make([]*router.Queue[router.Msg], len(nd.neighbors))
+		for i := range nd.out {
+			nd.out[i] = router.NewQueue[router.Msg]()
 		}
 	}
 	for _, nd := range nw.nodes {
 		nw.wg.Add(1)
 		go nd.run()
+		for i := range nd.out {
+			nw.wg.Add(1)
+			go nd.drainLink(i)
+		}
 	}
 	return nw, nil
 }
@@ -320,7 +302,7 @@ func (nw *Network) Subscribe(at NodeID, expr boolexpr.Expr, h Handler) (SubRef, 
 	}
 	id := nw.nextSub.Add(1)
 	nw.subOrigin.Store(id, at)
-	nw.send(nw.nodes[at], message{kind: msgSubscribe, from: -1, subID: id, expr: expr, handler: h})
+	nw.send(nw.nodes[at], message{m: router.Msg{Kind: router.Sub, SubID: id, Expr: expr}, from: -1, handler: h})
 	return SubRef{id: id}, nil
 }
 
@@ -333,7 +315,7 @@ func (nw *Network) Unsubscribe(ref SubRef) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownSub, ref.id)
 	}
-	nw.send(nw.nodes[origin.(NodeID)], message{kind: msgUnsubscribe, from: -1, subID: ref.id})
+	nw.send(nw.nodes[origin.(NodeID)], message{m: router.Msg{Kind: router.Unsub, SubID: ref.id}, from: -1})
 	return nil
 }
 
@@ -346,253 +328,151 @@ func (nw *Network) Publish(at NodeID, ev event.Event) error {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, at)
 	}
 	nw.published.Add(1)
-	nw.send(nw.nodes[at], message{kind: msgEvent, from: -1, ev: ev})
+	nw.send(nw.nodes[at], message{m: router.Msg{Kind: router.Event, Ev: ev}, from: -1})
 	return nil
 }
 
-// send enqueues a message, tracking it for Flush quiescence.
+// send enqueues an API-injected message, tracking it for Flush quiescence.
+// API callers may block on a full inbox; broker goroutines never call this
+// (their sends go through spill queues), so the blocking cannot cycle.
 func (nw *Network) send(to *node, m message) {
-	nw.inflight.Add(1)
+	nw.track(1)
 	select {
 	case to.inbox <- m:
 	case <-nw.quit:
-		nw.inflight.Add(-1)
+		nw.track(-1)
 	}
 }
 
-// Flush blocks until every in-flight message (including cascaded forwards)
-// has been processed.
-func (nw *Network) Flush() {
-	for nw.inflight.Load() != 0 {
-		time.Sleep(100 * time.Microsecond)
+// track adjusts the in-flight message count, waking Flush at zero.
+func (nw *Network) track(delta int64) {
+	nw.mu.Lock()
+	nw.inflight += delta
+	if nw.inflight == 0 {
+		nw.flushed.Broadcast()
 	}
+	nw.mu.Unlock()
+}
+
+// Flush blocks until every in-flight message (including cascaded forwards)
+// has been processed, or until the network is closed — messages still
+// queued at Close are discarded, not processed, so waiting on them would
+// spin forever.
+func (nw *Network) Flush() {
+	nw.mu.Lock()
+	for nw.inflight != 0 && !nw.closed.Load() {
+		nw.flushed.Wait()
+	}
+	nw.mu.Unlock()
 }
 
 // Stats returns an activity snapshot.
 func (nw *Network) Stats() Stats {
-	return Stats{
-		Published:        nw.published.Load(),
-		Forwarded:        nw.forwarded.Load(),
-		Delivered:        nw.delivered.Load(),
-		SubscriptionMsgs: nw.subMsgSent.Load(),
-		CoverSuppressed:  nw.coverSuppress.Load(),
+	st := Stats{
+		Published:     nw.published.Load(),
+		InstallErrors: nw.installErrors.Load(),
 	}
+	for _, nd := range nw.nodes {
+		c := nd.rt.Counts()
+		st.Forwarded += c.Forwarded
+		st.Delivered += c.Delivered
+		st.SubscriptionMsgs += c.SubMsgs
+		st.CoverSuppressed += c.CoverSuppressed
+		st.HopDropped += c.HopDropped
+	}
+	return st
 }
 
-// Close stops all brokers and waits for their goroutines.
+// Close stops all brokers and waits for their goroutines. Queued messages
+// are discarded; Flush calls in progress return.
 func (nw *Network) Close() {
 	if nw.closed.Swap(true) {
 		return
 	}
 	close(nw.quit)
+	for _, nd := range nw.nodes {
+		for _, q := range nd.out {
+			q.Close()
+		}
+	}
 	nw.wg.Wait()
+	nw.mu.Lock()
+	nw.flushed.Broadcast()
+	nw.mu.Unlock()
 }
 
+// nodeTransport adapts a node's spill queues to the router's non-blocking
+// Transport: Send only ever pushes to an unbounded local queue.
+type nodeTransport node
+
+func (t *nodeTransport) Send(link int, m router.Msg) {
+	nd := (*node)(t)
+	nd.net.track(1)
+	nd.out[link].Push(m)
+}
+
+// run is the broker goroutine: it drains the inbox through the router and
+// never blocks on any other broker's state.
 func (nd *node) run() {
 	defer nd.net.wg.Done()
 	for {
 		select {
 		case m := <-nd.inbox:
 			nd.handle(m)
-			nd.net.inflight.Add(-1)
+			nd.net.track(-1)
 		case <-nd.net.quit:
 			return
 		}
 	}
 }
 
-func (nd *node) handle(m message) {
-	switch m.kind {
-	case msgSubscribe:
-		nd.handleSubscribe(m)
-	case msgUnsubscribe:
-		nd.handleUnsubscribe(m)
-	case msgEvent:
-		nd.handleEvent(m)
-	}
-}
-
-func (nd *node) handleSubscribe(m message) {
-	if _, dup := nd.routes[m.subID]; dup {
-		return // already installed (defensive; cannot happen on a tree)
-	}
-	engineID, err := nd.eng.Subscribe(m.expr)
-	if err != nil {
-		// Subscriptions are validated at the home broker before flooding;
-		// a failure here is a programming error worth surfacing loudly in
-		// the simulation.
-		panic(fmt.Sprintf("overlay: node %d: install subscription %d: %v", nd.id, m.subID, err))
-	}
-	r := &route{subID: m.subID, engineID: engineID, expr: m.expr, nextHop: m.from}
-	if m.from == -1 {
-		r.handler = m.handler
-	}
-	nd.routes[m.subID] = r
-	nd.byEngine[engineID] = r
-	// Flood to all other links.
-	if nd.net.cfg.Cover {
-		for i := range nd.neighbors {
-			if i != m.from {
-				nd.sendSubOverLink(i, m.subID, m.expr)
-			}
+// drainLink is the writer goroutine for one link: it moves spill-queue
+// messages into the neighbour's inbox. Blocking here is harmless — the
+// queue behind it is unbounded and the broker goroutine stays free to keep
+// draining its own inbox, which is what unblocks the neighbour in turn.
+func (nd *node) drainLink(i int) {
+	defer nd.net.wg.Done()
+	nb := nd.neighbors[i]
+	from := nd.revIdx[i]
+	for {
+		m, ok := nd.out[i].Pop()
+		if !ok {
+			return
 		}
-		return
-	}
-	fwd := message{kind: msgSubscribe, subID: m.subID, expr: m.expr}
-	nd.forwardExcept(m.from, fwd, &nd.net.subMsgSent)
-}
-
-// sendSubOverLink forwards a subscription over one link unless a
-// subscription already forwarded there covers it: the far side then
-// already attracts a superset of the matching events toward this node, so
-// routing stays exact and the flood is pruned. Suppressions are recorded
-// so an unsubscribe of the coverer can re-flood them.
-func (nd *node) sendSubOverLink(i int, subID uint64, expr boolexpr.Expr) {
-	for tid, texpr := range nd.fwd[i] {
-		if cover.Covers(texpr, expr) {
-			nd.coveredBy[i][subID] = tid
-			set := nd.coverees[i][tid]
-			if set == nil {
-				set = make(map[uint64]struct{})
-				nd.coverees[i][tid] = set
-			}
-			set[subID] = struct{}{}
-			nd.net.coverSuppress.Add(1)
+		select {
+		case nb.inbox <- message{m: m, from: from}:
+		case <-nd.net.quit:
+			nd.net.track(-1)
 			return
 		}
 	}
-	nd.fwd[i][subID] = expr
-	nd.net.subMsgSent.Add(1)
-	nd.net.send(nd.neighbors[i], message{
-		kind: msgSubscribe, from: nd.revIdx[i], subID: subID, expr: expr,
-	})
 }
 
-func (nd *node) handleUnsubscribe(m message) {
-	r, ok := nd.routes[m.subID]
-	if !ok {
-		return
-	}
-	delete(nd.routes, m.subID)
-	delete(nd.byEngine, r.engineID)
-	if err := nd.eng.Unsubscribe(r.engineID); err != nil {
-		panic(fmt.Sprintf("overlay: node %d: remove subscription %d: %v", nd.id, m.subID, err))
-	}
-	if nd.net.cfg.Cover {
-		for i := range nd.neighbors {
-			if i != m.from {
-				nd.unsubOverLink(i, m.subID)
-			}
+func (nd *node) handle(msg message) {
+	switch msg.m.Kind {
+	case router.Sub:
+		installed, err := nd.rt.HandleSubscribe(msg.m.SubID, msg.m.Expr, msg.handler, msg.from)
+		if err != nil {
+			nd.anomaly(err)
+			return
 		}
-		return
-	}
-	nd.forwardExcept(m.from, message{kind: msgUnsubscribe, subID: m.subID}, &nd.net.subMsgSent)
-}
-
-// unsubOverLink retracts a subscription from one link. Only subscriptions
-// actually forwarded there need a link message; a suppressed one just
-// clears its shadow bookkeeping. Retracting a forwarded subscription
-// re-floods everything it was covering (in deterministic order), each
-// re-checked against the remaining forwarded set so another coverer can
-// re-suppress it.
-//
-// Ordering matters: the re-floods are sent BEFORE the retraction. The far
-// side then briefly carries both the coverer and the re-flooded filters —
-// which routes a single event copy anyway (next-hop links are
-// deduplicated) — whereas the opposite order would open a window carrying
-// neither, dropping events for stable subscribers.
-func (nd *node) unsubOverLink(i int, subID uint64) {
-	if _, sent := nd.fwd[i][subID]; !sent {
-		if cid, covered := nd.coveredBy[i][subID]; covered {
-			delete(nd.coveredBy[i], subID)
-			if set := nd.coverees[i][cid]; set != nil {
-				delete(set, subID)
-				if len(set) == 0 {
-					delete(nd.coverees[i], cid)
-				}
-			}
+		if !installed {
+			// Duplicate flood: impossible on a tree, so it means the
+			// topology has a cycle. Defensive rather than fatal.
+			nd.anomaly(fmt.Errorf("overlay: node %d: duplicate subscription %d (cycle in topology?)", nd.id, msg.m.SubID))
 		}
-		return
-	}
-	delete(nd.fwd[i], subID) // before re-flooding: no self-covering
-	if shadowed := nd.coverees[i][subID]; len(shadowed) > 0 {
-		delete(nd.coverees[i], subID)
-		ids := make([]uint64, 0, len(shadowed))
-		for sid := range shadowed {
-			ids = append(ids, sid)
-		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		for _, sid := range ids {
-			delete(nd.coveredBy[i], sid)
-			if rr, live := nd.routes[sid]; live {
-				nd.sendSubOverLink(i, sid, rr.expr)
-			}
-		}
-	} else {
-		delete(nd.coverees[i], subID)
-	}
-	nd.net.subMsgSent.Add(1)
-	nd.net.send(nd.neighbors[i], message{
-		kind: msgUnsubscribe, from: nd.revIdx[i], subID: subID,
-	})
-}
-
-// forwardExcept sends m to every neighbor except the link it arrived on,
-// setting from to the receiver's reverse link index.
-func (nd *node) forwardExcept(except int, m message, counter *atomic.Uint64) {
-	for i, nb := range nd.neighbors {
-		if i == except {
-			continue
-		}
-		m.from = nd.revIdx[i]
-		counter.Add(1)
-		nd.net.send(nb, m)
+	case router.Unsub:
+		nd.rt.HandleUnsubscribe(msg.m.SubID, msg.from)
+	case router.Event:
+		nd.rt.HandleEvent(msg.m.Ev, msg.m.Hops, msg.from)
 	}
 }
 
-func (nd *node) handleEvent(m message) {
-	if m.hops >= MaxHops {
-		return
-	}
-	matched := nd.eng.Match(m.ev)
-	// Deliver locally; collect distinct next-hop links.
-	var hopSet uint64 // bitset over link indexes; trees here have < 64 links/node
-	var bigHops map[int]bool
-	for _, engineID := range matched {
-		r, ok := nd.byEngine[engineID]
-		if !ok {
-			continue
-		}
-		if r.nextHop == -1 {
-			r.handler(m.ev)
-			nd.net.delivered.Add(1)
-			continue
-		}
-		if r.nextHop == m.from {
-			continue // never bounce an event back (cannot happen on a tree)
-		}
-		if r.nextHop < 64 {
-			hopSet |= 1 << uint(r.nextHop)
-		} else {
-			if bigHops == nil {
-				bigHops = make(map[int]bool)
-			}
-			bigHops[r.nextHop] = true
-		}
-	}
-	fwd := message{kind: msgEvent, ev: m.ev, hops: m.hops + 1}
-	for i := range nd.neighbors {
-		use := false
-		if i < 64 {
-			use = hopSet&(1<<uint(i)) != 0
-		} else {
-			use = bigHops[i]
-		}
-		if !use {
-			continue
-		}
-		fwd.from = nd.revIdx[i]
-		nd.net.forwarded.Add(1)
-		nd.net.send(nd.neighbors[i], fwd)
+// anomaly surfaces a routing error as a counted stat plus the optional
+// callback — a federated deployment cannot debug panics in a peer process.
+func (nd *node) anomaly(err error) {
+	nd.net.installErrors.Add(1)
+	if nd.net.cfg.OnError != nil {
+		nd.net.cfg.OnError(nd.id, err)
 	}
 }

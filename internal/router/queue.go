@@ -1,0 +1,76 @@
+package router
+
+import "sync"
+
+// Queue is an unbounded multi-producer FIFO with a blocking consumer. It is
+// the spill buffer that makes broker forwarding non-blocking: a broker
+// goroutine pushes outbound messages here (never waiting on a peer), and a
+// dedicated writer goroutine drains them toward the link at whatever pace
+// the link sustains. Because Push never blocks, the classic A↔B full-inbox
+// cycle — each broker stuck sending into the other's full queue, neither
+// draining its own — cannot form.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	items    []T
+	closed   bool
+}
+
+// NewQueue builds an empty open queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends an item. It never blocks. Pushes after Close are dropped.
+func (q *Queue[T]) Push(item T) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, item)
+		q.nonEmpty.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// Pop removes the oldest item, blocking while the queue is empty. It
+// returns ok=false once the queue is closed and drained of nothing — a
+// close wakes the consumer immediately, discarding queued items (shutdown
+// is not a delivery guarantee).
+func (q *Queue[T]) Pop() (item T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	if q.closed {
+		var zero T
+		return zero, false
+	}
+	item = q.items[0]
+	// Slide rather than re-slice so the backing array is reusable and the
+	// popped slot doesn't pin its value.
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	if len(q.items) == 0 {
+		q.items = q.items[:0:cap(q.items)]
+	}
+	return item, true
+}
+
+// Len reports the queued item count.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close wakes the consumer and discards queued items. Idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.items = nil
+	q.nonEmpty.Broadcast()
+	q.mu.Unlock()
+}

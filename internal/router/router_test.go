@@ -1,0 +1,347 @@
+package router
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/core"
+	"noncanon/internal/event"
+	"noncanon/internal/index"
+	"noncanon/internal/predicate"
+)
+
+// recorder is a Transport that appends every send.
+type recorder struct {
+	sent []sentMsg
+}
+
+type sentMsg struct {
+	link int
+	m    Msg
+}
+
+func (r *recorder) Send(link int, m Msg) { r.sent = append(r.sent, sentMsg{link: link, m: m}) }
+
+func (r *recorder) ofKind(k Kind) []sentMsg {
+	var out []sentMsg
+	for _, s := range r.sent {
+		if s.m.Kind == k {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func newEngine() *core.Engine {
+	return core.New(predicate.NewRegistry(), index.New(), core.Options{})
+}
+
+func band(c, hi int) boolexpr.Expr {
+	return boolexpr.NewAnd(
+		boolexpr.Pred("cat", predicate.Eq, int64(c)),
+		boolexpr.Pred("price", predicate.Lt, int64(hi)),
+	)
+}
+
+func bandEvent(c, price int) event.Event {
+	return event.New().Set("cat", int64(c)).Set("price", int64(price))
+}
+
+func newRouter(t *testing.T, links int, coverOn bool) (*Router, *recorder) {
+	t.Helper()
+	tr := &recorder{}
+	r := New(Config{Links: links, Cover: coverOn, Engine: newEngine(), Transport: tr})
+	return r, tr
+}
+
+func TestSubscribeFloodsAllOtherLinks(t *testing.T) {
+	r, tr := newRouter(t, 3, false)
+	installed, err := r.HandleSubscribe(1, band(1, 100), func(event.Event) {}, 2)
+	if err != nil || !installed {
+		t.Fatalf("HandleSubscribe = %v, %v", installed, err)
+	}
+	subs := tr.ofKind(Sub)
+	if len(subs) != 2 {
+		t.Fatalf("flooded %d links, want 2 (all except origin)", len(subs))
+	}
+	for _, s := range subs {
+		if s.link == 2 {
+			t.Errorf("flooded back to origin link")
+		}
+	}
+	if got := r.Counts().SubMsgs; got != 2 {
+		t.Errorf("SubMsgs = %d, want 2", got)
+	}
+}
+
+func TestDuplicateSubscribeReportsNotInstalled(t *testing.T) {
+	r, _ := newRouter(t, 2, false)
+	if installed, _ := r.HandleSubscribe(7, band(0, 10), nil, 0); !installed {
+		t.Fatal("first install failed")
+	}
+	installed, err := r.HandleSubscribe(7, band(0, 20), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if installed {
+		t.Error("duplicate subscription ID installed twice")
+	}
+	if r.NumRoutes() != 1 {
+		t.Errorf("NumRoutes = %d, want 1", r.NumRoutes())
+	}
+}
+
+func TestInstallErrorIsReturnedNotPanicked(t *testing.T) {
+	r, tr := newRouter(t, 2, false)
+	// > 255 children in one And is uncompilable in the paper encoding.
+	xs := make([]boolexpr.Expr, 256)
+	for i := range xs {
+		xs[i] = boolexpr.Pred("a", predicate.Eq, int64(i))
+	}
+	if _, err := r.HandleSubscribe(1, boolexpr.And{Xs: xs}, nil, -1); err == nil {
+		t.Fatal("uncompilable subscription accepted")
+	}
+	if r.NumRoutes() != 0 {
+		t.Errorf("failed install left a route behind")
+	}
+	if len(tr.sent) != 0 {
+		t.Errorf("failed install was flooded: %d messages", len(tr.sent))
+	}
+}
+
+func TestEventRoutesToNextHopsOnly(t *testing.T) {
+	r, tr := newRouter(t, 3, false)
+	// Two subscriptions toward link 1, one local, none toward link 2.
+	if _, err := r.HandleSubscribe(1, band(1, 100), nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.HandleSubscribe(2, band(1, 50), nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	var local int
+	if _, err := r.HandleSubscribe(3, band(1, 30), func(event.Event) { local++ }, -1); err != nil {
+		t.Fatal(err)
+	}
+	tr.sent = nil
+	r.HandleEvent(bandEvent(1, 10), 0, 2)
+	evs := tr.ofKind(Event)
+	if len(evs) != 1 || evs[0].link != 1 {
+		t.Fatalf("event forwards = %+v, want exactly one over link 1", evs)
+	}
+	if evs[0].m.Hops != 1 {
+		t.Errorf("forwarded hops = %d, want 1", evs[0].m.Hops)
+	}
+	if local != 1 {
+		t.Errorf("local deliveries = %d, want 1", local)
+	}
+	c := r.Counts()
+	if c.Forwarded != 1 || c.Delivered != 1 {
+		t.Errorf("Counts = %+v", c)
+	}
+}
+
+func TestMaxHopsDropIsCounted(t *testing.T) {
+	r, tr := newRouter(t, 2, false)
+	if _, err := r.HandleSubscribe(1, band(1, 100), nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.HandleEvent(bandEvent(1, 10), MaxHops, 1)
+	if got := r.Counts().HopDropped; got != 1 {
+		t.Errorf("HopDropped = %d, want 1", got)
+	}
+	if len(tr.ofKind(Event)) != 0 {
+		t.Error("event forwarded past MaxHops")
+	}
+}
+
+func TestCoverSuppressionAndReflood(t *testing.T) {
+	r, tr := newRouter(t, 1, true)
+	if _, err := r.HandleSubscribe(1, band(1, 100), nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.HandleSubscribe(2, band(1, 10), nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.ofKind(Sub)); got != 1 {
+		t.Fatalf("flooded %d subscriptions, want 1 (narrow covered)", got)
+	}
+	if got := r.Counts().CoverSuppressed; got != 1 {
+		t.Fatalf("CoverSuppressed = %d, want 1", got)
+	}
+	// Retracting the coverer must re-flood the narrow filter BEFORE the
+	// retraction message.
+	tr.sent = nil
+	r.HandleUnsubscribe(1, -1)
+	if len(tr.sent) != 2 {
+		t.Fatalf("unsubscribe emitted %d messages, want 2 (re-flood + retract)", len(tr.sent))
+	}
+	if tr.sent[0].m.Kind != Sub || tr.sent[0].m.SubID != 2 {
+		t.Errorf("first message = %+v, want re-flood of sub 2", tr.sent[0].m)
+	}
+	if tr.sent[1].m.Kind != Unsub || tr.sent[1].m.SubID != 1 {
+		t.Errorf("second message = %+v, want retraction of sub 1", tr.sent[1].m)
+	}
+	fwd, covered, coverers := r.CoverState(0)
+	if fwd != 1 || covered != 0 || coverers != 0 {
+		t.Errorf("cover state after reflood = %d/%d/%d, want 1/0/0", fwd, covered, coverers)
+	}
+}
+
+func TestSyncLinkFloodsExistingRoutes(t *testing.T) {
+	r, tr := newRouter(t, 1, true)
+	if _, err := r.HandleSubscribe(1, band(1, 100), nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.HandleSubscribe(2, band(2, 50), nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.HandleSubscribe(3, band(1, 10), nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	tr.sent = nil
+	link := r.AddLink()
+	r.SyncLink(link)
+	subs := tr.ofKind(Sub)
+	// Covering applies on the fresh link too: sub 3 is shadowed by sub 1.
+	if len(subs) != 2 {
+		t.Fatalf("sync flooded %d subscriptions, want 2 (one covered)", len(subs))
+	}
+	for _, s := range subs {
+		if s.link != link {
+			t.Errorf("sync sent over link %d, want %d", s.link, link)
+		}
+	}
+}
+
+func TestRemoveLinkRetractsLearnedRoutes(t *testing.T) {
+	r, tr := newRouter(t, 3, false)
+	// Learned over link 0, flooded to links 1 and 2.
+	if _, err := r.HandleSubscribe(1, band(1, 100), nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Local subscription survives.
+	if _, err := r.HandleSubscribe(2, band(2, 50), func(event.Event) {}, -1); err != nil {
+		t.Fatal(err)
+	}
+	tr.sent = nil
+	r.RemoveLink(0)
+	if r.HasRoute(1) {
+		t.Error("route learned over the dead link survived")
+	}
+	if !r.HasRoute(2) {
+		t.Error("local route was retracted with the link")
+	}
+	unsubs := tr.ofKind(Unsub)
+	if len(unsubs) != 2 {
+		t.Fatalf("retraction crossed %d links, want 2", len(unsubs))
+	}
+	for _, u := range unsubs {
+		if u.link == 0 {
+			t.Error("retraction sent over the dead link itself")
+		}
+	}
+	// Later floods skip the dead link.
+	tr.sent = nil
+	if _, err := r.HandleSubscribe(3, band(0, 10), nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.ofKind(Sub) {
+		if s.link == 0 {
+			t.Error("flood used a dead link")
+		}
+	}
+}
+
+func TestQueueFIFOAndClose(t *testing.T) {
+	q := NewQueue[int]()
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = %d, %v", i, v, ok)
+		}
+	}
+	// A blocked Pop wakes on Push…
+	done := make(chan int, 1)
+	go func() {
+		v, _ := q.Pop()
+		done <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push(42)
+	select {
+	case v := <-done:
+		if v != 42 {
+			t.Fatalf("woken Pop = %d", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop did not wake on Push")
+	}
+	// …and on Close.
+	closed := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		closed <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-closed:
+		if ok {
+			t.Fatal("Pop returned ok after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop did not wake on Close")
+	}
+	q.Push(1) // dropped, not panicking
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop delivered after Close")
+	}
+}
+
+func TestQueueConcurrentProducers(t *testing.T) {
+	q := NewQueue[int]()
+	const producers, per = 8, 1000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Push(p*per + i)
+			}
+		}(p)
+	}
+	got := make(chan map[int]bool, 1)
+	go func() {
+		seen := make(map[int]bool, producers*per)
+		for len(seen) < producers*per {
+			v, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if seen[v] {
+				break
+			}
+			seen[v] = true
+		}
+		got <- seen
+	}()
+	wg.Wait()
+	select {
+	case seen := <-got:
+		if len(seen) != producers*per {
+			t.Fatalf("consumed %d distinct items, want %d", len(seen), producers*per)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumer stuck")
+	}
+	q.Close()
+}

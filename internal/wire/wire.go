@@ -55,7 +55,25 @@ const (
 	// MsgPublishedBatch: u32 reqID, u32 count, count × u32 per-event
 	// matched-subscription counts, aligned with the request's events.
 	MsgPublishedBatch
+
+	// Broker federation frames (internal/netoverlay). Brokers are peers:
+	// these frames carry no request IDs and expect no replies — routing
+	// state is eventually consistent across the tree.
+
+	// MsgHello: u32 protocol version, u32 node ID. First frame in both
+	// directions of a broker-to-broker connection.
+	MsgHello
+	// MsgSubForward: u64 subscription ID, filter text (sublang).
+	MsgSubForward
+	// MsgUnsubForward: u64 subscription ID.
+	MsgUnsubForward
+	// MsgEventForward: u8 hop count, event.
+	MsgEventForward
 )
+
+// FederationVersion is the broker federation protocol version carried in
+// MsgHello; peers speaking a different version are rejected at handshake.
+const FederationVersion = 1
 
 // MaxBatchEvents bounds the events in one MsgPublishBatch frame. The frame
 // size limit already bounds total bytes; this bounds the per-frame work a
@@ -224,6 +242,80 @@ func ReadEventBatch(b []byte) ([]event.Event, []byte, error) {
 		evs = append(evs, ev)
 	}
 	return evs, b, nil
+}
+
+// --- broker federation payloads ---
+
+// AppendHello appends a MsgHello payload: protocol version and node ID.
+func AppendHello(b []byte, version, nodeID uint32) []byte {
+	b = AppendU32(b, version)
+	return AppendU32(b, nodeID)
+}
+
+// ReadHello consumes a MsgHello payload.
+func ReadHello(b []byte) (version, nodeID uint32, err error) {
+	version, b, err = ReadU32(b)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: short hello version", ErrMalformed)
+	}
+	nodeID, _, err = ReadU32(b)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: short hello node ID", ErrMalformed)
+	}
+	return version, nodeID, nil
+}
+
+// AppendSubForward appends a MsgSubForward payload: subscription ID and the
+// filter in sublang text form (the same textual protocol clients speak, so
+// a federation of heterogeneous broker builds stays interoperable).
+func AppendSubForward(b []byte, subID uint64, filter string) []byte {
+	b = AppendU64(b, subID)
+	return AppendString(b, filter)
+}
+
+// ReadSubForward consumes a MsgSubForward payload.
+func ReadSubForward(b []byte) (subID uint64, filter string, err error) {
+	subID, b, err = ReadU64(b)
+	if err != nil {
+		return 0, "", fmt.Errorf("%w: short sub-forward ID", ErrMalformed)
+	}
+	filter, _, err = ReadString(b)
+	if err != nil {
+		return 0, "", err
+	}
+	return subID, filter, nil
+}
+
+// AppendUnsubForward appends a MsgUnsubForward payload.
+func AppendUnsubForward(b []byte, subID uint64) []byte { return AppendU64(b, subID) }
+
+// ReadUnsubForward consumes a MsgUnsubForward payload.
+func ReadUnsubForward(b []byte) (subID uint64, err error) {
+	subID, _, err = ReadU64(b)
+	if err != nil {
+		return 0, fmt.Errorf("%w: short unsub-forward ID", ErrMalformed)
+	}
+	return subID, nil
+}
+
+// AppendEventForward appends a MsgEventForward payload: the hop count the
+// event has already travelled plus the event itself.
+func AppendEventForward(b []byte, hops uint8, ev event.Event) []byte {
+	b = append(b, hops)
+	return AppendEvent(b, ev)
+}
+
+// ReadEventForward consumes a MsgEventForward payload.
+func ReadEventForward(b []byte) (hops uint8, ev event.Event, err error) {
+	if len(b) < 1 {
+		return 0, event.Event{}, fmt.Errorf("%w: short event-forward header", ErrMalformed)
+	}
+	hops = b[0]
+	ev, _, err = ReadEvent(b[1:])
+	if err != nil {
+		return 0, event.Event{}, err
+	}
+	return hops, ev, nil
 }
 
 // ReadEvent consumes the wire form of an event.

@@ -272,3 +272,66 @@ func TestEventBatchMaxCountAccepted(t *testing.T) {
 		t.Fatalf("got %d events, want %d", len(got), MaxBatchEvents)
 	}
 }
+
+func TestFederationPayloadRoundTrips(t *testing.T) {
+	ver, node, err := ReadHello(AppendHello(nil, FederationVersion, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != FederationVersion || node != 42 {
+		t.Errorf("hello = v%d node %d", ver, node)
+	}
+
+	const filter = `cat = 1 and price < 100`
+	subID, text, err := ReadSubForward(AppendSubForward(nil, 7<<32|9, filter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subID != 7<<32|9 || text != filter {
+		t.Errorf("sub forward = %d %q", subID, text)
+	}
+
+	unsubID, err := ReadUnsubForward(AppendUnsubForward(nil, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unsubID != 99 {
+		t.Errorf("unsub forward = %d", unsubID)
+	}
+
+	ev := event.New().Set("sym", "ACME").Set("price", int64(7)).Set("hot", true)
+	hops, got, err := ReadEventForward(AppendEventForward(nil, 3, ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops != 3 {
+		t.Errorf("hops = %d, want 3", hops)
+	}
+	if !got.Equal(ev) {
+		t.Errorf("event round trip: got %v, want %v", got, ev)
+	}
+}
+
+func TestFederationPayloadShortInputs(t *testing.T) {
+	if _, _, err := ReadHello([]byte{1, 2}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short hello err = %v", err)
+	}
+	if _, _, err := ReadHello(AppendU32(nil, 1)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("hello missing node err = %v", err)
+	}
+	if _, _, err := ReadSubForward([]byte{1}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short sub forward err = %v", err)
+	}
+	if _, _, err := ReadSubForward(AppendU64(nil, 1)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("sub forward missing filter err = %v", err)
+	}
+	if _, err := ReadUnsubForward([]byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short unsub err = %v", err)
+	}
+	if _, _, err := ReadEventForward(nil); !errors.Is(err, ErrMalformed) {
+		t.Errorf("empty event forward err = %v", err)
+	}
+	if _, _, err := ReadEventForward([]byte{1, 0}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("truncated event forward err = %v", err)
+	}
+}
