@@ -27,10 +27,7 @@ import (
 	"syscall"
 
 	"noncanon/internal/broker"
-	"noncanon/internal/core"
 	"noncanon/internal/netbroker"
-	"noncanon/internal/shard"
-	"noncanon/internal/subtree"
 )
 
 // config is the parsed command line.
@@ -61,15 +58,11 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 		fs.Usage()
 		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	if *shards < 1 || *shards > shard.MaxShards {
-		fmt.Fprintf(errOut, "ncbroker: -shards must be in [1, %d], got %d\n", shard.MaxShards, *shards)
+	if *shards < 1 || *shards > broker.MaxShards {
+		fmt.Fprintf(errOut, "ncbroker: -shards must be in [1, %d], got %d\n", broker.MaxShards, *shards)
 		return config{}, fmt.Errorf("invalid -shards %d", *shards)
 	}
 
-	enc := subtree.PaperEncoding
-	if *compact {
-		enc = subtree.CompactEncoding
-	}
 	cfg := config{
 		addr: *addr,
 		opts: netbroker.ServerOptions{
@@ -77,7 +70,7 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 				QueueSize: *queue,
 				Shards:    *shards,
 				Aggregate: *aggregate,
-				Engine:    core.Options{Encoding: enc, Reorder: *reorder},
+				Engine:    broker.EngineConfig(*compact, *reorder),
 			},
 		},
 	}

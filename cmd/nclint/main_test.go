@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanTree runs the real linter over the real module, exactly as
+// CI does: exit 0, no findings on stdout.
+func TestRunCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module source typecheck is slow; run without -short")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-C", "../..", "-v", "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d on the real tree\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean tree printed findings:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "0 findings") {
+		t.Errorf("-v summary missing: %q", errOut.String())
+	}
+}
+
+// TestRunBadDirectory: an unloadable module is an operational error (exit
+// 2), distinct from findings (exit 1).
+func TestRunBadDirectory(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-C", "testdata-definitely-missing"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit %d for a missing directory, want 2 (stderr: %s)", code, errOut.String())
+	}
+	if errOut.Len() == 0 {
+		t.Error("operational failure must explain itself on stderr")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for a bad flag, want 2", code)
+	}
+}

@@ -39,11 +39,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"noncanon/internal/boolexpr"
 	"noncanon/internal/event"
 	"noncanon/internal/netoverlay"
 	"noncanon/internal/overlay"
-	"noncanon/internal/predicate"
+	"noncanon/internal/workload"
 )
 
 func main() {
@@ -98,29 +97,6 @@ func splitPeers(s string) []string {
 	return out
 }
 
-// randomSub returns subscription #i of the shared workload: interest in a
-// price band of one of a few symbols.
-func randomSub(rng *rand.Rand) boolexpr.Expr {
-	sym := symbols[rng.Intn(len(symbols))]
-	lo := rng.Intn(80)
-	return boolexpr.NewAnd(
-		boolexpr.Pred("sym", predicate.Eq, sym),
-		boolexpr.NewOr(
-			boolexpr.Pred("price", predicate.Lt, lo),
-			boolexpr.Pred("price", predicate.Gt, lo+20),
-		),
-	)
-}
-
-func randomEvent(rng *rand.Rand, seq int) event.Event {
-	return event.New().
-		Set("sym", symbols[rng.Intn(len(symbols))]).
-		Set("price", rng.Intn(100)).
-		Set("seq", seq)
-}
-
-var symbols = []string{"ACME", "GLOBEX", "INITECH", "UMBRELLA"}
-
 // fedConfig parameterises one federated broker process.
 type fedConfig struct {
 	ID     uint32
@@ -170,7 +146,7 @@ func runFederated(w io.Writer, cfg fedConfig) error {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var delivered atomic.Int64
 	for i := 0; i < cfg.Subs; i++ {
-		if _, err := b.Subscribe(randomSub(rng), func(event.Event) { delivered.Add(1) }); err != nil {
+		if _, err := b.Subscribe(workload.StockSub(rng), func(event.Event) { delivered.Add(1) }); err != nil {
 			return err
 		}
 	}
@@ -180,7 +156,7 @@ func runFederated(w io.Writer, cfg fedConfig) error {
 	if cfg.Events > 0 {
 		start := time.Now()
 		for i := 0; i < cfg.Events; i++ {
-			if err := b.Publish(randomEvent(rng, i)); err != nil {
+			if err := b.Publish(workload.StockEvent(rng, i)); err != nil {
 				return err
 			}
 		}
@@ -258,7 +234,7 @@ func run(nodes int, topology string, fanout, subs, events int, seed int64, cover
 
 	for i := 0; i < subs; i++ {
 		at := overlay.NodeID(rng.Intn(nodes))
-		if _, err := nw.Subscribe(at, randomSub(rng), func(event.Event) { delivered.Add(1) }); err != nil {
+		if _, err := nw.Subscribe(at, workload.StockSub(rng), func(event.Event) { delivered.Add(1) }); err != nil {
 			return err
 		}
 	}
@@ -266,7 +242,7 @@ func run(nodes int, topology string, fanout, subs, events int, seed int64, cover
 
 	start := time.Now()
 	for i := 0; i < events; i++ {
-		if err := nw.Publish(overlay.NodeID(rng.Intn(nodes)), randomEvent(rng, i)); err != nil {
+		if err := nw.Publish(overlay.NodeID(rng.Intn(nodes)), workload.StockEvent(rng, i)); err != nil {
 			return err
 		}
 	}

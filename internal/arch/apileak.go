@@ -1,0 +1,130 @@
+package arch
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// CheckAPILeaks verifies that internal/wire types never appear in the
+// exported API (function signatures, exported struct fields, exported
+// type definitions, vars and consts) of any package not explicitly marked
+// WireInAPI. Wire types are value carriers of the frame protocol; letting
+// them surface in engine-layer APIs is how wire/value semantics leaked
+// across layers before (the PR 4 interning bug). The check is type-based,
+// so a leak through an alias or an embedded field is caught even though
+// the layering rule already forbids the direct import.
+func CheckAPILeaks(mod *Module, policy Policy) []Finding {
+	wirePath := mod.Path + "/internal/wire"
+	var out []Finding
+	for _, p := range mod.Packages {
+		rule := policy.Packages[mod.rel(p.ImportPath)]
+		if rule.WireInAPI || p.Types == nil || p.ImportPath == wirePath {
+			continue
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() {
+				continue
+			}
+			w := &wireWalker{wirePath: wirePath, seen: map[types.Type]bool{}}
+			w.walkObject(obj)
+			if w.hit != "" {
+				out = append(out, Finding{
+					Pos: mod.Fset.Position(obj.Pos()), Rule: "api-leak", Pkg: p.ImportPath,
+					Msg: fmt.Sprintf("exported %s %s mentions %s in its API; wire types must stay behind the transport boundary", objKind(obj), name, w.hit),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func objKind(obj types.Object) string {
+	switch obj.(type) {
+	case *types.Func:
+		return "func"
+	case *types.TypeName:
+		return "type"
+	case *types.Var:
+		return "var"
+	case *types.Const:
+		return "const"
+	default:
+		return "object"
+	}
+}
+
+// wireWalker searches a type structure for named types from the wire
+// package. Named types from other packages are checked for identity but
+// not expanded — their structure is their own package's responsibility.
+type wireWalker struct {
+	wirePath string
+	seen     map[types.Type]bool
+	hit      string // offending type, "" when clean
+}
+
+func (w *wireWalker) walkObject(obj types.Object) {
+	if tn, ok := obj.(*types.TypeName); ok && !tn.IsAlias() {
+		// An exported defined type: check its underlying structure and the
+		// signatures of its exported methods.
+		if named, ok := tn.Type().(*types.Named); ok {
+			w.walk(named.Underlying())
+			for i := 0; i < named.NumMethods() && w.hit == ""; i++ {
+				if m := named.Method(i); m.Exported() {
+					w.walk(m.Type())
+				}
+			}
+			return
+		}
+	}
+	w.walk(obj.Type())
+}
+
+func (w *wireWalker) walk(t types.Type) {
+	if w.hit != "" || t == nil || w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	switch x := t.(type) {
+	case *types.Named:
+		if obj := x.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == w.wirePath {
+			w.hit = "wire." + obj.Name()
+		}
+	case *types.Alias:
+		w.walk(types.Unalias(x))
+	case *types.Pointer:
+		w.walk(x.Elem())
+	case *types.Slice:
+		w.walk(x.Elem())
+	case *types.Array:
+		w.walk(x.Elem())
+	case *types.Map:
+		w.walk(x.Key())
+		w.walk(x.Elem())
+	case *types.Chan:
+		w.walk(x.Elem())
+	case *types.Signature:
+		w.walk(x.Params())
+		w.walk(x.Results())
+	case *types.Tuple:
+		for i := 0; i < x.Len(); i++ {
+			w.walk(x.At(i).Type())
+		}
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			// Exported and embedded fields are API; unexported plain fields
+			// are representation.
+			if f := x.Field(i); f.Exported() || f.Embedded() {
+				w.walk(f.Type())
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < x.NumExplicitMethods(); i++ {
+			w.walk(x.ExplicitMethod(i).Type())
+		}
+		for i := 0; i < x.NumEmbeddeds(); i++ {
+			w.walk(x.EmbeddedType(i))
+		}
+	}
+}

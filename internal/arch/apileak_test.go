@@ -1,0 +1,62 @@
+package arch
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAPILeakFixture pins the api-leak rule against the two-package wire
+// fixture: every leak shape (parameter, result, exported field, method
+// signature, package var) fires, and wire-as-representation stays legal.
+func TestAPILeakFixture(t *testing.T) {
+	mod := loadWireFixture(t)
+	findings := CheckAPILeaks(mod, Policy{})
+
+	var got []string
+	for _, f := range findings {
+		if f.Rule != "api-leak" {
+			t.Errorf("unexpected rule %q in %v", f.Rule, f)
+		}
+		if !strings.Contains(f.Msg, "wire.Frame") {
+			t.Errorf("finding should name the leaked type: %v", f)
+		}
+		// Msg opens with "exported <kind> <name> mentions ..."
+		fields := strings.Fields(f.Msg)
+		if len(fields) < 3 {
+			t.Fatalf("unparseable message %q", f.Msg)
+		}
+		got = append(got, fields[1]+" "+fields[2])
+	}
+	sort.Strings(got)
+
+	want := []string{"func Decode", "func Frames", "type Buffer", "type Queue", "var Last"}
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("api-leak findings mismatch:\n got  %v\n want %v", got, want)
+	}
+}
+
+// TestAPILeakWireInAPIExemption: the same leaky package is legal once the
+// policy marks it WireInAPI (as the real transports are).
+func TestAPILeakWireInAPIExemption(t *testing.T) {
+	mod := loadWireFixture(t)
+	policy := Policy{Packages: map[string]PackageRule{
+		"internal/engine": {Layer: "transport", WireInAPI: true},
+	}}
+	if findings := CheckAPILeaks(mod, policy); len(findings) != 0 {
+		t.Errorf("WireInAPI package still reported: %v", findings)
+	}
+}
+
+// TestAPILeakSkipsWirePackageItself: the wire package may of course
+// export its own types.
+func TestAPILeakSkipsWirePackageItself(t *testing.T) {
+	mod := loadWireFixture(t)
+	for _, f := range CheckAPILeaks(mod, Policy{}) {
+		if f.Pkg == "example.com/m/internal/wire" {
+			t.Errorf("wire package flagged for exporting wire types: %v", f)
+		}
+	}
+}

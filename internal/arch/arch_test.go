@@ -1,0 +1,110 @@
+package arch
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestRepositoryIsClean loads and typechecks the whole real module and
+// runs every rule family over it: the tree this test ships in must be
+// lint-clean, so CI catches a new violation in the same change that
+// introduces it. This is the test behind `nclint ./...` exiting 0.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module source typecheck is slow; run without -short")
+	}
+	mod, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "noncanon" {
+		t.Fatalf("loaded module %q, want noncanon", mod.Path)
+	}
+	for _, p := range mod.Packages {
+		for _, terr := range p.TypeErrs {
+			t.Errorf("typecheck %s: %v", p.ImportPath, terr)
+		}
+	}
+	if t.Failed() {
+		t.Fatal("tree does not typecheck; rule results would be unreliable")
+	}
+	for _, f := range Check(mod) {
+		t.Errorf("finding on the real tree: %s", f)
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text    string
+		ok      bool
+		rule    string
+		justify string
+	}{
+		{"nclint:allow lock-blocking -- handshake reply is buffered", true, "lock-blocking", "handshake reply is buffered"},
+		{"nclint:allow hotpath", true, "hotpath", ""},
+		{"  nclint:allow hotpath --   spaced   ", true, "hotpath", "spaced"},
+		{"nclint:hotpath", false, "", ""},
+		{"just a comment", false, "", ""},
+	}
+	for _, c := range cases {
+		d, ok := parseAllow(c.text)
+		if ok != c.ok {
+			t.Errorf("parseAllow(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if ok && (d.rule != c.rule || d.justification != c.justify) {
+			t.Errorf("parseAllow(%q) = (%q, %q), want (%q, %q)",
+				c.text, d.rule, d.justification, c.rule, c.justify)
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: "layering", Pkg: "noncanon/internal/x", Msg: "boom"}
+	if got := f.String(); got != "noncanon/internal/x: layering: boom" {
+		t.Errorf("package-level finding renders %q", got)
+	}
+	f.Pos = token.Position{Filename: "x.go", Line: 3, Column: 2}
+	if got := f.String(); !strings.HasPrefix(got, "x.go:3:2: layering:") {
+		t.Errorf("positioned finding renders %q", got)
+	}
+}
+
+func TestSortFindings(t *testing.T) {
+	fs := []Finding{
+		{Pkg: "b", Pos: token.Position{Filename: "f.go", Line: 9}},
+		{Pkg: "a", Pos: token.Position{Filename: "g.go", Line: 1}},
+		{Pkg: "a", Pos: token.Position{Filename: "f.go", Line: 5}},
+		{Pkg: "a", Pos: token.Position{Filename: "f.go", Line: 2}},
+	}
+	SortFindings(fs)
+	wantOrder := []struct {
+		pkg  string
+		file string
+		line int
+	}{{"a", "f.go", 2}, {"a", "f.go", 5}, {"a", "g.go", 1}, {"b", "f.go", 9}}
+	for i, w := range wantOrder {
+		if fs[i].Pkg != w.pkg || fs[i].Pos.Filename != w.file || fs[i].Pos.Line != w.line {
+			t.Fatalf("after sort, index %d = %+v, want %+v", i, fs[i], w)
+		}
+	}
+}
+
+// TestAllowIndexAdjacentLineOnly: a directive two lines above the finding
+// must not excuse it.
+func TestAllowIndexAdjacentLineOnly(t *testing.T) {
+	ai := allowIndex{"f.go": {10: {rule: "hotpath", justification: "why", line: 10}}}
+	if ok, _ := ai.allowed("p", "hotpath", token.Position{Filename: "f.go", Line: 11}); !ok {
+		t.Error("directive on the preceding line must excuse the finding")
+	}
+	if ok, _ := ai.allowed("p", "hotpath", token.Position{Filename: "f.go", Line: 10}); !ok {
+		t.Error("directive on the same line must excuse the finding")
+	}
+	if ok, _ := ai.allowed("p", "hotpath", token.Position{Filename: "f.go", Line: 12}); ok {
+		t.Error("directive two lines above must not excuse the finding")
+	}
+	if ok, _ := ai.allowed("p", "lock-blocking", token.Position{Filename: "f.go", Line: 11}); ok {
+		t.Error("directive for another rule must not excuse the finding")
+	}
+}

@@ -1,0 +1,64 @@
+package arch
+
+import (
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHotPathFixture pins the hotpath rule against the checked-in
+// violation package: each allocating construct fires exactly once, the
+// presized/caller-owned/unannotated shapes stay silent, and the finding
+// set is compared whole.
+func TestHotPathFixture(t *testing.T) {
+	mod, p := loadFixture(t, "hotviol")
+	got := findingLines(CheckHotPaths(mod))
+
+	want := wantLines(t, p, map[string][]string{
+		"hotpath": {
+			"fmt call on the hot path",
+			"string += in a loop",
+			"string + in a loop",
+			"map literal allocates",
+			"append to a bare var in a loop",
+			"append to a literal-declared slice in a loop",
+			"append to a capacity-less make in a loop",
+			"fmt call with an unjustified allow directive",
+		},
+	})
+	directiveLine := fixtureLine(t, p, "fmt call with an unjustified allow directive") - 1
+	want = append(want, "directive@"+strconv.Itoa(directiveLine))
+	sort.Strings(want)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("hotpath findings mismatch:\n got  %v\n want %v", got, want)
+	}
+}
+
+// TestHotPathMessages checks findings name the construct and the function.
+func TestHotPathMessages(t *testing.T) {
+	mod, _ := loadFixture(t, "hotviol")
+	byFrag := map[string]bool{}
+	for _, f := range CheckHotPaths(mod) {
+		byFrag[f.Msg] = true
+	}
+	for _, frag := range []string{
+		"fmt.Sprintf allocates in hot-path function formats",
+		"string concatenation in a loop allocates in hot-path function concatAssign",
+		"map literal allocates in hot-path function mapLiteral",
+		"append grows out without a capacity hint in a loop in hot-path function growsVar",
+	} {
+		found := false
+		for msg := range byFrag {
+			if strings.Contains(msg, frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no hotpath finding with message %q; got %v", frag, byFrag)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package arch
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckLayering verifies the module's import graph against the declared
+// layering DAG, exactly: every module-internal import must be an allowed
+// edge, denied edges report their reason, restricted stdlib groups are
+// enforced, third-party dependencies are rejected wholesale (this module
+// is stdlib-only by construction), undeclared packages must be added to
+// the policy, and allowances no longer used must be pruned. It expects a
+// whole-module load (`./...`).
+func CheckLayering(mod *Module, policy Policy) []Finding {
+	var out []Finding
+	present := map[string]bool{}
+
+	for _, p := range mod.Packages {
+		rel := mod.rel(p.ImportPath)
+		present[rel] = true
+		rule, declared := policy.Packages[rel]
+		if !declared {
+			out = append(out, Finding{
+				Rule: "layering", Pkg: p.ImportPath,
+				Msg: fmt.Sprintf("package %s is not declared in the layering policy; add it to internal/arch/policy.go", rel),
+			})
+			continue
+		}
+		allowed := map[string]bool{}
+		for _, a := range rule.Allow {
+			allowed[a] = false // value becomes true once the edge is seen
+		}
+		for _, imp := range p.Imports {
+			pos := mod.importPos(p, imp)
+			switch {
+			case mod.internal(imp):
+				relImp := mod.rel(imp)
+				if reason, denied := rule.Deny[relImp]; denied {
+					out = append(out, Finding{
+						Pos: pos, Rule: "layering", Pkg: p.ImportPath,
+						Msg: fmt.Sprintf("forbidden edge %s -> %s: %s", rel, relImp, reason),
+					})
+					continue
+				}
+				if _, ok := allowed[relImp]; !ok {
+					out = append(out, Finding{
+						Pos: pos, Rule: "layering", Pkg: p.ImportPath,
+						Msg: fmt.Sprintf("forbidden edge %s -> %s: not in the layering DAG (internal/arch/policy.go)", rel, relImp),
+					})
+					continue
+				}
+				allowed[relImp] = true
+			case thirdParty(imp):
+				out = append(out, Finding{
+					Pos: pos, Rule: "layering", Pkg: p.ImportPath,
+					Msg: fmt.Sprintf("third-party dependency %s: this module is stdlib-only", imp),
+				})
+			default: // stdlib
+				for _, f := range rule.ForbidStd {
+					if imp == f || strings.HasPrefix(imp, f+"/") {
+						out = append(out, Finding{
+							Pos: pos, Rule: "layering", Pkg: p.ImportPath,
+							Msg: fmt.Sprintf("forbidden stdlib import %s in %s-layer package %s", imp, rule.Layer, rel),
+						})
+						break
+					}
+				}
+			}
+		}
+		// A declared edge nobody uses is debt: the table must stay exact.
+		var stale []string
+		for a, used := range allowed {
+			if !used {
+				stale = append(stale, a)
+			}
+		}
+		sort.Strings(stale)
+		for _, a := range stale {
+			out = append(out, Finding{
+				Rule: "layering", Pkg: p.ImportPath,
+				Msg: fmt.Sprintf("stale allowance %s -> %s: edge no longer exists, prune it from internal/arch/policy.go", rel, a),
+			})
+		}
+	}
+
+	// Policy entries for packages that no longer exist are stale too.
+	var gone []string
+	for rel := range policy.Packages {
+		if !present[rel] {
+			gone = append(gone, rel)
+		}
+	}
+	sort.Strings(gone)
+	for _, rel := range gone {
+		out = append(out, Finding{
+			Rule: "layering", Pkg: mod.Path,
+			Msg: fmt.Sprintf("policy declares %s but no such package exists; prune it from internal/arch/policy.go", rel),
+		})
+	}
+	return out
+}
+
+// rel maps a full import path to its module-relative form ("." for the
+// module root).
+func (m *Module) rel(importPath string) string {
+	if importPath == m.Path {
+		return "."
+	}
+	return strings.TrimPrefix(importPath, m.Path+"/")
+}
+
+// internal reports whether the import path belongs to this module.
+func (m *Module) internal(importPath string) bool {
+	return importPath == m.Path || strings.HasPrefix(importPath, m.Path+"/")
+}
+
+// thirdParty reports whether an import path names an external dependency:
+// by convention stdlib paths have no dot in their first segment.
+func thirdParty(importPath string) bool {
+	first, _, _ := strings.Cut(importPath, "/")
+	return strings.Contains(first, ".")
+}
+
+// importPos locates the import declaration of path within the package.
+func (m *Module) importPos(p *Package, path string) token.Position {
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			if unq, err := strconv.Unquote(spec.Path.Value); err == nil && unq == path {
+				return m.Fset.Position(spec.Pos())
+			}
+		}
+	}
+	return token.Position{}
+}

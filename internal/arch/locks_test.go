@@ -1,0 +1,72 @@
+package arch
+
+import (
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestLockDisciplineFixture pins the lock-blocking rule against the
+// checked-in violation package: every blocking-under-lock shape fires,
+// every exempt shape stays silent, and the whole finding set is compared
+// — an unexpected extra finding fails just like a missed one.
+func TestLockDisciplineFixture(t *testing.T) {
+	mod, p := loadFixture(t, "lockviol")
+	got := findingLines(CheckLockDiscipline(mod))
+
+	want := wantLines(t, p, map[string][]string{
+		"lock-blocking": {
+			"send while holding b.mu",
+			"receive while holding b.state read lock",
+			"defaultless select while holding b.mu",
+			"WaitGroup.Wait while holding b.mu",
+			"Sleep inside a deferred-unlock region",
+			"range over channel while holding b.mu",
+			"send with an unjustified allow directive",
+		},
+	})
+	// The bare directive is itself a finding, positioned on its own line
+	// (one above the send it fails to excuse).
+	directiveLine := fixtureLine(t, p, "send with an unjustified allow directive") - 1
+	want = append(want, "directive@"+strconv.Itoa(directiveLine))
+	sort.Strings(want)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("lock-discipline findings mismatch:\n got  %v\n want %v", got, want)
+	}
+}
+
+// TestLockDisciplineMessages spot-checks that findings explain themselves:
+// the mutex, the lock site and the remedy all appear.
+func TestLockDisciplineMessages(t *testing.T) {
+	mod, _ := loadFixture(t, "lockviol")
+	var sendMsg, dirMsg string
+	for _, f := range CheckLockDiscipline(mod) {
+		if f.Rule == "lock-blocking" && strings.Contains(f.Msg, "channel send") && sendMsg == "" {
+			sendMsg = f.Msg
+		}
+		if f.Rule == "directive" {
+			dirMsg = f.Msg
+		}
+	}
+	for _, frag := range []string{"blocking channel send", "while holding b.mu", "locked at line"} {
+		if !strings.Contains(sendMsg, frag) {
+			t.Errorf("send finding %q missing %q", sendMsg, frag)
+		}
+	}
+	if !strings.Contains(dirMsg, "needs a justification") {
+		t.Errorf("directive finding %q should demand a justification", dirMsg)
+	}
+}
+
+// TestLockDisciplineReadLockNaming checks the :r key renders readably.
+func TestLockDisciplineReadLockNaming(t *testing.T) {
+	if got := mutexName("b.state:r"); got != "b.state (read lock)" {
+		t.Errorf("mutexName(b.state:r) = %q", got)
+	}
+	if got := mutexName("b.mu"); got != "b.mu" {
+		t.Errorf("mutexName(b.mu) = %q", got)
+	}
+}

@@ -1,0 +1,37 @@
+// Package engine is the api-leak test fixture: every shape of wire-type
+// leak through an exported API, next to exports that keep wire types as
+// private representation and must pass.
+package engine
+
+import "example.com/m/internal/wire"
+
+// Decode leaks through a parameter.
+func Decode(f wire.Frame) int { return int(f.Op) }
+
+// Frames leaks through a slice result.
+func Frames() []wire.Frame { return nil }
+
+// Buffer leaks through an exported struct field.
+type Buffer struct {
+	Pending []wire.Frame
+	n       int
+}
+
+// Queue leaks through an exported method's signature.
+type Queue struct {
+	N int
+}
+
+func (q *Queue) Push(f wire.Frame) { q.N++ }
+
+// Last leaks through an exported package variable.
+var Last wire.Frame
+
+// Engine keeps its frame as unexported representation: not API, clean.
+type Engine struct {
+	last wire.Frame
+	N    int
+}
+
+// Count never mentions wire at all: clean.
+func Count(n int) int { return n + 1 }

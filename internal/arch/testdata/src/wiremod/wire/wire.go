@@ -1,0 +1,11 @@
+// Package wire is the api-leak test fixture's stand-in for the real
+// frame-protocol package; the leak detector matches it by import path
+// identity, not by structure.
+package wire
+
+// Frame is the protocol carrier type that must never surface in an
+// engine-layer API.
+type Frame struct {
+	Op      byte
+	Payload []byte
+}

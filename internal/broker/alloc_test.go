@@ -1,0 +1,85 @@
+//go:build !race
+
+// Allocation budgets for the //nclint:hotpath-annotated publish pipeline,
+// the dynamic half of the hot-path gate (nclint's hotpath rule is the
+// static half). Race instrumentation changes allocation counts, so these
+// run only in unraced builds. EXPERIMENTS.md records the budgets.
+
+package broker
+
+import (
+	"fmt"
+	"testing"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/event"
+	"noncanon/internal/predicate"
+)
+
+// warmedBroker returns a broker with nsubs no-op subscribers (some
+// matching the returned event) that has already published once, so every
+// pool and growth table is warm.
+func warmedBroker(tb testing.TB, nsubs int) (*Broker, event.Event) {
+	tb.Helper()
+	b := New(Options{QueueSize: 4 * nsubs})
+	for i := 0; i < nsubs; i++ {
+		expr := boolexpr.NewAnd(
+			boolexpr.Pred("sym", predicate.Eq, fmt.Sprintf("S%d", i%4)),
+			boolexpr.Pred("price", predicate.Gt, i%50),
+		)
+		if _, err := b.Subscribe(expr, func(event.Event) {}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	tb.Cleanup(func() { b.Close() })
+	ev := event.New().Set("sym", "S1").Set("price", 99)
+	n, err := b.Publish(ev)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if n == 0 {
+		tb.Fatal("warm-up event matches nothing; budget would be vacuous")
+	}
+	return b, ev
+}
+
+// TestPublishAllocBudget: after warm-up a Publish performs at most two
+// allocations — the engine's presized match-result slice, plus headroom
+// for the runtime's occasional channel-send bookkeeping (sudog reuse
+// makes steady-state sends allocation-free).
+func TestPublishAllocBudget(t *testing.T) {
+	b, ev := warmedBroker(t, 100)
+	const budget = 2
+	avg := testing.AllocsPerRun(200, func() {
+		n, err := b.Publish(ev)
+		if err != nil || n == 0 {
+			t.Fatalf("publish: n=%d err=%v", n, err)
+		}
+	})
+	if avg > budget {
+		t.Errorf("Publish allocates %.1f per run, budget %d", avg, budget)
+	}
+}
+
+// TestPublishBatchAllocBudget: a batch of B events stays within B+3
+// allocations — one match-result slice per event, the outer result
+// slice, the counts slice, and one slot of headroom — so batching keeps
+// its amortisation promise at the allocator level too.
+func TestPublishBatchAllocBudget(t *testing.T) {
+	b, ev := warmedBroker(t, 100)
+	const batch = 16
+	evs := make([]event.Event, batch)
+	for i := range evs {
+		evs[i] = ev
+	}
+	const budget = batch + 3
+	avg := testing.AllocsPerRun(100, func() {
+		counts, err := b.PublishBatch(evs)
+		if err != nil || len(counts) != batch {
+			t.Fatalf("publish batch: counts=%d err=%v", len(counts), err)
+		}
+	})
+	if avg > budget {
+		t.Errorf("PublishBatch(%d) allocates %.1f per run, budget %d", batch, avg, budget)
+	}
+}

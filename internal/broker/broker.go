@@ -46,6 +46,7 @@ import (
 	"noncanon/internal/matcher"
 	"noncanon/internal/predicate"
 	"noncanon/internal/shard"
+	"noncanon/internal/subtree"
 )
 
 // ErrClosed is returned by operations on a closed broker.
@@ -53,6 +54,23 @@ var ErrClosed = errors.New("broker: closed")
 
 // DefaultQueueSize is the per-subscriber event queue capacity.
 const DefaultQueueSize = 64
+
+// MaxShards re-exports the largest permitted shard count, so broker
+// frontends can validate Options.Shards without reaching into the engine
+// layers themselves.
+const MaxShards = shard.MaxShards
+
+// EngineConfig builds the engine options for Options.Engine from the two
+// user-facing knobs, keeping subtree encodings and core options a broker
+// concern: commands and servers configure engines through this function
+// instead of importing internal/core and internal/subtree.
+func EngineConfig(compact, reorder bool) core.Options {
+	enc := subtree.PaperEncoding
+	if compact {
+		enc = subtree.CompactEncoding
+	}
+	return core.Options{Encoding: enc, Reorder: reorder}
+}
 
 // Handler consumes delivered events. Handlers run on the subscription's
 // delivery goroutine; a slow handler delays (and eventually drops) only its
@@ -295,6 +313,8 @@ func (s *Subscription) Unsubscribe() error {
 // It returns the number of subscribers the event was enqueued for and
 // never blocks on slow consumers. Publish runs entirely under read locks,
 // so any number of publishers proceed concurrently.
+//
+//nclint:hotpath
 func (b *Broker) Publish(ev event.Event) (int, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -332,6 +352,8 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 // blocks on slow consumers: events beyond a subscriber's queue are
 // dropped and counted (Subscription.Dropped, Stats.Dropped), and
 // Stats.Published grows by len(evs).
+//
+//nclint:hotpath
 func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()

@@ -1,0 +1,109 @@
+//go:build !race
+
+// Allocation budgets for the //nclint:hotpath-annotated matching spine.
+// The race detector's instrumentation changes allocation counts, so these
+// run only in unraced builds; CI's dedicated non-race test step covers
+// them. The budgets are the dynamic half of the hot-path gate — the
+// static half is nclint's hotpath rule — and EXPERIMENTS.md records why
+// each budget is what it is.
+
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/event"
+	"noncanon/internal/predicate"
+)
+
+// warmedEngine returns an engine with nsubs overlap-heavy subscriptions
+// and a matching event, with the scratch pool and growth tables warmed by
+// one throwaway match.
+func warmedEngine(tb testing.TB, nsubs int) (*Engine, event.Event) {
+	tb.Helper()
+	e, _, _ := newEngine(Options{})
+	for i := 0; i < nsubs; i++ {
+		expr := boolexpr.NewAnd(
+			boolexpr.Pred("sym", predicate.Eq, fmt.Sprintf("S%d", i%4)),
+			boolexpr.Pred("price", predicate.Gt, i%50),
+		)
+		if _, err := e.Subscribe(expr); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	ev := event.New().Set("sym", "S1").Set("price", 99)
+	if len(e.Match(ev)) == 0 {
+		tb.Fatal("warm-up event matches nothing; budget would be vacuous")
+	}
+	return e, ev
+}
+
+// TestMatchAllocBudget: after warm-up, one Match performs exactly one
+// allocation — the caller-owned result slice, presized to the candidate
+// count in matchScratched. Scratch state (predicate marks, candidate
+// buffer, the index's output buffer) is pooled and reused.
+func TestMatchAllocBudget(t *testing.T) {
+	e, ev := warmedEngine(t, 200)
+	const budget = 1
+	avg := testing.AllocsPerRun(200, func() {
+		if len(e.Match(ev)) == 0 {
+			t.Fatal("event stopped matching")
+		}
+	})
+	if avg > budget {
+		t.Errorf("Match allocates %.1f per run, budget %d", avg, budget)
+	}
+}
+
+// TestMatchBatchAllocBudget: a batch of B events performs B+1 allocations
+// — one result slice per event plus the outer slice — so batching adds no
+// per-event envelope beyond the unavoidable results.
+func TestMatchBatchAllocBudget(t *testing.T) {
+	e, ev := warmedEngine(t, 200)
+	const batch = 16
+	evs := make([]event.Event, batch)
+	for i := range evs {
+		evs[i] = ev
+	}
+	const budget = batch + 1
+	avg := testing.AllocsPerRun(100, func() {
+		if len(e.MatchBatch(evs)) != batch {
+			t.Fatal("batch result misaligned")
+		}
+	})
+	if avg > budget {
+		t.Errorf("MatchBatch(%d) allocates %.1f per run, budget %d", batch, avg, budget)
+	}
+}
+
+// TestMatchPredicatesAllocBudget: phase two alone has the same single-
+// allocation profile as Match.
+func TestMatchPredicatesAllocBudget(t *testing.T) {
+	e, reg, idx := newEngine(Options{})
+	for i := 0; i < 100; i++ {
+		expr := boolexpr.Pred("price", predicate.Gt, i%10)
+		if _, err := e.Subscribe(expr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev := event.New().Set("price", 50)
+	fulfilled := idx.Match(ev, nil)
+	if len(fulfilled) == 0 {
+		t.Fatal("no fulfilled predicates; budget would be vacuous")
+	}
+	_ = reg
+	if len(e.MatchPredicates(fulfilled)) == 0 {
+		t.Fatal("warm-up matches nothing")
+	}
+	const budget = 1
+	avg := testing.AllocsPerRun(200, func() {
+		if len(e.MatchPredicates(fulfilled)) == 0 {
+			t.Fatal("predicates stopped matching")
+		}
+	})
+	if avg > budget {
+		t.Errorf("MatchPredicates allocates %.1f per run, budget %d", avg, budget)
+	}
+}

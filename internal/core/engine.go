@@ -249,6 +249,8 @@ func (e *Engine) aliveLocked(id matcher.SubID) bool {
 
 // Match runs both filtering phases. Calls proceed concurrently with other
 // Match-family calls; only Subscribe/Unsubscribe exclude them.
+//
+//nclint:hotpath
 func (e *Engine) Match(ev event.Event) []matcher.SubID {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -262,6 +264,8 @@ func (e *Engine) Match(ev event.Event) []matcher.SubID {
 // read-lock acquisition with a single pooled scratch, so a batch pays the
 // per-call envelope once. Every event in the batch matches against the
 // same store state.
+//
+//nclint:hotpath
 func (e *Engine) MatchBatch(evs []event.Event) [][]matcher.SubID {
 	if len(evs) == 0 {
 		return nil
@@ -279,6 +283,8 @@ func (e *Engine) MatchBatch(evs []event.Event) [][]matcher.SubID {
 }
 
 // MatchPredicates runs phase two only, concurrently with other readers.
+//
+//nclint:hotpath
 func (e *Engine) MatchPredicates(fulfilled []predicate.ID) []matcher.SubID {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -293,6 +299,8 @@ func (e *Engine) MatchPredicates(fulfilled []predicate.ID) []matcher.SubID {
 // caller's read lock pins both gen and len(slots)). predMark grows lazily
 // in prepare — fulfilled predicate IDs may exceed the store's own tables
 // when the registry is shared with another engine.
+//
+//nclint:hotpath
 func (e *Engine) getScratchRLocked() *matchScratch {
 	sc, _ := e.scratch.Get().(*matchScratch)
 	if sc == nil {
@@ -311,6 +319,8 @@ func (e *Engine) getScratchRLocked() *matchScratch {
 // the deduplicated candidate subscriptions into its candBuf (paper §3.2,
 // step two: "subscriptions including at least one of the matching
 // predicates"). Caller holds at least the read lock.
+//
+//nclint:hotpath
 func (e *Engine) prepare(sc *matchScratch, fulfilled []predicate.ID) (epoch uint32) {
 	sc.epoch++
 	if sc.epoch == 0 { // wrap-around: stale stamps become ambiguous, clear
@@ -344,10 +354,17 @@ func (e *Engine) prepare(sc *matchScratch, fulfilled []predicate.ID) (epoch uint
 }
 
 // matchScratched runs phase two over the given scratch. Caller holds at
-// least the read lock.
+// least the read lock. The result is presized to the candidate count —
+// the only allocation a phase-two pass performs, and only when there are
+// candidates at all (a zero-capacity make does not allocate).
+//
+//nclint:hotpath
 func (e *Engine) matchScratched(sc *matchScratch, fulfilled []predicate.ID) []matcher.SubID {
 	epoch := e.prepare(sc, fulfilled)
-	var out []matcher.SubID
+	if len(sc.candBuf) == 0 && len(e.always) == 0 {
+		return nil
+	}
+	out := make([]matcher.SubID, 0, len(sc.candBuf)+len(e.always))
 	for _, sid := range sc.candBuf {
 		if subtree.EvalMarked(e.slots[sid-1].compiled.Code, sc.predMark, epoch) {
 			out = append(out, sid)

@@ -244,6 +244,9 @@ func removeNe(s []neEntry, id predicate.ID) ([]neEntry, bool) {
 // Match appends the IDs of every predicate fulfilled by e to out and returns
 // the extended slice. Each fulfilled predicate appears exactly once (the
 // registry interns predicates, and each lives in exactly one structure).
+// out is caller-owned: growing it is the caller's capacity contract.
+//
+//nclint:hotpath
 func (ix *Index) Match(e event.Event, out []predicate.ID) []predicate.ID {
 	e.Range(func(attr string, v value.Value) bool {
 		ai, ok := ix.attrs[attr]
@@ -256,6 +259,7 @@ func (ix *Index) Match(e event.Event, out []predicate.ID) []predicate.ID {
 	return out
 }
 
+//nclint:hotpath
 func (ai *attrIndex) match(v value.Value, out []predicate.ID) []predicate.ID {
 	// Point predicates: one hash probe.
 	out = append(out, ai.eq[v.Key()]...)

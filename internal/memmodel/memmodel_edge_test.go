@@ -1,0 +1,173 @@
+package memmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMultiplierEdgeCases pins the swap model at its boundaries: exactly
+// at budget, one byte over, the degenerate budgets, and the asymptote.
+func TestMultiplierEdgeCases(t *testing.T) {
+	m := SwapModel{BudgetBytes: 1000, Penalty: 50}
+	cases := []struct {
+		name     string
+		resident int
+		want     float64
+	}{
+		{"zero resident", 0, 1},
+		{"negative resident", -5, 1},
+		{"exactly at budget", 1000, 1},
+		{"one byte over", 1001, 1 + (1.0/1001.0)*49},
+		{"double budget", 2000, 1 + 0.5*49},
+	}
+	for _, c := range cases {
+		if got := m.Multiplier(c.resident); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Multiplier(%d) = %v, want %v", c.name, c.resident, got, c.want)
+		}
+	}
+
+	// As resident → ∞ the multiplier approaches (but never reaches) the
+	// full penalty: the swapped fraction tends to 1.
+	huge := m.Multiplier(math.MaxInt32)
+	if huge >= 50 || huge < 49.9 {
+		t.Errorf("asymptote: Multiplier(MaxInt32) = %v, want just under 50", huge)
+	}
+
+	// Monotonicity over the bend.
+	prev := 0.0
+	for r := 900; r <= 3000; r += 100 {
+		got := m.Multiplier(r)
+		if got < prev {
+			t.Fatalf("multiplier not monotone at %d: %v < %v", r, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestMultiplierDegenerateParameters: zero/negative budgets disable the
+// model, sub-1 penalties clamp to no slowdown.
+func TestMultiplierDegenerateParameters(t *testing.T) {
+	if got := (SwapModel{BudgetBytes: 0, Penalty: 50}).Multiplier(1 << 30); got != 1 {
+		t.Errorf("zero budget must disable the model, got %v", got)
+	}
+	if got := (SwapModel{BudgetBytes: -1, Penalty: 50}).Multiplier(1 << 30); got != 1 {
+		t.Errorf("negative budget must disable the model, got %v", got)
+	}
+	// Penalty below 1 would make swapping a speed-up; it clamps to 1.
+	m := SwapModel{BudgetBytes: 100, Penalty: 0.25}
+	if got := m.Multiplier(200); got != 1 {
+		t.Errorf("sub-1 penalty must clamp to multiplier 1, got %v", got)
+	}
+}
+
+// TestApplyEdgeCases: Apply scales durations through the same model.
+func TestApplyEdgeCases(t *testing.T) {
+	m := SwapModel{BudgetBytes: 100, Penalty: 3}
+	if got := m.Apply(0, 1<<20); got != 0 {
+		t.Errorf("zero duration must stay zero, got %v", got)
+	}
+	if got := m.Apply(time.Second, 50); got != time.Second {
+		t.Errorf("under budget must be identity, got %v", got)
+	}
+	// 200 resident on 100 budget: f=0.5, multiplier 2.
+	if got := m.Apply(time.Second, 200); got != 2*time.Second {
+		t.Errorf("Apply(1s, 200) = %v, want 2s", got)
+	}
+}
+
+// TestMaxSubscriptionsEdgeCases: extrapolation boundaries.
+func TestMaxSubscriptionsEdgeCases(t *testing.T) {
+	if got := MaxSubscriptions(1000, 0, 0); got != 0 {
+		t.Errorf("zero per-sub cost: got %d, want 0", got)
+	}
+	if got := MaxSubscriptions(1000, 0, -2); got != 0 {
+		t.Errorf("negative per-sub cost: got %d, want 0", got)
+	}
+	if got := MaxSubscriptions(1000, 1000, 4); got != 0 {
+		t.Errorf("fixed overhead consumes the budget: got %d, want 0", got)
+	}
+	if got := MaxSubscriptions(1000, 2000, 4); got != 0 {
+		t.Errorf("overhead above budget: got %d, want 0", got)
+	}
+	if got := MaxSubscriptions(1000, 200, 4); got != 200 {
+		t.Errorf("(1000-200)/4: got %d, want 200", got)
+	}
+	// Fractional per-sub costs round down: only whole subscriptions fit.
+	if got := MaxSubscriptions(10, 0, 3); got != 3 {
+		t.Errorf("10/3 must floor to 3, got %d", got)
+	}
+}
+
+// TestFormatBytesBoundaries: unit switchovers happen exactly at the
+// binary prefixes.
+func TestFormatBytesBoundaries(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{0, "0B"},
+		{1023, "1023B"},
+		{1024, "1.00KiB"},
+		{1<<20 - 1, "1024.00KiB"},
+		{1 << 20, "1.00MiB"},
+		{1<<30 - 1, "1024.00MiB"},
+		{1 << 30, "1.00GiB"},
+		{PaperBudgetBytes, "512.00MiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+// TestPaperModelBytesEdgeCases: the analytic §3.3 formulas at zero and
+// small counts, including the bit-vector ceiling division.
+func TestPaperModelBytesEdgeCases(t *testing.T) {
+	if got := PaperCountingBytes(0, 0, 0); got != 0 {
+		t.Errorf("empty counting store: %d bytes, want 0", got)
+	}
+	// 1 unit, 1 predicate, 1 association: 1+1 vector bytes, 1 bit-vector
+	// byte, 4 association bytes.
+	if got := PaperCountingBytes(1, 1, 1); got != 1+1+1+4 {
+		t.Errorf("counting(1,1,1) = %d, want 7", got)
+	}
+	// Bit vector rounds up per 8 predicates.
+	if got, want := PaperCountingBytes(0, 8, 0), 1; got != want {
+		t.Errorf("8 predicates need %d bit-vector bytes, want %d", got, want)
+	}
+	if got, want := PaperCountingBytes(0, 9, 0), 2; got != want {
+		t.Errorf("9 predicates need %d bit-vector bytes, want %d", got, want)
+	}
+	if got := PaperNonCanonicalBytes(0, 0, 0); got != 0 {
+		t.Errorf("empty non-canonical store: %d bytes, want 0", got)
+	}
+	// Location table is 12 bytes per subscription.
+	if got := PaperNonCanonicalBytes(100, 3, 5); got != 100+3*12+5*4 {
+		t.Errorf("nonCanonical(100,3,5) = %d", got)
+	}
+}
+
+// TestReportEdgeCases: zero-subscription reports must not divide by zero,
+// and the rendering carries every accounted column.
+func TestReportEdgeCases(t *testing.T) {
+	r := Report{Name: "empty"}
+	if got := r.BytesPerSubscription(); got != 0 {
+		t.Errorf("0 subs: BytesPerSubscription = %v, want 0", got)
+	}
+	if got := r.Total(); got != 0 {
+		t.Errorf("empty total = %d", got)
+	}
+	r = Report{Name: "x", Subscriptions: 4, EngineBytes: 100, RegistryBytes: 10, IndexBytes: 5}
+	if got := r.BytesPerSubscription(); got != 25 {
+		t.Errorf("BytesPerSubscription = %v, want 25", got)
+	}
+	s := r.String()
+	for _, frag := range []string{"x", "subs=4", "100B", "10B", "5B", "115B"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report row %q missing %q", s, frag)
+		}
+	}
+}

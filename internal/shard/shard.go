@@ -196,6 +196,8 @@ func (e *Engine) Churn() uint64 { return e.churn.Load() }
 // shards off a shared counter, so one event's matching spreads across
 // cores while churn on any shard blocks only that shard's slice of the
 // work.
+//
+//nclint:hotpath
 func (e *Engine) Match(ev event.Event) []matcher.SubID {
 	return e.fanOut(func(s *core.Engine) []matcher.SubID { return s.Match(ev) })
 }
@@ -204,6 +206,8 @@ func (e *Engine) Match(ev event.Event) []matcher.SubID {
 // fan-out (and one per-shard lock acquisition) per batch instead of per
 // event — and merges the per-shard results per event in shard order.
 // Within one batch every event observes the same state of each shard.
+//
+//nclint:hotpath
 func (e *Engine) MatchBatch(evs []event.Event) [][]matcher.SubID {
 	if len(evs) == 0 {
 		return nil
@@ -245,6 +249,8 @@ func (e *Engine) MatchPredicates(fulfilled []predicate.ID) []matcher.SubID {
 // fanOut runs fn on every shard and concatenates the globalised results
 // in shard order, so output is deterministic for a given store state
 // regardless of worker scheduling.
+//
+//nclint:hotpath
 func (e *Engine) fanOut(fn func(*core.Engine) []matcher.SubID) []matcher.SubID {
 	n := len(e.shards)
 	if n == 1 {

@@ -82,6 +82,8 @@ func evalCompact(code []byte, off int, matched func(predicate.ID) bool) bool {
 // EvalMarked is the engine fast path: membership of the fulfilled set is an
 // epoch-stamp comparison against a dense mark table indexed by predicate ID,
 // avoiding a closure call per leaf. marks[id-1] == epoch means fulfilled.
+//
+//nclint:hotpath
 func EvalMarked(code []byte, marks []uint32, epoch uint32) bool {
 	if len(code) < 2 {
 		return false
@@ -96,6 +98,7 @@ func EvalMarked(code []byte, marks []uint32, epoch uint32) bool {
 	}
 }
 
+//nclint:hotpath
 func evalPaperMarked(code []byte, off int, marks []uint32, epoch uint32) bool {
 	switch code[off] {
 	case opLeaf:
@@ -120,6 +123,7 @@ func evalPaperMarked(code []byte, off int, marks []uint32, epoch uint32) bool {
 	}
 }
 
+//nclint:hotpath
 func evalCompactMarked(code []byte, off int, marks []uint32, epoch uint32) bool {
 	switch code[off] {
 	case opLeaf:

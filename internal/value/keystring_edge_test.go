@@ -1,0 +1,143 @@
+package value
+
+import (
+	"math"
+	"testing"
+)
+
+// TestKeyStringIntFloatBoundary pins the ±2^53 canonicalisation edge:
+// strictly inside the boundary an integer and the equal float intern to
+// the same key string (3 and 3.0 are the same operand), while at and
+// beyond ±2^53 integers keep exact keys — there the float path rounds and
+// the two operand kinds stop being interchangeable.
+func TestKeyStringIntFloatBoundary(t *testing.T) {
+	const b = int64(1) << 53 // 9007199254740992
+
+	collide := []int64{0, 1, -1, 3, b - 1, -(b - 1)}
+	for _, i := range collide {
+		ik, fk := OfInt(i).KeyString(), OfFloat(float64(i)).KeyString()
+		if ik != fk {
+			t.Errorf("inside boundary: OfInt(%d)=%q, OfFloat=%q — must collide", i, ik, fk)
+		}
+		if ik[0] != 'n' {
+			t.Errorf("inside boundary: OfInt(%d)=%q must use the numeric rendering", i, ik)
+		}
+	}
+
+	distinct := []int64{b, -b, b + 1, -(b + 1), math.MaxInt64, math.MinInt64}
+	for _, i := range distinct {
+		ik, fk := OfInt(i).KeyString(), OfFloat(float64(i)).KeyString()
+		if ik == fk {
+			t.Errorf("at/outside boundary: OfInt(%d) and OfFloat both render %q — must stay distinct", i, ik)
+		}
+		if ik[0] != 'i' {
+			t.Errorf("at/outside boundary: OfInt(%d)=%q must use the exact integer rendering", i, ik)
+		}
+	}
+
+	// The claim underlying the distinction: 2^53+1 and 2^53 are equal as
+	// floats but different integers; conflating them would intern
+	// semantically different predicates together.
+	if OfInt(b).KeyString() == OfInt(b+1).KeyString() {
+		t.Error("2^53 and 2^53+1 interned together")
+	}
+}
+
+// TestKeyStringNaN: every NaN bit pattern shares one key string — the
+// documented deliberate exception, safe because Compare cannot tell NaNs
+// apart either.
+func TestKeyStringNaN(t *testing.T) {
+	nans := []float64{
+		math.NaN(),
+		math.Float64frombits(0x7ff8000000000001), // quiet, different payload
+		math.Float64frombits(0xfff8000000000042), // sign bit set
+	}
+	want := OfFloat(math.NaN()).KeyString()
+	for _, f := range nans {
+		if got := OfFloat(f).KeyString(); got != want {
+			t.Errorf("NaN bits %#x renders %q, want %q", math.Float64bits(f), got, want)
+		}
+	}
+	if OfFloat(math.NaN()).KeyString() == OfFloat(0).KeyString() {
+		t.Error("NaN and 0 must not collide")
+	}
+}
+
+// TestKeyStringInfinities: ±Inf are ordinary, distinct numeric keys.
+func TestKeyStringInfinities(t *testing.T) {
+	pos := OfFloat(math.Inf(1)).KeyString()
+	neg := OfFloat(math.Inf(-1)).KeyString()
+	if pos == neg {
+		t.Errorf("+Inf and -Inf share key string %q", pos)
+	}
+	if pos == OfFloat(math.MaxFloat64).KeyString() {
+		t.Error("+Inf collides with MaxFloat64")
+	}
+	if neg == OfFloat(-math.MaxFloat64).KeyString() {
+		t.Error("-Inf collides with -MaxFloat64")
+	}
+}
+
+// TestKeyStringSignedZero: -0 normalises to +0 — one predicate, not two.
+func TestKeyStringSignedZero(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	if got, want := OfFloat(negZero).KeyString(), OfFloat(0).KeyString(); got != want {
+		t.Errorf("-0 renders %q, +0 renders %q — must normalise", got, want)
+	}
+	if OfFloat(negZero).KeyString() != OfInt(0).KeyString() {
+		t.Error("-0.0 and integer 0 must collide inside the boundary")
+	}
+}
+
+// TestKeyStringKindPrefixesDisjoint: values that render identically as
+// literals stay distinct across kinds via the prefix.
+func TestKeyStringKindPrefixesDisjoint(t *testing.T) {
+	vals := map[string]string{
+		"int 1":           OfInt(1).KeyString(),
+		"string \"1\"":    OfString("1").KeyString(),
+		"bool true":       OfBool(true).KeyString(),
+		"string \"true\"": OfString("true").KeyString(),
+		"invalid":         Value{}.KeyString(),
+	}
+	seen := map[string]string{}
+	for name, ks := range vals {
+		if prev, dup := seen[ks]; dup {
+			t.Errorf("%s and %s share key string %q", name, prev, ks)
+		}
+		seen[ks] = name
+	}
+}
+
+// TestKeyStringAgreesWithKeyOnEdges: the string rendering must stay in
+// lockstep with Key equality on every edge case above (the property the
+// interning layers rely on).
+func TestKeyStringAgreesWithKeyOnEdges(t *testing.T) {
+	const b = int64(1) << 53
+	vals := []Value{
+		OfInt(0), OfFloat(0), OfFloat(math.Copysign(0, -1)),
+		OfInt(b - 1), OfFloat(float64(b - 1)),
+		OfInt(b), OfFloat(float64(b)), OfInt(b + 1),
+		OfInt(-b), OfFloat(-float64(b)), OfInt(-b - 1),
+		OfFloat(math.Inf(1)), OfFloat(math.Inf(-1)),
+		OfFloat(math.NaN()), OfFloat(math.Float64frombits(0xfff8000000000001)),
+		OfString(""), OfString("0"), OfBool(false), OfBool(true), {},
+	}
+	for _, a := range vals {
+		for _, c := range vals {
+			keyEq := a.Key() == c.Key()
+			strEq := a.KeyString() == c.KeyString()
+			// NaNs: distinct bit-pattern Keys share a string by design.
+			aNaN := a.Kind() == Float && math.IsNaN(a.Float())
+			cNaN := c.Kind() == Float && math.IsNaN(c.Float())
+			if aNaN && cNaN {
+				if !strEq {
+					t.Errorf("NaN values render differently: %q vs %q", a.KeyString(), c.KeyString())
+				}
+				continue
+			}
+			if keyEq != strEq {
+				t.Errorf("Key/KeyString disagree for %#v vs %#v: keyEq=%v strEq=%v", a, c, keyEq, strEq)
+			}
+		}
+	}
+}

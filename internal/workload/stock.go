@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"math/rand"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/event"
+	"noncanon/internal/predicate"
+)
+
+// StockSymbols is the shared symbol universe of the stock-ticker demo
+// workload used by the overlay commands and examples.
+var StockSymbols = []string{"ACME", "GLOBEX", "INITECH", "UMBRELLA"}
+
+// StockSub draws one stock-ticker subscription: interest in a price band
+// of one of the symbols,
+//
+//	sym = S and (price < lo or price > lo+20).
+//
+// It is the overlay demo workload — deliberately overlap-heavy so that
+// covering has something to prune, unlike the paper workload (Params),
+// whose predicates are unique by construction.
+func StockSub(rng *rand.Rand) boolexpr.Expr {
+	sym := StockSymbols[rng.Intn(len(StockSymbols))]
+	lo := rng.Intn(80)
+	return boolexpr.NewAnd(
+		boolexpr.Pred("sym", predicate.Eq, sym),
+		boolexpr.NewOr(
+			boolexpr.Pred("price", predicate.Lt, lo),
+			boolexpr.Pred("price", predicate.Gt, lo+20),
+		),
+	)
+}
+
+// StockEvent draws one stock-ticker event carrying the publication
+// sequence number, matching the StockSub attribute vocabulary.
+func StockEvent(rng *rand.Rand, seq int) event.Event {
+	return event.New().
+		Set("sym", StockSymbols[rng.Intn(len(StockSymbols))]).
+		Set("price", rng.Intn(100)).
+		Set("seq", seq)
+}
