@@ -48,6 +48,7 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 		aggregate = fs.Bool("aggregate", false, "intern identical filters: one engine entry per distinct filter (see internal/cover)")
 		compact   = fs.Bool("compact", false, "use the compact subscription-tree encoding")
 		reorder   = fs.Bool("reorder", false, "reorder subscription-tree children cheapest-first")
+		retry     = fs.Duration("retry-after", 0, "reply Busy with this retry hint instead of accepting publishes while most subscription queues are backed up (0 disables)")
 		quiet     = fs.Bool("quiet", false, "suppress connection diagnostics")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +67,7 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 	cfg := config{
 		addr: *addr,
 		opts: netbroker.ServerOptions{
+			RetryAfter: *retry,
 			Broker: broker.Options{
 				QueueSize: *queue,
 				Shards:    *shards,

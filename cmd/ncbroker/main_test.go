@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"noncanon/internal/broker"
 	"noncanon/internal/subtree"
@@ -33,6 +34,9 @@ func TestParseArgsDefaults(t *testing.T) {
 	if cfg.opts.Broker.Aggregate {
 		t.Error("aggregation on by default")
 	}
+	if cfg.opts.RetryAfter != 0 {
+		t.Errorf("retry-after = %v, want disabled", cfg.opts.RetryAfter)
+	}
 	if cfg.opts.Logf == nil {
 		t.Error("diagnostics silenced by default")
 	}
@@ -40,7 +44,7 @@ func TestParseArgsDefaults(t *testing.T) {
 
 func TestParseArgsFlags(t *testing.T) {
 	var errOut bytes.Buffer
-	cfg, err := parseArgs([]string{"-addr", ":9000", "-queue", "128", "-shards", "8", "-aggregate", "-compact", "-reorder", "-quiet"}, &errOut)
+	cfg, err := parseArgs([]string{"-addr", ":9000", "-queue", "128", "-shards", "8", "-aggregate", "-compact", "-reorder", "-retry-after", "250ms", "-quiet"}, &errOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,6 +65,9 @@ func TestParseArgsFlags(t *testing.T) {
 	}
 	if !cfg.opts.Broker.Aggregate {
 		t.Error("-aggregate not set")
+	}
+	if cfg.opts.RetryAfter != 250*time.Millisecond {
+		t.Errorf("retry-after = %v, want 250ms", cfg.opts.RetryAfter)
 	}
 	if cfg.opts.Logf != nil {
 		t.Error("-quiet did not silence diagnostics")
@@ -94,7 +101,7 @@ func TestParseArgsHelp(t *testing.T) {
 	if err == nil {
 		t.Fatal("-h should return flag.ErrHelp")
 	}
-	for _, flagName := range []string{"-addr", "-queue", "-shards", "-aggregate", "-compact", "-reorder", "-quiet"} {
+	for _, flagName := range []string{"-addr", "-queue", "-shards", "-aggregate", "-compact", "-reorder", "-retry-after", "-quiet"} {
 		if !strings.Contains(errOut.String(), flagName) {
 			t.Errorf("help output missing %s: %q", flagName, errOut.String())
 		}

@@ -60,23 +60,38 @@ func main() {
 		id     = flag.Uint("id", 0, "federation mode: this broker's node ID (distinct per process; required)")
 		settle = flag.Duration("settle", 500*time.Millisecond, "federation mode: quiet window treated as quiescence")
 		hold   = flag.Duration("hold", 0, "federation mode: keep serving this long after the local workload")
+
+		highWater = flag.Int("link-highwater", 0, "per-link spill queue byte bound before event shedding starts (0 = default)")
+		lowWater  = flag.Int("link-lowwater", 0, "queue bytes below which a congested link clears (0 = highwater/2)")
+		evict     = flag.Duration("evict-after", 0, "federation mode: evict a peer congested this long, retracting its routes (0 = default, <0 disables)")
+		ping      = flag.Duration("ping", 0, "federation mode: keep-alive ping interval (0 = default, <0 disables)")
+		readIdle  = flag.Duration("read-idle", 0, "federation mode: detach a peer silent this long (0 = default, <0 disables)")
 	)
 	flag.Parse()
 	var err error
 	if *listen != "" || *peers != "" {
 		err = runFederated(os.Stdout, fedConfig{
-			ID:     uint32(*id),
-			Listen: *listen,
-			Peers:  splitPeers(*peers),
-			Subs:   *subs,
-			Events: *events,
-			Seed:   *seed,
-			Cover:  *coverOn,
-			Settle: *settle,
-			Hold:   *hold,
+			ID:            uint32(*id),
+			Listen:        *listen,
+			Peers:         splitPeers(*peers),
+			Subs:          *subs,
+			Events:        *events,
+			Seed:          *seed,
+			Cover:         *coverOn,
+			Settle:        *settle,
+			Hold:          *hold,
+			LinkHighWater: *highWater,
+			LinkLowWater:  *lowWater,
+			EvictAfter:    *evict,
+			Ping:          *ping,
+			ReadIdle:      *readIdle,
 		})
 	} else {
-		err = run(*nodes, *topology, *fanout, *subs, *events, *seed, *coverOn)
+		err = run(simConfig{
+			Nodes: *nodes, Topology: *topology, Fanout: *fanout,
+			Subs: *subs, Events: *events, Seed: *seed, Cover: *coverOn,
+			LinkHighWater: *highWater, LinkLowWater: *lowWater,
+		})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ncoverlay:", err)
@@ -108,6 +123,13 @@ type fedConfig struct {
 	Cover  bool
 	Settle time.Duration
 	Hold   time.Duration
+
+	// Flow control and liveness (zero values pick netoverlay defaults).
+	LinkHighWater int
+	LinkLowWater  int
+	EvictAfter    time.Duration
+	Ping          time.Duration
+	ReadIdle      time.Duration
 }
 
 // dialRetry covers peers started in any order: a parent that is still
@@ -122,8 +144,13 @@ func runFederated(w io.Writer, cfg fedConfig) error {
 		return fmt.Errorf("federation mode needs a distinct -id per process")
 	}
 	b := netoverlay.NewBroker(netoverlay.Options{
-		NodeID: cfg.ID,
-		Cover:  cfg.Cover,
+		NodeID:             cfg.ID,
+		Cover:              cfg.Cover,
+		LinkHighWater:      cfg.LinkHighWater,
+		LinkLowWater:       cfg.LinkLowWater,
+		CongestionDeadline: cfg.EvictAfter,
+		PingInterval:       cfg.Ping,
+		ReadIdleTimeout:    cfg.ReadIdle,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -186,6 +213,8 @@ func runFederated(w io.Writer, cfg fedConfig) error {
 	if cfg.Cover {
 		fmt.Fprintf(w, "cover pruned    %d forwards\n", st.CoverSuppressed)
 	}
+	fmt.Fprintf(w, "flow control    %d events shed (%d bytes spilled), %d bytes queued, %d peers evicted\n",
+		st.Shed, st.SpilledBytes, st.QueuedBytes, st.Evicted)
 	if st.HopDropped != 0 || st.InstallErrors != 0 {
 		fmt.Fprintf(w, "ANOMALIES       hop-dropped %d, install errors %d\n", st.HopDropped, st.InstallErrors)
 	}
@@ -208,32 +237,50 @@ func connectRetry(b *netoverlay.Broker, addr string) error {
 	}
 }
 
-func run(nodes int, topology string, fanout, subs, events int, seed int64, coverOn bool) error {
+// simConfig parameterises one in-process simulation run.
+type simConfig struct {
+	Nodes    int
+	Topology string
+	Fanout   int
+	Subs     int
+	Events   int
+	Seed     int64
+	Cover    bool
+
+	LinkHighWater int
+	LinkLowWater  int
+}
+
+func run(sc simConfig) error {
 	var (
 		nw  *overlay.Network
 		err error
 	)
-	cfg := overlay.Config{Cover: coverOn}
-	switch topology {
+	cfg := overlay.Config{
+		Cover:         sc.Cover,
+		LinkHighWater: sc.LinkHighWater,
+		LinkLowWater:  sc.LinkLowWater,
+	}
+	switch sc.Topology {
 	case "line":
-		nw, err = overlay.NewLine(nodes, cfg)
+		nw, err = overlay.NewLine(sc.Nodes, cfg)
 	case "star":
-		nw, err = overlay.NewStar(nodes, cfg)
+		nw, err = overlay.NewStar(sc.Nodes, cfg)
 	case "tree":
-		nw, err = overlay.NewTree(nodes, fanout, cfg)
+		nw, err = overlay.NewTree(sc.Nodes, sc.Fanout, cfg)
 	default:
-		return fmt.Errorf("unknown topology %q", topology)
+		return fmt.Errorf("unknown topology %q", sc.Topology)
 	}
 	if err != nil {
 		return err
 	}
 	defer nw.Close()
 
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(sc.Seed))
 	var delivered atomic.Int64
 
-	for i := 0; i < subs; i++ {
-		at := overlay.NodeID(rng.Intn(nodes))
+	for i := 0; i < sc.Subs; i++ {
+		at := overlay.NodeID(rng.Intn(sc.Nodes))
 		if _, err := nw.Subscribe(at, workload.StockSub(rng), func(event.Event) { delivered.Add(1) }); err != nil {
 			return err
 		}
@@ -241,8 +288,8 @@ func run(nodes int, topology string, fanout, subs, events int, seed int64, cover
 	nw.Flush()
 
 	start := time.Now()
-	for i := 0; i < events; i++ {
-		if err := nw.Publish(overlay.NodeID(rng.Intn(nodes)), workload.StockEvent(rng, i)); err != nil {
+	for i := 0; i < sc.Events; i++ {
+		if err := nw.Publish(overlay.NodeID(rng.Intn(sc.Nodes)), workload.StockEvent(rng, i)); err != nil {
 			return err
 		}
 	}
@@ -250,17 +297,20 @@ func run(nodes int, topology string, fanout, subs, events int, seed int64, cover
 	elapsed := time.Since(start)
 
 	st := nw.Stats()
-	fmt.Printf("topology        %s (%d brokers)\n", topology, nodes)
-	fmt.Printf("subscriptions   %d\n", subs)
+	fmt.Printf("topology        %s (%d brokers)\n", sc.Topology, sc.Nodes)
+	fmt.Printf("subscriptions   %d\n", sc.Subs)
 	fmt.Printf("events          %d in %v (%.0f events/s)\n",
-		events, elapsed.Round(time.Millisecond), float64(events)/elapsed.Seconds())
+		sc.Events, elapsed.Round(time.Millisecond), float64(sc.Events)/elapsed.Seconds())
 	fmt.Printf("deliveries      %d (%.2f per event)\n",
-		delivered.Load(), float64(delivered.Load())/float64(events))
+		delivered.Load(), float64(delivered.Load())/float64(sc.Events))
 	fmt.Printf("link crossings  %d (%.2f per event; filtering prunes the rest)\n",
-		st.Forwarded, float64(st.Forwarded)/float64(events))
+		st.Forwarded, float64(st.Forwarded)/float64(sc.Events))
 	fmt.Printf("sub flood msgs  %d\n", st.SubscriptionMsgs)
-	if coverOn {
+	if sc.Cover {
 		fmt.Printf("cover pruned    %d forwards\n", st.CoverSuppressed)
+	}
+	if st.Shed != 0 {
+		fmt.Printf("flow control    %d events shed (%d bytes spilled)\n", st.Shed, st.SpilledBytes)
 	}
 	return nil
 }

@@ -16,7 +16,8 @@ import (
 func TestRunTopologies(t *testing.T) {
 	for _, topo := range []string{"line", "star", "tree"} {
 		for _, coverOn := range []bool{false, true} {
-			if err := run(7, topo, 2, 20, 100, 1, coverOn); err != nil {
+			sc := simConfig{Nodes: 7, Topology: topo, Fanout: 2, Subs: 20, Events: 100, Seed: 1, Cover: coverOn}
+			if err := run(sc); err != nil {
 				t.Errorf("%s (cover=%v): %v", topo, coverOn, err)
 			}
 		}
@@ -24,14 +25,24 @@ func TestRunTopologies(t *testing.T) {
 }
 
 func TestRunUnknownTopology(t *testing.T) {
-	if err := run(7, "ring", 2, 20, 100, 1, false); err == nil {
+	if err := run(simConfig{Nodes: 7, Topology: "ring", Fanout: 2, Subs: 20, Events: 100, Seed: 1}); err == nil {
 		t.Error("unknown topology accepted")
 	}
 }
 
 func TestRunSingleNode(t *testing.T) {
-	if err := run(1, "line", 2, 5, 20, 1, true); err != nil {
+	if err := run(simConfig{Nodes: 1, Topology: "line", Fanout: 2, Subs: 5, Events: 20, Seed: 1, Cover: true}); err != nil {
 		t.Errorf("single node: %v", err)
+	}
+}
+
+func TestRunCustomWatermarks(t *testing.T) {
+	sc := simConfig{
+		Nodes: 5, Topology: "line", Fanout: 2, Subs: 20, Events: 100, Seed: 1,
+		LinkHighWater: 1 << 20, LinkLowWater: 1 << 19,
+	}
+	if err := run(sc); err != nil {
+		t.Errorf("custom watermarks: %v", err)
 	}
 }
 
@@ -46,6 +57,7 @@ func TestRunFederatedListenOnly(t *testing.T) {
 	err := runFederated(&buf, fedConfig{
 		ID: 1, Listen: "127.0.0.1:0", Subs: 5, Events: 0,
 		Seed: 1, Settle: 50 * time.Millisecond,
+		LinkHighWater: 1 << 20, EvictAfter: -1, Ping: -1, ReadIdle: -1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -85,6 +97,9 @@ func TestRunFederatedAgainstPeer(t *testing.T) {
 		out := buf.String()
 		if !strings.Contains(out, "linked to") || !strings.Contains(out, "events/s") {
 			t.Errorf("cover=%v: unexpected output:\n%s", coverOn, out)
+		}
+		if !strings.Contains(out, "flow control") || !strings.Contains(out, "0 peers evicted") {
+			t.Errorf("cover=%v: missing flow-control line:\n%s", coverOn, out)
 		}
 		if strings.Contains(out, "ANOMALIES") {
 			t.Errorf("cover=%v: routing anomalies reported:\n%s", coverOn, out)

@@ -1,0 +1,10 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Wall-clock perf-shape assertions are skipped under -race:
+// instrumentation taxes the engines unevenly (the non-canonical engine's
+// pointer-heavy tree walk pays far more per access than the counting
+// scan), which inverts orderings that hold on uninstrumented builds.
+const raceEnabled = false

@@ -123,6 +123,11 @@ type Broker struct {
 	delivered  atomic.Uint64
 	dropped    atomic.Uint64
 	aggregated atomic.Uint64 // subscribes deduped onto an existing filter
+
+	// congestedSubs gauges how many live subscriptions are currently
+	// congested (dropped an event and have not yet drained); Congested
+	// derives the broker-wide backpressure signal from it.
+	congestedSubs atomic.Int64
 }
 
 // filterGroup is one engine subscription fanning out to every subscriber
@@ -162,7 +167,35 @@ type Subscription struct {
 	out     chan event.Event // non-nil for channel subscriptions
 	dropped atomic.Uint64
 
+	// congested flips on when a publish drops for this subscription and
+	// off once the delivery goroutine drains the queue to a quarter of its
+	// capacity (hysteresis, so the gauge doesn't flap at the boundary).
+	congested atomic.Bool
+
 	cancelOnce sync.Once
+}
+
+// markCongested records a queue-full drop in the broker-wide gauge.
+func (s *Subscription) markCongested() {
+	if s.congested.CompareAndSwap(false, true) {
+		s.b.congestedSubs.Add(1)
+	}
+}
+
+// maybeClearCongested drops the congestion mark once the queue has drained
+// below a quarter of its capacity; called from the delivery goroutine.
+func (s *Subscription) maybeClearCongested() {
+	if s.congested.Load() && len(s.queue) <= cap(s.queue)/4 {
+		s.clearCongested()
+	}
+}
+
+// clearCongested unconditionally removes this subscription from the gauge
+// (drain threshold reached, unsubscribe, or broker close).
+func (s *Subscription) clearCongested() {
+	if s.congested.CompareAndSwap(true, false) {
+		s.b.congestedSubs.Add(-1)
+	}
 }
 
 // New builds an empty broker.
@@ -203,6 +236,7 @@ func (b *Broker) Subscribe(expr boolexpr.Expr, h Handler) (*Subscription, error)
 		for ev := range s.queue {
 			h(ev)
 			b.delivered.Add(1)
+			s.maybeClearCongested()
 		}
 	}()
 	return s, nil
@@ -224,6 +258,7 @@ func (b *Broker) SubscribeChan(expr boolexpr.Expr) (*Subscription, <-chan event.
 		for ev := range s.queue {
 			out <- ev
 			b.delivered.Add(1)
+			s.maybeClearCongested()
 		}
 	}()
 	return s, out, nil
@@ -302,6 +337,7 @@ func (s *Subscription) Unsubscribe() error {
 		// No publisher can hold s.queue once the group membership is gone
 		// (Publish enqueues under the read lock), so closing is safe.
 		close(s.queue)
+		s.clearCongested()
 	})
 	if !didCancel {
 		return nil
@@ -335,6 +371,7 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 			default:
 				s.dropped.Add(1)
 				b.dropped.Add(1)
+				s.markCongested()
 			}
 		}
 	}
@@ -379,11 +416,29 @@ func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 				default:
 					s.dropped.Add(1)
 					b.dropped.Add(1)
+					s.markCongested()
 				}
 			}
 		}
 	}
 	return counts, nil
+}
+
+// Congested reports whether the broker as a whole is backed up: at least
+// one subscription is congested and congested subscriptions are at least
+// half the live population. One slow subscriber among many is its own
+// problem (its events drop, others flow); when congestion is the norm the
+// broker is oversubscribed and publishers should back off — frontends
+// (netbroker) translate this into a busy/retry-after reply.
+func (b *Broker) Congested() bool {
+	c := b.congestedSubs.Load()
+	if c == 0 {
+		return false
+	}
+	b.mu.RLock()
+	n := b.nsubs
+	b.mu.RUnlock()
+	return 2*c >= int64(n)
 }
 
 // NumSubscriptions returns the live subscriber count (not the engine entry
@@ -409,6 +464,9 @@ type Stats struct {
 	Batches               uint64
 	Delivered             uint64
 	Dropped               uint64
+	// CongestedSubscribers is the current number of subscriptions whose
+	// queue overflowed and has not yet drained; see Broker.Congested.
+	CongestedSubscribers int
 }
 
 // Stats returns a snapshot of broker activity.
@@ -424,6 +482,7 @@ func (b *Broker) Stats() Stats {
 		Batches:               b.batches.Load(),
 		Delivered:             b.delivered.Load(),
 		Dropped:               b.dropped.Load(),
+		CongestedSubscribers:  int(b.congestedSubs.Load()),
 	}
 }
 
@@ -453,6 +512,7 @@ func (b *Broker) Close() error {
 	for _, s := range remaining {
 		s.cancelOnce.Do(func() {
 			close(s.queue)
+			s.clearCongested()
 		})
 	}
 	b.wg.Wait()

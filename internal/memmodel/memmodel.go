@@ -23,6 +23,7 @@ package memmodel
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 )
 
@@ -128,6 +129,19 @@ func FormatBytes(n int) string {
 	default:
 		return fmt.Sprintf("%dB", n)
 	}
+}
+
+// HeapInuseBytes measures the process's live heap after a garbage
+// collection pass. It is the measurement-side complement of the analytic
+// models above: chaos and stress experiments compare it before and during a
+// fault to assert that a stalled consumer pins a bounded amount of memory.
+// Forcing a GC makes the reading reflect live data, not floating garbage,
+// at the cost of a pause — this is for experiments, not hot paths.
+func HeapInuseBytes() int {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int(ms.HeapInuse)
 }
 
 // --- analytic paper models (§3.3) ---

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"noncanon/internal/event"
 	"noncanon/internal/wire"
@@ -17,7 +18,36 @@ var (
 	ErrClientClosed = errors.New("netbroker: client closed")
 	// ErrRemote wraps error messages returned by the broker.
 	ErrRemote = errors.New("netbroker: remote error")
+	// ErrBusy matches (errors.Is) publish rejections caused by broker
+	// congestion; the concrete error is a *BusyError carrying the hint.
+	ErrBusy = errors.New("netbroker: broker busy")
 )
+
+// BusyError is a publish rejection under backpressure: the broker is
+// congested and asks the publisher to retry after the hinted delay. It
+// matches ErrBusy via errors.Is.
+type BusyError struct {
+	// RetryAfter is the server's suggested delay before retrying.
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("netbroker: broker busy, retry after %v", e.RetryAfter)
+}
+
+// Is reports ErrBusy as a match, so errors.Is(err, ErrBusy) works without
+// unwrapping to the concrete type.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
+// busyError builds the *BusyError for a MsgBusy response payload (the
+// retry-after hint in milliseconds; the request ID was already consumed).
+func busyError(payload []byte) error {
+	millis, _, err := wire.ReadU32(payload)
+	if err != nil {
+		return fmt.Errorf("%w: malformed busy reply: %v", ErrRemote, err)
+	}
+	return &BusyError{RetryAfter: time.Duration(millis) * time.Millisecond}
+}
 
 // DefaultSubBuffer is the per-subscription client-side event buffer.
 const DefaultSubBuffer = 64
@@ -252,6 +282,9 @@ func (c *Client) Publish(ev event.Event) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if resp.typ == wire.MsgBusy {
+		return 0, busyError(resp.payload)
+	}
 	if resp.typ != wire.MsgPublished {
 		return 0, fmt.Errorf("%w: unexpected response type 0x%02x", ErrRemote, resp.typ)
 	}
@@ -322,6 +355,9 @@ func (c *Client) publishChunk(n int, body []byte) ([]int, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if resp.typ == wire.MsgBusy {
+		return nil, busyError(resp.payload)
 	}
 	if resp.typ != wire.MsgPublishedBatch {
 		return nil, fmt.Errorf("%w: unexpected response type 0x%02x", ErrRemote, resp.typ)

@@ -1,0 +1,84 @@
+package netbroker
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"noncanon/internal/broker"
+	"noncanon/internal/event"
+	"noncanon/internal/sublang"
+)
+
+// TestPublishBusyUnderCongestion drives the embedded broker into congestion
+// with a deliberately stalled subscriber and checks that publishes are
+// rejected with the MsgBusy backpressure reply — and accepted again once
+// the subscriber drains.
+func TestPublishBusyUnderCongestion(t *testing.T) {
+	const retryAfter = 250 * time.Millisecond
+	addr, srv := startServer(t, ServerOptions{
+		Broker:     broker.Options{QueueSize: 1},
+		RetryAfter: retryAfter,
+	})
+
+	expr, err := sublang.Parse(`kind = "x"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	sub, err := srv.Broker().Subscribe(expr, func(event.Event) { <-block })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// One event stalls in the handler, one fills the queue, one overflows
+	// and flips the subscription congested. None of these publishes may be
+	// rejected — congestion starts only once a drop happens.
+	ev := event.New().Set("kind", "x")
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Publish(ev); err != nil {
+			t.Fatalf("publish %d before congestion: %v", i, err)
+		}
+	}
+
+	var busy *BusyError
+	_, pubErr := cli.Publish(ev)
+	if !errors.As(pubErr, &busy) {
+		t.Fatalf("publish while congested: err = %v, want *BusyError", pubErr)
+	}
+	if !errors.Is(pubErr, ErrBusy) {
+		t.Errorf("errors.Is(err, ErrBusy) = false")
+	}
+	if busy.RetryAfter != retryAfter {
+		t.Errorf("RetryAfter = %v, want %v", busy.RetryAfter, retryAfter)
+	}
+	if _, err := cli.PublishBatch([]event.Event{ev, ev}); !errors.Is(err, ErrBusy) {
+		t.Errorf("batch publish while congested: err = %v, want ErrBusy", err)
+	}
+	if subs := srv.Broker().Stats().CongestedSubscribers; subs != 1 {
+		t.Errorf("CongestedSubscribers = %d, want 1", subs)
+	}
+
+	// Unblock the handler; the queue drains, congestion clears and
+	// publishes flow again.
+	close(block)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := cli.Publish(ev); err == nil {
+			break
+		} else if !errors.Is(err, ErrBusy) {
+			t.Fatalf("publish while draining: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("broker never recovered from congestion")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

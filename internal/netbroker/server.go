@@ -32,6 +32,12 @@ const writeTimeout = 10 * time.Second
 type ServerOptions struct {
 	// Broker configures the embedded matching broker.
 	Broker broker.Options
+	// RetryAfter enables publish backpressure: while the embedded broker
+	// reports Congested, MsgPublish/MsgPublishBatch requests are rejected
+	// with a MsgBusy reply hinting this retry delay instead of being
+	// matched and silently dropped per-subscriber. Zero disables the
+	// behaviour (the pre-flow-control posture).
+	RetryAfter time.Duration
 	// Logf receives connection-level diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -253,10 +259,27 @@ func (c *conn) handleUnsubscribe(reqID uint32, rest []byte) error {
 	return c.write(wire.MsgOK, wire.AppendU32(nil, reqID))
 }
 
+// writeBusyIfCongested sends the MsgBusy backpressure reply when the server
+// has RetryAfter configured and the broker is congested, reporting whether
+// it did so (in which case the publish request must not proceed).
+func (c *conn) writeBusyIfCongested(reqID uint32) (bool, error) {
+	if c.srv.opts.RetryAfter <= 0 || !c.srv.br.Congested() {
+		return false, nil
+	}
+	millis := uint32(c.srv.opts.RetryAfter / time.Millisecond)
+	if millis == 0 {
+		millis = 1
+	}
+	return true, c.write(wire.MsgBusy, wire.AppendBusy(nil, reqID, millis))
+}
+
 func (c *conn) handlePublish(reqID uint32, rest []byte) error {
 	ev, _, err := wire.ReadEvent(rest)
 	if err != nil {
 		return c.writeError(reqID, "malformed event: "+err.Error())
+	}
+	if busy, err := c.writeBusyIfCongested(reqID); busy || err != nil {
+		return err
 	}
 	n, err := c.srv.br.Publish(ev)
 	if err != nil {
@@ -276,6 +299,9 @@ func (c *conn) handlePublishBatch(reqID uint32, rest []byte) error {
 	evs, _, err := wire.ReadEventBatch(rest)
 	if err != nil {
 		return c.writeError(reqID, "malformed batch: "+err.Error())
+	}
+	if busy, err := c.writeBusyIfCongested(reqID); busy || err != nil {
+		return err
 	}
 	counts, err := c.srv.br.PublishBatch(evs)
 	if err != nil {

@@ -9,10 +9,17 @@
 //
 // The forwarding discipline is the same one that makes internal/overlay
 // deadlock-free: the broker goroutine never blocks toward a peer. Outbound
-// messages go to a per-peer unbounded spill queue drained by a writer
+// messages go to a per-peer flow-controlled spill queue drained by a writer
 // goroutine; inbound frames are read by a per-peer reader that feeds the
 // broker inbox. A congested or stalled peer therefore backs traffic up in
-// its own direction only — it can never wedge this broker's loop.
+// its own direction only — it can never wedge this broker's loop, and it
+// cannot OOM it either: the spill queue is byte-bounded by credit
+// (Options.LinkHighWater). Past the high watermark the link sheds event
+// traffic (counted in Stats.Shed) while subscription control traffic is
+// never shed, a peer congested past Options.CongestionDeadline is evicted
+// with full route retraction (Stats.Evicted), and a half-open peer that
+// goes silent past Options.ReadIdleTimeout is detached the same way
+// (periodic MsgPing probes keep healthy links audibly alive).
 //
 // Topology: brokers are identified by operator-assigned node IDs. The
 // handshake rejects self-links, duplicate links to the same peer and
@@ -66,6 +73,23 @@ const writeTimeout = 10 * time.Second
 // handshakeTimeout bounds the hello exchange on a fresh connection.
 const handshakeTimeout = 5 * time.Second
 
+// Flow-control defaults; see the corresponding Options fields. Negative
+// option values disable the mechanism, zero means the default.
+const (
+	// DefaultLinkHighWater is the per-peer spill-queue congestion
+	// threshold in accounted bytes.
+	DefaultLinkHighWater = 8 << 20
+	// DefaultCongestionDeadline is how long a peer may stay congested
+	// before it is evicted with route retraction.
+	DefaultCongestionDeadline = 30 * time.Second
+	// DefaultPingInterval is the liveness-probe cadence on peer links.
+	DefaultPingInterval = 15 * time.Second
+	// DefaultReadIdleTimeout is how long a peer link may stay silent
+	// before it is treated as dead. It must comfortably exceed the ping
+	// interval: a healthy peer's probes keep the link audibly alive.
+	DefaultReadIdleTimeout = 60 * time.Second
+)
+
 // Options configures a federated broker.
 type Options struct {
 	// NodeID identifies this broker in the federation. Operators must
@@ -79,6 +103,29 @@ type Options struct {
 	Engine core.Options
 	// InboxSize is the broker inbox capacity (default DefaultInboxSize).
 	InboxSize int
+	// LinkHighWater is the per-peer spill-queue congestion threshold in
+	// accounted bytes (default DefaultLinkHighWater). A peer whose queue
+	// reaches it stops receiving event traffic — events are shed and
+	// counted (Stats.Shed) — until the queue drains below LinkLowWater.
+	// Subscription control traffic is never shed.
+	LinkHighWater int
+	// LinkLowWater is the byte level a congested link must drain below to
+	// regain credit (default LinkHighWater/2).
+	LinkLowWater int
+	// CongestionDeadline is how long a peer may stay continuously
+	// congested before the broker evicts it, retracting every route
+	// learned through it (default DefaultCongestionDeadline; negative
+	// disables eviction).
+	CongestionDeadline time.Duration
+	// PingInterval is the cadence of MsgPing liveness probes on peer
+	// links (default DefaultPingInterval; negative disables probing).
+	PingInterval time.Duration
+	// ReadIdleTimeout detaches a peer whose link stays silent this long —
+	// the half-open TCP case where no FIN ever arrives (default
+	// DefaultReadIdleTimeout; negative disables the idle check). Healthy
+	// peers' pings keep the link active, so it should comfortably exceed
+	// the peers' PingInterval.
+	ReadIdleTimeout time.Duration
 	// Logf receives connection-level diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 	// OnError receives routing anomalies (unparseable forwarded filters,
@@ -109,6 +156,18 @@ type Stats struct {
 	HopDropped uint64
 	// InstallErrors counts routing anomalies (see Options.OnError).
 	InstallErrors uint64
+	// Shed counts events dropped at congested peer spill queues
+	// (Options.LinkHighWater).
+	Shed uint64
+	// SpilledBytes is the cumulative accounted size of messages that went
+	// through peer spill queues.
+	SpilledBytes uint64
+	// QueuedBytes is the accounted size currently sitting in peer spill
+	// queues — bounded by LinkHighWater per link (plus control traffic).
+	QueuedBytes uint64
+	// Evicted counts peers detached for staying congested past
+	// Options.CongestionDeadline.
+	Evicted uint64
 	// Peers is the live peer-link count.
 	Peers int
 }
@@ -131,11 +190,16 @@ type Broker struct {
 	ln      net.Listener
 	peers   map[uint32]*peer // by peer node ID
 	pending map[net.Conn]struct{}
+	// Cumulative queue accounting folded in when peers detach, so Stats
+	// keeps counting what evicted links shed.
+	detachedShed    uint64
+	detachedSpilled uint64
 
 	nextSub       atomic.Uint64
 	localSubs     sync.Map // sub id → struct{}, for Unsubscribe validation
 	published     atomic.Uint64
 	installErrors atomic.Uint64
+	evicted       atomic.Uint64
 	activity      atomic.Uint64
 }
 
@@ -153,6 +217,18 @@ type inMsg struct {
 func NewBroker(opts Options) *Broker {
 	if opts.InboxSize <= 0 {
 		opts.InboxSize = DefaultInboxSize
+	}
+	if opts.LinkHighWater <= 0 {
+		opts.LinkHighWater = DefaultLinkHighWater
+	}
+	if opts.CongestionDeadline == 0 {
+		opts.CongestionDeadline = DefaultCongestionDeadline
+	}
+	if opts.PingInterval == 0 {
+		opts.PingInterval = DefaultPingInterval
+	}
+	if opts.ReadIdleTimeout == 0 {
+		opts.ReadIdleTimeout = DefaultReadIdleTimeout
 	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
@@ -172,7 +248,54 @@ func NewBroker(opts Options) *Broker {
 	})
 	b.wg.Add(1)
 	go b.run()
+	if opts.CongestionDeadline > 0 {
+		b.wg.Add(1)
+		go b.monitor()
+	}
 	return b
+}
+
+// monitor is the slow-peer eviction goroutine: it periodically scans peer
+// spill queues and detaches any peer congested past the deadline. It runs
+// off the broker goroutine on purpose — detach enqueues a control thunk
+// into the broker inbox, which only the broker goroutine drains, so
+// triggering eviction from there would self-deadlock.
+func (b *Broker) monitor() {
+	defer b.wg.Done()
+	deadline := b.opts.CongestionDeadline
+	tick := deadline / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			var victims []*peer
+			b.mu.Lock()
+			for _, p := range b.peers {
+				if p.out.CongestedFor() > deadline {
+					victims = append(victims, p)
+				}
+			}
+			b.mu.Unlock()
+			// Detach outside b.mu: detach re-takes it and blocks on the
+			// broker inbox for the retraction thunk.
+			for _, p := range victims {
+				p.detach(fmt.Errorf("netoverlay: peer %d congested past %v, evicting (queue %+v)",
+					p.nodeID, deadline, p.out.Stats()))
+				// Counted after detach so an observed eviction implies the
+				// peer is already out of the peer table.
+				b.evicted.Add(1)
+			}
+		case <-b.quit:
+			return
+		}
+	}
 }
 
 // NodeID returns this broker's federation identity.
@@ -376,6 +499,14 @@ func (b *Broker) Stats() Stats {
 	c := b.rt.Counts()
 	b.mu.Lock()
 	peers := len(b.peers)
+	shed, spilled := b.detachedShed, b.detachedSpilled
+	var queued uint64
+	for _, p := range b.peers {
+		qs := p.out.Stats()
+		shed += qs.Shed
+		spilled += qs.SpilledBytes
+		queued += uint64(qs.Bytes)
+	}
 	b.mu.Unlock()
 	return Stats{
 		Published:        b.published.Load(),
@@ -385,6 +516,10 @@ func (b *Broker) Stats() Stats {
 		CoverSuppressed:  c.CoverSuppressed,
 		HopDropped:       c.HopDropped,
 		InstallErrors:    b.installErrors.Load(),
+		Shed:             shed,
+		SpilledBytes:     spilled,
+		QueuedBytes:      queued,
+		Evicted:          b.evicted.Load(),
 		Peers:            peers,
 	}
 }
@@ -553,6 +688,13 @@ func (t *brokerTransport) Send(link int, m router.Msg) {
 		return
 	}
 	if p := b.links[link]; p != nil {
+		// Events are sheddable under congestion; control traffic
+		// (subscriptions, retractions) never is, so routing state stays
+		// consistent however slow the peer.
+		if m.Kind == router.Event {
+			p.out.Offer(m)
+			return
+		}
 		p.out.Push(m)
 	}
 }

@@ -19,9 +19,17 @@ type peer struct {
 	link   int // router link index, assigned at attach
 
 	// out is the spill queue the broker goroutine pushes forwards into;
-	// writeLoop drains it onto the connection. Unbounded, so routing never
-	// blocks on this peer's pace.
+	// writeLoop drains it onto the connection. Flow-controlled: routing
+	// never blocks on this peer's pace, and a slow peer sheds events once
+	// its byte credit runs out instead of growing the queue without bound.
 	out *router.Queue[router.Msg]
+
+	// wmu serializes frame writes between writeLoop and pingLoop.
+	wmu sync.Mutex
+
+	// done closes when the link tears down (detach or shutdown), stopping
+	// the ping loop.
+	done chan struct{}
 
 	closeOnce sync.Once
 }
@@ -79,7 +87,13 @@ func (b *Broker) handshake(nc net.Conn, dialer bool) (uint32, error) {
 // router link, starts the reader and writer and floods existing routes over
 // the fresh link. Blocks until the link is live.
 func (b *Broker) attach(nc net.Conn, peerID uint32) error {
-	p := &peer{b: b, nc: nc, nodeID: peerID, out: router.NewQueue[router.Msg]()}
+	p := &peer{
+		b:      b,
+		nc:     nc,
+		nodeID: peerID,
+		out:    router.NewFlowQueue(router.EstimateMsgBytes, b.opts.LinkHighWater, b.opts.LinkLowWater),
+		done:   make(chan struct{}),
+	}
 	b.mu.Lock()
 	delete(b.pending, nc)
 	if b.closed.Load() {
@@ -102,6 +116,10 @@ func (b *Broker) attach(nc net.Conn, peerID uint32) error {
 		b.wg.Add(2)
 		go p.readLoop()
 		go p.writeLoop()
+		if b.opts.PingInterval > 0 {
+			b.wg.Add(1)
+			go p.pingLoop()
+		}
 		b.rt.SyncLink(p.link)
 		close(attached)
 	}})
@@ -126,20 +144,29 @@ func (b *Broker) attach(nc net.Conn, peerID uint32) error {
 // the federation stops routing events this way.
 func (p *peer) detach(reason error) {
 	p.closeOnce.Do(func() {
+		close(p.done)
 		p.nc.Close()
+		qs := p.out.Stats()
 		p.out.Close()
 		p.b.mu.Lock()
 		delete(p.b.peers, p.nodeID)
+		// Fold the dead queue's cumulative counters into the broker so
+		// Stats stays monotonic across detaches.
+		p.b.detachedShed += qs.Shed
+		p.b.detachedSpilled += qs.SpilledBytes
 		p.b.mu.Unlock()
 		if reason != nil {
 			p.b.opts.Logf("netoverlay: node %d: peer %d detached: %v", p.b.opts.NodeID, p.nodeID, reason)
 		}
 		// Route retraction must run on the broker goroutine; skip it when
-		// the whole broker is going down anyway.
-		p.b.enqueue(inMsg{ctl: func() {
-			p.b.links[p.link] = nil
-			p.b.rt.RemoveLink(p.link)
-		}})
+		// the whole broker is going down anyway — Close is already tearing
+		// the routing table down, and the enqueue would race with it.
+		if !p.b.closed.Load() {
+			p.b.enqueue(inMsg{ctl: func() {
+				p.b.links[p.link] = nil
+				p.b.rt.RemoveLink(p.link)
+			}})
+		}
 	})
 }
 
@@ -147,6 +174,7 @@ func (p *peer) detach(reason error) {
 // it when the whole broker is stopping.
 func (p *peer) shutdown() {
 	p.closeOnce.Do(func() {
+		close(p.done)
 		p.nc.Close()
 		p.out.Close()
 	})
@@ -158,6 +186,13 @@ func (p *peer) shutdown() {
 func (p *peer) readLoop() {
 	defer p.b.wg.Done()
 	for {
+		// A half-open peer (no FIN — machine death, pulled cable, frozen
+		// proxy) never errors a plain read. The idle deadline turns that
+		// silence into a detach so its learned routes get retracted;
+		// pingLoop traffic keeps a live-but-quiet peer under the deadline.
+		if p.b.opts.ReadIdleTimeout > 0 {
+			p.nc.SetReadDeadline(time.Now().Add(p.b.opts.ReadIdleTimeout))
+		}
 		typ, payload, err := wire.ReadFrame(p.nc)
 		if err != nil {
 			p.detach(err)
@@ -233,11 +268,39 @@ func (p *peer) writeLoop() {
 		default:
 			continue
 		}
-		p.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
-		if err := wire.WriteFrame(p.nc, typ, buf); err != nil {
+		if err := p.writeFrame(typ, buf); err != nil {
 			p.detach(err)
 			return
 		}
 		p.b.activity.Add(1)
+	}
+}
+
+// writeFrame sends one frame under the write mutex, serializing writeLoop
+// and pingLoop on the shared connection.
+func (p *peer) writeFrame(typ byte, payload []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	p.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return wire.WriteFrame(p.nc, typ, payload)
+}
+
+// pingLoop keeps the link's read traffic flowing both ways: each side's
+// periodic ping resets the other side's idle-read deadline, so only a peer
+// that is actually unreachable trips it.
+func (p *peer) pingLoop() {
+	defer p.b.wg.Done()
+	t := time.NewTicker(p.b.opts.PingInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := p.writeFrame(wire.MsgPing, nil); err != nil {
+				p.detach(fmt.Errorf("netoverlay: ping to node %d failed: %w", p.nodeID, err))
+				return
+			}
+		case <-p.done:
+			return
+		}
 	}
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package netoverlay
+
+// settleRaceFactor is 1 on uninstrumented builds; see settle_race_test.go.
+const settleRaceFactor = 1

@@ -1,0 +1,10 @@
+//go:build race
+
+package netoverlay
+
+// settleRaceFactor widens the tests' Settle windows under the race
+// detector: instrumentation plus a parallel full-suite run can starve a
+// peer's reader goroutine long enough that frames sit invisible in a TCP
+// socket buffer past the normal window, declaring quiescence with events
+// still in flight.
+const settleRaceFactor = 4

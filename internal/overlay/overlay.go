@@ -10,10 +10,13 @@
 //
 // Forwarding is deadlock-free by construction: a broker goroutine never
 // blocks on a neighbour's inbox. Outbound messages go through a per-link
-// unbounded spill queue drained by a writer goroutine, so the classic A↔B
-// full-inbox cycle — each broker wedged mid-send into the other's full
+// flow-controlled spill queue drained by a writer goroutine, so the classic
+// A↔B full-inbox cycle — each broker wedged mid-send into the other's full
 // inbox, neither draining its own — cannot form, no matter how small
-// Config.InboxSize is or how violent a registration storm gets.
+// Config.InboxSize is or how violent a registration storm gets. The queues
+// are byte-bounded (Config.LinkHighWater): a link congested past its credit
+// sheds event traffic (counted in Stats.Shed) rather than growing without
+// limit, while subscription control traffic is never shed.
 //
 // Every broker runs the full non-canonical engine, so overlay scalability
 // inherits the filtering scalability the paper argues for.
@@ -55,6 +58,12 @@ var (
 // feeding it absorb the rest.
 const DefaultInboxSize = 1024
 
+// DefaultLinkHighWater is the default per-link spill-queue congestion
+// threshold in accounted bytes. The simulation default is generous — the
+// point of the bound is surviving a pathological consumer, not throttling
+// an in-process benchmark.
+const DefaultLinkHighWater = 64 << 20
+
 // MaxHops bounds event forwarding as a safety net; tree routing never
 // reaches it. Events dropped here are counted in Stats.HopDropped.
 const MaxHops = router.MaxHops
@@ -70,6 +79,14 @@ type Config struct {
 	Cover bool
 	// Engine configures each broker's matching engine.
 	Engine core.Options
+	// LinkHighWater is the per-link spill-queue congestion threshold in
+	// accounted bytes (default DefaultLinkHighWater). A congested link
+	// sheds event traffic, counted in Stats.Shed; subscription control
+	// traffic is never shed.
+	LinkHighWater int
+	// LinkLowWater is the byte level a congested link must drain below to
+	// regain credit (default LinkHighWater/2).
+	LinkLowWater int
 	// OnError, when non-nil, receives routing anomalies (a subscription a
 	// broker failed to install, a duplicate flood suggesting a cycle) that
 	// a federated deployment must observe rather than panic over. Called on
@@ -103,6 +120,12 @@ type Stats struct {
 	// mid-flood (see Config.OnError). Zero in correct deployments:
 	// subscriptions are validated before flooding.
 	InstallErrors uint64
+	// Shed counts events dropped at congested spill queues
+	// (Config.LinkHighWater); zero unless a link ran out of credit.
+	Shed uint64
+	// SpilledBytes is the cumulative accounted size of messages that went
+	// through the spill queues.
+	SpilledBytes uint64
 }
 
 // Network is a simulated broker overlay.
@@ -168,6 +191,9 @@ func New(n int, edges [][2]NodeID, cfg Config) (*Network, error) {
 	if cfg.InboxSize <= 0 {
 		cfg.InboxSize = DefaultInboxSize
 	}
+	if cfg.LinkHighWater <= 0 {
+		cfg.LinkHighWater = DefaultLinkHighWater
+	}
 	nw := &Network{cfg: cfg, quit: make(chan struct{})}
 	nw.flushed = sync.NewCond(&nw.mu)
 	nw.nodes = make([]*node, n)
@@ -197,7 +223,7 @@ func New(n int, edges [][2]NodeID, cfg Config) (*Network, error) {
 		})
 		nd.out = make([]*router.Queue[router.Msg], len(nd.neighbors))
 		for i := range nd.out {
-			nd.out[i] = router.NewQueue[router.Msg]()
+			nd.out[i] = router.NewFlowQueue(router.EstimateMsgBytes, cfg.LinkHighWater, cfg.LinkLowWater)
 		}
 	}
 	for _, nd := range nw.nodes {
@@ -379,6 +405,11 @@ func (nw *Network) Stats() Stats {
 		st.SubscriptionMsgs += c.SubMsgs
 		st.CoverSuppressed += c.CoverSuppressed
 		st.HopDropped += c.HopDropped
+		for _, q := range nd.out {
+			qs := q.Stats()
+			st.Shed += qs.Shed
+			st.SpilledBytes += qs.SpilledBytes
+		}
 	}
 	return st
 }
@@ -402,12 +433,21 @@ func (nw *Network) Close() {
 }
 
 // nodeTransport adapts a node's spill queues to the router's non-blocking
-// Transport: Send only ever pushes to an unbounded local queue.
+// Transport: Send only ever pushes to a local flow-controlled queue.
+// Control traffic (subscriptions, retractions) always enqueues so routing
+// state stays consistent; events go through Offer and are shed-and-counted
+// when the link is out of credit.
 type nodeTransport node
 
 func (t *nodeTransport) Send(link int, m router.Msg) {
 	nd := (*node)(t)
 	nd.net.track(1)
+	if m.Kind == router.Event {
+		if !nd.out[link].Offer(m) {
+			nd.net.track(-1)
+		}
+		return
+	}
 	nd.out[link].Push(m)
 }
 

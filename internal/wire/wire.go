@@ -69,6 +69,11 @@ const (
 	MsgUnsubForward
 	// MsgEventForward: u8 hop count, event.
 	MsgEventForward
+
+	// MsgBusy: u32 reqID, u32 retry-after millis. A backpressure reply to
+	// MsgPublish/MsgPublishBatch: the broker is congested and did not
+	// accept the request; the client should retry after the hinted delay.
+	MsgBusy
 )
 
 // FederationVersion is the broker federation protocol version carried in
@@ -316,6 +321,26 @@ func ReadEventForward(b []byte) (hops uint8, ev event.Event, err error) {
 		return 0, event.Event{}, err
 	}
 	return hops, ev, nil
+}
+
+// AppendBusy appends a MsgBusy payload: the rejected request's ID and the
+// suggested retry delay in milliseconds.
+func AppendBusy(b []byte, reqID uint32, retryAfterMillis uint32) []byte {
+	b = AppendU32(b, reqID)
+	return AppendU32(b, retryAfterMillis)
+}
+
+// ReadBusy consumes a MsgBusy payload.
+func ReadBusy(b []byte) (reqID uint32, retryAfterMillis uint32, err error) {
+	reqID, b, err = ReadU32(b)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: short busy request ID", ErrMalformed)
+	}
+	retryAfterMillis, _, err = ReadU32(b)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: short busy retry hint", ErrMalformed)
+	}
+	return reqID, retryAfterMillis, nil
 }
 
 // ReadEvent consumes the wire form of an event.

@@ -312,6 +312,22 @@ func TestFederationPayloadRoundTrips(t *testing.T) {
 	}
 }
 
+func TestBusyRoundTrip(t *testing.T) {
+	reqID, retry, err := ReadBusy(AppendBusy(nil, 0xdeadbeef, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqID != 0xdeadbeef || retry != 250 {
+		t.Errorf("busy = req %#x retry %dms", reqID, retry)
+	}
+	if _, _, err := ReadBusy([]byte{1, 2}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short busy err = %v", err)
+	}
+	if _, _, err := ReadBusy(AppendU32(nil, 1)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("busy missing retry err = %v", err)
+	}
+}
+
 func TestFederationPayloadShortInputs(t *testing.T) {
 	if _, _, err := ReadHello([]byte{1, 2}); !errors.Is(err, ErrMalformed) {
 		t.Errorf("short hello err = %v", err)
