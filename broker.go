@@ -31,10 +31,11 @@ type BrokerStats = broker.Stats
 type BrokerOption func(*brokerConfig)
 
 type brokerConfig struct {
-	queueSize int
-	shards    int
-	aggregate bool
-	engine    core.Options
+	queueSize    int
+	shards       int
+	aggregate    bool
+	aggregateDAG bool
+	engine       core.Options
 }
 
 // WithQueueSize sets the per-subscription delivery queue capacity.
@@ -62,6 +63,23 @@ func WithBrokerAggregation() BrokerOption {
 	return func(c *brokerConfig) { c.aggregate = true }
 }
 
+// WithBrokerDAGAggregation extends aggregation from identical filters to
+// provably covered ones: live filters are arranged in an incrementally
+// maintained covering poset (internal/cover/dag), and only the frontier —
+// filters no other live filter provably covers — occupies engine entries.
+// A subscription whose filter is covered attaches beneath its coverer with
+// no engine mutation at all; matched events descend from frontier entries
+// through covered filters, re-evaluating each, so delivery semantics are
+// unchanged. Unsubscribing a frontier filter promotes newly uncovered
+// descendants into the engine before the dying entry is retracted, so
+// matching never gaps. Engine size — and matching cost — then tracks the
+// covering frontier rather than the number of distinct filters (see
+// BrokerStats.FrontierFilters). Takes precedence over
+// WithBrokerAggregation when both are set.
+func WithBrokerDAGAggregation() BrokerOption {
+	return func(c *brokerConfig) { c.aggregateDAG = true }
+}
+
 // WithBrokerCompactEncoding stores subscription trees in the compact varint
 // encoding.
 func WithBrokerCompactEncoding() BrokerOption {
@@ -81,10 +99,11 @@ func NewBroker(opts ...BrokerOption) *Broker {
 		o(&cfg)
 	}
 	return &Broker{b: broker.New(broker.Options{
-		QueueSize: cfg.queueSize,
-		Shards:    cfg.shards,
-		Aggregate: cfg.aggregate,
-		Engine:    cfg.engine,
+		QueueSize:    cfg.queueSize,
+		Shards:       cfg.shards,
+		Aggregate:    cfg.aggregate,
+		AggregateDAG: cfg.aggregateDAG,
+		Engine:       cfg.engine,
 	})}
 }
 

@@ -200,3 +200,45 @@ func TestBrokerAggregation(t *testing.T) {
 		t.Fatalf("after full unsubscribe: %+v", st)
 	}
 }
+
+func TestBrokerDAGAggregation(t *testing.T) {
+	br := noncanon.NewBroker(noncanon.WithBrokerDAGAggregation(), noncanon.WithQueueSize(16))
+	defer br.Close()
+
+	var got atomic.Int64
+	// A nested covering chain: the widest band provably covers the others,
+	// so only it occupies an engine entry.
+	texts := []string{
+		`cat = 3 and price < 10`,
+		`cat = 3 and price < 100`,
+		`cat = 3 and price < 1000`,
+	}
+	subs := make([]*noncanon.BrokerSubscription, 0, len(texts))
+	for _, text := range texts {
+		s, err := br.Subscribe(text, func(noncanon.Event) { got.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, s)
+	}
+	st := br.Stats()
+	if st.Subscriptions != 3 || st.DistinctFilters != 3 || st.FrontierFilters != 1 || st.CoveredSubscribers != 2 {
+		t.Fatalf("stats = %+v, want 3 distinct filters on a 1-entry frontier (2 covered)", st)
+	}
+	// price 50 fulfils the two wider bands but not the narrowest: the
+	// frontier walk must re-evaluate covered filters, not blanket-deliver.
+	if n, err := br.Publish(noncanon.NewEvent().Set("cat", 3).Set("price", 50)); err != nil || n != 2 {
+		t.Fatalf("Publish = %d, %v; want 2", n, err)
+	}
+	// Dropping the frontier filter promotes the mid band; matching must not
+	// gap.
+	if err := subs[2].Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if st := br.Stats(); st.Subscriptions != 2 || st.FrontierFilters != 1 || st.CoveredSubscribers != 1 {
+		t.Fatalf("after frontier unsubscribe: %+v", st)
+	}
+	if n, err := br.Publish(noncanon.NewEvent().Set("cat", 3).Set("price", 50)); err != nil || n != 1 {
+		t.Fatalf("Publish after promotion = %d, %v; want 1", n, err)
+	}
+}

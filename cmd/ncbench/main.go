@@ -9,6 +9,7 @@
 //	ncbench -exp parallel                   # match throughput vs workers (P1)
 //	ncbench -exp batch                      # publish events/s vs batch size over TCP (B1)
 //	ncbench -exp cover                      # aggregation + covering vs popularity skew (C1)
+//	ncbench -exp million                    # covering-DAG vs flat aggregation to 1M subs (M1 (million))
 //	ncbench -exp federate                   # TCP-federated broker tree vs node count (F1)
 //	ncbench -exp cover -json                # machine-readable series (BENCH_*.json)
 //	ncbench -list                           # experiment inventory

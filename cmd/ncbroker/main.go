@@ -9,11 +9,18 @@
 // subscription (see internal/cover): engine size tracks distinct filters,
 // not connection count, and the shutdown report shows how much was saved.
 //
+// With -aggregate-dag, aggregation extends to provably covered filters
+// (see internal/cover/dag): only the covering frontier occupies engine
+// entries, covered filters attach beneath their coverers and are
+// re-evaluated during delivery, and the shutdown report additionally
+// shows the frontier size and how many subscribers rode along covered.
+//
 // Usage:
 //
 //	ncbroker -addr :7070
 //	ncbroker -addr :7070 -shards 8
 //	ncbroker -addr :7070 -aggregate
+//	ncbroker -addr :7070 -aggregate-dag
 package main
 
 import (
@@ -46,6 +53,7 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 		queue     = fs.Int("queue", broker.DefaultQueueSize, "per-subscription delivery queue size")
 		shards    = fs.Int("shards", 1, "partition subscriptions across this many engine shards (see internal/shard)")
 		aggregate = fs.Bool("aggregate", false, "intern identical filters: one engine entry per distinct filter (see internal/cover)")
+		aggDAG    = fs.Bool("aggregate-dag", false, "aggregate covered filters too: one engine entry per covering-frontier filter (see internal/cover/dag)")
 		compact   = fs.Bool("compact", false, "use the compact subscription-tree encoding")
 		reorder   = fs.Bool("reorder", false, "reorder subscription-tree children cheapest-first")
 		retry     = fs.Duration("retry-after", 0, "reply Busy with this retry hint instead of accepting publishes while most subscription queues are backed up (0 disables)")
@@ -69,10 +77,11 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 		opts: netbroker.ServerOptions{
 			RetryAfter: *retry,
 			Broker: broker.Options{
-				QueueSize: *queue,
-				Shards:    *shards,
-				Aggregate: *aggregate,
-				Engine:    broker.EngineConfig(*compact, *reorder),
+				QueueSize:    *queue,
+				Shards:       *shards,
+				Aggregate:    *aggregate,
+				AggregateDAG: *aggDAG,
+				Engine:       broker.EngineConfig(*compact, *reorder),
 			},
 		},
 	}
@@ -111,10 +120,14 @@ func main() {
 }
 
 // logStats reports final broker activity, making aggregation observable:
-// DistinctFilters is the engine entry count, AggregatedSubscribers the
-// number of subscribes that were deduplicated onto an existing filter.
+// DistinctFilters counts distinct live canonical filters,
+// AggregatedSubscribers the subscribes deduplicated onto an existing
+// filter, FrontierFilters the engine entry count (equal to
+// DistinctFilters unless DAG aggregation shrinks the frontier below it),
+// and CoveredSubscribers the subscribers attached beneath a covering
+// filter with no engine entry of their own.
 func logStats(st broker.Stats) {
-	log.Printf("ncbroker: stats: subscriptions=%d distinct_filters=%d aggregated_subscribers=%d published=%d delivered=%d dropped=%d",
-		st.Subscriptions, st.DistinctFilters, st.AggregatedSubscribers,
+	log.Printf("ncbroker: stats: subscriptions=%d distinct_filters=%d frontier_filters=%d aggregated_subscribers=%d covered_subscribers=%d published=%d delivered=%d dropped=%d",
+		st.Subscriptions, st.DistinctFilters, st.FrontierFilters, st.AggregatedSubscribers, st.CoveredSubscribers,
 		st.Published, st.Delivered, st.Dropped)
 }

@@ -34,6 +34,9 @@ func TestParseArgsDefaults(t *testing.T) {
 	if cfg.opts.Broker.Aggregate {
 		t.Error("aggregation on by default")
 	}
+	if cfg.opts.Broker.AggregateDAG {
+		t.Error("DAG aggregation on by default")
+	}
 	if cfg.opts.RetryAfter != 0 {
 		t.Errorf("retry-after = %v, want disabled", cfg.opts.RetryAfter)
 	}
@@ -44,7 +47,7 @@ func TestParseArgsDefaults(t *testing.T) {
 
 func TestParseArgsFlags(t *testing.T) {
 	var errOut bytes.Buffer
-	cfg, err := parseArgs([]string{"-addr", ":9000", "-queue", "128", "-shards", "8", "-aggregate", "-compact", "-reorder", "-retry-after", "250ms", "-quiet"}, &errOut)
+	cfg, err := parseArgs([]string{"-addr", ":9000", "-queue", "128", "-shards", "8", "-aggregate", "-aggregate-dag", "-compact", "-reorder", "-retry-after", "250ms", "-quiet"}, &errOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,6 +68,9 @@ func TestParseArgsFlags(t *testing.T) {
 	}
 	if !cfg.opts.Broker.Aggregate {
 		t.Error("-aggregate not set")
+	}
+	if !cfg.opts.Broker.AggregateDAG {
+		t.Error("-aggregate-dag not set")
 	}
 	if cfg.opts.RetryAfter != 250*time.Millisecond {
 		t.Errorf("retry-after = %v, want 250ms", cfg.opts.RetryAfter)
@@ -101,7 +107,7 @@ func TestParseArgsHelp(t *testing.T) {
 	if err == nil {
 		t.Fatal("-h should return flag.ErrHelp")
 	}
-	for _, flagName := range []string{"-addr", "-queue", "-shards", "-aggregate", "-compact", "-reorder", "-retry-after", "-quiet"} {
+	for _, flagName := range []string{"-addr", "-queue", "-shards", "-aggregate", "-aggregate-dag", "-compact", "-reorder", "-retry-after", "-quiet"} {
 		if !strings.Contains(errOut.String(), flagName) {
 			t.Errorf("help output missing %s: %q", flagName, errOut.String())
 		}

@@ -83,6 +83,11 @@ var DefaultPolicy = Policy{Packages: map[string]PackageRule{
 		Allow: []string{"internal/boolexpr", "internal/event", "internal/predicate"}},
 	"internal/cover": {Layer: "expr", ForbidStd: pureStd,
 		Allow: []string{"internal/boolexpr", "internal/predicate", "internal/value"}},
+	// The covering poset is pure subsumption bookkeeping over expressions:
+	// it must stay compute-only (no net/os) and must not know about
+	// engines or events — the broker maps its frontier onto engine entries.
+	"internal/cover/dag": {Layer: "expr", ForbidStd: pureStd,
+		Allow: []string{"internal/boolexpr", "internal/cover"}},
 	"internal/sublang": {Layer: "expr", ForbidStd: pureStd,
 		Allow: []string{"internal/boolexpr", "internal/predicate", "internal/value"}},
 	"internal/workload": {Layer: "expr", ForbidStd: pureStd,
@@ -100,7 +105,7 @@ var DefaultPolicy = Policy{Packages: map[string]PackageRule{
 
 	// --- service ---
 	"internal/broker": {Layer: "service",
-		Allow: []string{"internal/boolexpr", "internal/core", "internal/cover", "internal/event", "internal/index", "internal/matcher", "internal/predicate", "internal/shard", "internal/subtree"}},
+		Allow: []string{"internal/boolexpr", "internal/core", "internal/cover", "internal/cover/dag", "internal/event", "internal/index", "internal/matcher", "internal/predicate", "internal/shard", "internal/subtree"}},
 	"internal/router": {Layer: "service", ForbidStd: []string{"net"},
 		Allow: []string{"internal/boolexpr", "internal/core", "internal/cover", "internal/event", "internal/matcher"},
 		Deny: map[string]string{

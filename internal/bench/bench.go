@@ -6,6 +6,7 @@
 //	table1            echo the workload parameters (Table 1)
 //	fig3a … fig3f     subscription-matching time sweeps (Fig. 3 a-f)
 //	memory            per-engine memory, capacity within 512 MB (M1)
+//	million           engine entries vs subscriber count, DAG vs flat aggregation (M1 (million))
 //	crossover         fine-grained small-N sweep (C4)
 //	ablation-reorder  child-reordering effect (A1)
 //	ablation-encoding paper vs compact tree encoding (A2)
@@ -99,6 +100,7 @@ func Experiments() []Experiment {
 		Experiment{ID: "shard", Title: "S1: sharded matching throughput and p99 vs shard count (± churn)", Run: RunShard},
 		Experiment{ID: "batch", Title: "B1: batched publish events/s and p50/p99 vs batch size over TCP (± churn)", Run: RunBatch},
 		Experiment{ID: "cover", Title: "C1: filter aggregation + covering flood pruning vs popularity skew", Run: RunCover},
+		Experiment{ID: "million", Title: "M1 (million): engine entries track the covering frontier — DAG vs flat aggregation to 1M subscribers", Run: RunMillion},
 		Experiment{ID: "federate", Title: "F1: federated broker tree over loopback TCP — events/s and flood msgs vs node count (± cover)", Run: RunFederate},
 		Experiment{ID: "chaos", Title: "FC1: chaos federation — bounded spill queues, shedding and slow-peer eviction under a stalled link", Run: RunChaos},
 	)

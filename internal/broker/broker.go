@@ -30,6 +30,20 @@
 // difference between an engine of millions of entries and one of
 // thousands; Stats.DistinctFilters and Stats.AggregatedSubscribers make
 // the effect observable.
+//
+// DAG aggregation: Options.AggregateDAG goes further and maintains the
+// covering poset of live filters (internal/cover/dag): a subscription whose
+// filter is provably covered by a live one (cover.Covers) attaches beneath
+// it without touching the engine, so engine size tracks the covering
+// *frontier* — the uncovered-maximal filters — rather than even the
+// distinct-filter count. Delivery stays exact: events matching a frontier
+// entry are re-checked against each covered descendant's own filter (with
+// sound subtree pruning — an event that fails a filter fails everything it
+// covers) before fan-out. Unsubscribing a frontier filter promotes its
+// orphaned descendants back into the engine *before* the dying entry is
+// retracted, mirroring the overlay's re-flood-before-retract rule, so
+// matching never gaps. Stats.FrontierFilters and Stats.CoveredSubscribers
+// make the additional saving observable.
 package broker
 
 import (
@@ -41,6 +55,7 @@ import (
 	"noncanon/internal/boolexpr"
 	"noncanon/internal/core"
 	"noncanon/internal/cover"
+	"noncanon/internal/cover/dag"
 	"noncanon/internal/event"
 	"noncanon/internal/index"
 	"noncanon/internal/matcher"
@@ -92,6 +107,12 @@ type Options struct {
 	// semantics are unchanged — every subscriber still receives every
 	// matching event on its own queue.
 	Aggregate bool
+	// AggregateDAG additionally maintains the covering poset of live
+	// filters (internal/cover/dag): only frontier (uncovered-maximal)
+	// filters occupy engine entries, covered subscriptions attach beneath
+	// them and are re-checked against their own filter at delivery.
+	// Implies Aggregate's key interning. Delivery semantics are unchanged.
+	AggregateDAG bool
 	// Engine configures the underlying non-canonical engine(s).
 	Engine core.Options
 }
@@ -113,9 +134,13 @@ type Broker struct {
 
 	mu     sync.RWMutex
 	groups map[matcher.SubID]*filterGroup // engine entry → attached subscribers
-	byKey  map[string]*filterGroup        // intern table (Aggregate only)
+	byKey  map[string]*filterGroup        // intern table (Aggregate without DAG)
+	dag    *dag.DAG                       // covering poset (AggregateDAG only)
 	nsubs  int                            // live subscriber count
-	closed bool
+	// covered is the number of live subscribers attached to non-frontier
+	// poset nodes (AggregateDAG only); guarded by mu.
+	covered int
+	closed  bool
 
 	wg         sync.WaitGroup
 	published  atomic.Uint64
@@ -130,12 +155,16 @@ type Broker struct {
 	congestedSubs atomic.Int64
 }
 
-// filterGroup is one engine subscription fanning out to every subscriber
-// that registered the (canonically) same filter. Without aggregation each
-// group has exactly one member.
+// filterGroup is the fan-out set of every subscriber that registered the
+// (canonically) same filter. Without aggregation each group has exactly
+// one member. Under plain aggregation each group owns one engine entry;
+// under DAG aggregation the group hangs off its poset node (node.Data
+// points back here) and id names an engine entry only while the node is
+// on the covering frontier.
 type filterGroup struct {
 	id      matcher.SubID
-	key     string // intern key; "" when aggregation is off
+	key     string    // intern key; "" when aggregation is off
+	node    *dag.Node // covering-poset node (AggregateDAG only)
 	members []*Subscription
 }
 
@@ -160,9 +189,9 @@ func (g *filterGroup) remove(s *Subscription) bool {
 
 // Subscription is a live registration with its delivery pipeline.
 type Subscription struct {
-	id      matcher.SubID
 	b       *Broker
-	gidx    int // index in its filterGroup's members; guarded by b.mu
+	g       *filterGroup // owning group; guarded by b.mu
+	gidx    int          // index in its filterGroup's members; guarded by b.mu
 	queue   chan event.Event
 	out     chan event.Event // non-nil for channel subscriptions
 	dropped atomic.Uint64
@@ -214,7 +243,9 @@ func New(opts Options) *Broker {
 		eng:    eng,
 		groups: make(map[matcher.SubID]*filterGroup, 64),
 	}
-	if opts.Aggregate {
+	if opts.AggregateDAG {
+		b.dag = dag.New() // the poset owns the intern table in this mode
+	} else if opts.Aggregate {
 		b.byKey = make(map[string]*filterGroup, 64)
 	}
 	return b
@@ -266,7 +297,7 @@ func (b *Broker) SubscribeChan(expr boolexpr.Expr) (*Subscription, <-chan event.
 
 func (b *Broker) subscribe(expr boolexpr.Expr, out chan event.Event) (*Subscription, error) {
 	var key string
-	if b.opts.Aggregate {
+	if b.opts.Aggregate || b.opts.AggregateDAG {
 		// Key computation walks the expression; do it outside the lock.
 		key = cover.Key(expr)
 	}
@@ -276,38 +307,93 @@ func (b *Broker) subscribe(expr boolexpr.Expr, out chan event.Event) (*Subscript
 		return nil, ErrClosed
 	}
 	var g *filterGroup
-	if b.opts.Aggregate {
-		g = b.byKey[key]
-	}
-	if g == nil {
-		id, err := b.eng.Subscribe(expr)
-		if err != nil {
-			return nil, err
-		}
-		g = &filterGroup{id: id, key: key}
-		b.groups[id] = g
-		if b.opts.Aggregate {
-			b.byKey[key] = g
-		}
+	var err error
+	if b.dag != nil {
+		g, err = b.subscribeDAG(key, expr)
 	} else {
-		b.aggregated.Add(1)
+		if b.opts.Aggregate {
+			g = b.byKey[key]
+		}
+		if g == nil {
+			var id matcher.SubID
+			id, err = b.eng.Subscribe(expr)
+			if err == nil {
+				g = &filterGroup{id: id, key: key}
+				b.groups[id] = g
+				if b.opts.Aggregate {
+					b.byKey[key] = g
+				}
+			}
+		} else {
+			b.aggregated.Add(1)
+		}
+	}
+	if err != nil {
+		return nil, err
 	}
 	s := &Subscription{
-		id:    g.id,
 		b:     b,
+		g:     g,
 		gidx:  len(g.members),
 		queue: make(chan event.Event, b.opts.QueueSize),
 		out:   out,
 	}
 	g.members = append(g.members, s)
 	b.nsubs++
+	if b.dag != nil && !g.node.Frontier() {
+		b.covered++
+	}
 	return s, nil
+}
+
+// subscribeDAG interns the filter into the covering poset and keeps the
+// engine equal to the frontier. Caller holds the write lock and appends
+// the new member afterwards. Ordering: a brand-new frontier filter enters
+// the engine before any entries it demotes are retracted, so matching
+// never gaps.
+func (b *Broker) subscribeDAG(key string, expr boolexpr.Expr) (*filterGroup, error) {
+	res := b.dag.AddKeyed(key, expr)
+	g, _ := res.Node.Data.(*filterGroup)
+	if g == nil {
+		g = &filterGroup{key: key, node: res.Node}
+		res.Node.Data = g
+	}
+	if res.New && res.Frontier {
+		id, err := b.eng.Subscribe(expr)
+		if err != nil {
+			// Roll back the insert; Release re-promotes anything the
+			// failed node demoted, and their engine entries were never
+			// touched, so the broker is back to its prior state.
+			b.dag.Release(res.Node)
+			res.Node.Data = nil
+			return nil, err
+		}
+		g.id = id
+		b.groups[id] = g
+	}
+	if !res.New {
+		b.aggregated.Add(1)
+	}
+	for _, f := range res.Demoted {
+		fg := f.Data.(*filterGroup)
+		delete(b.groups, fg.id)
+		_ = b.eng.Unsubscribe(fg.id)
+		fg.id = 0
+		b.covered += len(fg.members)
+	}
+	return g, nil
 }
 
 // ID returns the engine subscription ID. With Options.Aggregate,
 // subscribers sharing a filter share the ID — it names the engine entry,
-// not the subscriber.
-func (s *Subscription) ID() matcher.SubID { return s.id }
+// not the subscriber. With Options.AggregateDAG a covered subscription has
+// no engine entry of its own and ID reports 0 until (if ever) its filter
+// is promoted to the covering frontier.
+func (s *Subscription) ID() matcher.SubID {
+	s.b.mu.RLock()
+	defer s.b.mu.RUnlock()
+	return s.g.id
+}
 
 // Dropped returns how many events were discarded because this
 // subscription's queue was full.
@@ -315,25 +401,33 @@ func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 
 // Unsubscribe removes the subscription and ends its delivery goroutine
 // after draining queued events. Under aggregation the shared engine entry
-// is detached only when the last attached subscriber unsubscribes. It is
-// idempotent.
+// is detached only when the last attached subscriber unsubscribes; under
+// DAG aggregation a dying frontier filter first promotes its orphaned
+// covered descendants into the engine, then retracts, so matching never
+// gaps. It is idempotent.
 func (s *Subscription) Unsubscribe() error {
 	var err error
 	didCancel := false
 	s.cancelOnce.Do(func() {
 		didCancel = true
-		s.b.mu.Lock()
-		if g, live := s.b.groups[s.id]; live && g.remove(s) {
-			s.b.nsubs--
-			if len(g.members) == 0 {
-				delete(s.b.groups, s.id)
+		b := s.b
+		b.mu.Lock()
+		// After Close the broker already detached everyone; skip the
+		// bookkeeping (Close's own cancelOnce pass handles the queue).
+		if !b.closed && s.g.remove(s) {
+			b.nsubs--
+			g := s.g
+			if b.dag != nil {
+				err = b.unsubscribeDAG(g)
+			} else if len(g.members) == 0 {
+				delete(b.groups, g.id)
 				if g.key != "" {
-					delete(s.b.byKey, g.key)
+					delete(b.byKey, g.key)
 				}
-				err = s.b.eng.Unsubscribe(s.id)
+				err = b.eng.Unsubscribe(g.id)
 			}
 		}
-		s.b.mu.Unlock()
+		b.mu.Unlock()
 		// No publisher can hold s.queue once the group membership is gone
 		// (Publish enqueues under the read lock), so closing is safe.
 		close(s.queue)
@@ -342,6 +436,40 @@ func (s *Subscription) Unsubscribe() error {
 	if !didCancel {
 		return nil
 	}
+	return err
+}
+
+// unsubscribeDAG releases one reference on g's poset node after a member
+// detached. When the node dies, children orphaned by its departure are
+// subscribed (promoted to the frontier) *before* the dying entry is
+// retracted. Caller holds the write lock.
+func (b *Broker) unsubscribeDAG(g *filterGroup) error {
+	if !g.node.Frontier() {
+		b.covered--
+	}
+	res := b.dag.Release(g.node)
+	if !res.Died {
+		return nil
+	}
+	var err error
+	for _, c := range res.Promoted {
+		cg := c.Data.(*filterGroup)
+		id, serr := b.eng.Subscribe(c.Expr())
+		if serr != nil {
+			err = serr
+			continue
+		}
+		cg.id = id
+		b.groups[id] = cg
+		b.covered -= len(cg.members)
+	}
+	if res.WasFrontier {
+		delete(b.groups, g.id)
+		if uerr := b.eng.Unsubscribe(g.id); uerr != nil && err == nil {
+			err = uerr
+		}
+	}
+	g.node.Data = nil
 	return err
 }
 
@@ -359,6 +487,7 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 	}
 	b.published.Add(1)
 	n := 0
+	var visited map[*dag.Node]bool
 	for _, id := range b.eng.Match(ev) {
 		g, ok := b.groups[id]
 		if !ok {
@@ -374,8 +503,58 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 				s.markCongested()
 			}
 		}
+		if g.node != nil && len(g.node.Children()) > 0 {
+			var dn int
+			dn, visited = b.enqueueCovered(g.node, ev, visited)
+			n += dn
+		}
 	}
 	return n, nil
+}
+
+// enqueueCovered fans a frontier match out to the matching covered
+// descendants of the node's poset subtree. A frontier hit does not imply
+// the covered filters match — coverage is one-way — so each descendant is
+// re-checked against its own filter; a failing node soundly prunes its
+// whole subtree (everything it covers matches a subset of what it does).
+//
+// visited dedups nodes with multiple parents and must be shared across
+// every frontier root matched by the *same* event (two frontier entries
+// can cover a common descendant) but never across events; it is allocated
+// lazily on the first multi-parent node, so chain- and tree-shaped posets
+// walk allocation-light. Caller holds the read lock.
+func (b *Broker) enqueueCovered(root *dag.Node, ev event.Event, visited map[*dag.Node]bool) (int, map[*dag.Node]bool) {
+	n := 0
+	stack := append(make([]*dag.Node, 0, 16), root.Children()...)
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(c.Parents()) > 1 {
+			if visited == nil {
+				visited = make(map[*dag.Node]bool)
+			}
+			if visited[c] {
+				continue
+			}
+			visited[c] = true
+		}
+		if !c.Expr().Eval(ev) {
+			continue
+		}
+		g := c.Data.(*filterGroup)
+		for _, s := range g.members {
+			select {
+			case s.queue <- ev:
+				n++
+			default:
+				s.dropped.Add(1)
+				b.dropped.Add(1)
+				s.markCongested()
+			}
+		}
+		stack = append(stack, c.Children()...)
+	}
+	return n, visited
 }
 
 // PublishBatch matches and enqueues a batch of events, amortising the
@@ -404,6 +583,7 @@ func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 	b.published.Add(uint64(len(evs)))
 	b.batches.Add(1)
 	for i, ids := range b.eng.MatchBatch(evs) {
+		var visited map[*dag.Node]bool // per event, shared across its roots
 		for _, id := range ids {
 			g, ok := b.groups[id]
 			if !ok {
@@ -418,6 +598,11 @@ func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 					b.dropped.Add(1)
 					s.markCongested()
 				}
+			}
+			if g.node != nil && len(g.node.Children()) > 0 {
+				var dn int
+				dn, visited = b.enqueueCovered(g.node, evs[i], visited)
+				counts[i] += dn
 			}
 		}
 	}
@@ -452,13 +637,28 @@ func (b *Broker) NumSubscriptions() int {
 // Stats is a broker activity snapshot. Published counts events (a batch
 // of n grows it by n); Batches counts PublishBatch calls; Dropped counts
 // per-subscriber queue-full discards from both publish paths.
-// DistinctFilters is the number of live engine entries — with aggregation
-// this is the number of distinct filters, without it it equals
-// Subscriptions. AggregatedSubscribers counts Subscribe calls that were
-// deduplicated onto an existing filter over the broker's lifetime.
+//
+// The two filter gauges answer different questions and only coincide in
+// some modes:
+//
+//   - DistinctFilters counts live canonically-distinct filters (one per
+//     cover.Key class, with provably-equivalent classes merged under DAG
+//     aggregation). Without any aggregation it equals Subscriptions.
+//   - FrontierFilters counts live engine entries. With plain aggregation
+//     it equals DistinctFilters (every distinct filter is an entry); with
+//     DAG aggregation it counts only the covering frontier, and
+//     DistinctFilters − FrontierFilters is the number of distinct filters
+//     riding covered beneath it.
+//
+// AggregatedSubscribers counts Subscribe calls over the broker's lifetime
+// that were deduplicated onto an already-live filter (identical or, under
+// DAG aggregation, provably equivalent). CoveredSubscribers is the current
+// number of subscribers attached to covered (non-frontier) filters.
 type Stats struct {
 	Subscriptions         int
 	DistinctFilters       int
+	FrontierFilters       int
+	CoveredSubscribers    int
 	AggregatedSubscribers uint64
 	Published             uint64
 	Batches               uint64
@@ -472,11 +672,17 @@ type Stats struct {
 // Stats returns a snapshot of broker activity.
 func (b *Broker) Stats() Stats {
 	b.mu.RLock()
-	subs, filters := b.nsubs, len(b.groups)
+	subs, frontier, covered := b.nsubs, len(b.groups), b.covered
+	distinct := frontier
+	if b.dag != nil {
+		distinct = b.dag.Len()
+	}
 	b.mu.RUnlock()
 	return Stats{
 		Subscriptions:         subs,
-		DistinctFilters:       filters,
+		DistinctFilters:       distinct,
+		FrontierFilters:       frontier,
+		CoveredSubscribers:    covered,
 		AggregatedSubscribers: b.aggregated.Load(),
 		Published:             b.published.Load(),
 		Batches:               b.batches.Load(),
@@ -500,13 +706,26 @@ func (b *Broker) Close() error {
 	for _, g := range b.groups {
 		remaining = append(remaining, g.members...)
 	}
+	// Covered subscribers hold no engine entry and therefore no groups
+	// slot; collect them off the poset (frontier nodes are already in).
+	if b.dag != nil {
+		for _, n := range b.dag.Nodes() {
+			if g, ok := n.Data.(*filterGroup); ok && !n.Frontier() {
+				remaining = append(remaining, g.members...)
+			}
+		}
+	}
 	// Publish is locked out for good (closed flag), so the groups can go;
-	// in-flight Unsubscribe calls see empty maps and no-op.
+	// in-flight Unsubscribe calls see the closed flag and no-op.
 	b.groups = make(map[matcher.SubID]*filterGroup)
 	if b.byKey != nil {
 		b.byKey = make(map[string]*filterGroup)
 	}
+	if b.dag != nil {
+		b.dag = dag.New()
+	}
 	b.nsubs = 0
+	b.covered = 0
 	b.mu.Unlock()
 
 	for _, s := range remaining {

@@ -1,0 +1,140 @@
+package dag_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/cover"
+	"noncanon/internal/cover/dag"
+	"noncanon/internal/predicate"
+	"noncanon/internal/sublang"
+)
+
+// fuzzPool is the filter universe FuzzDAGChurn draws from: parsed
+// subscription-language filters spanning covering chains, equalities,
+// string ops, Or/Not shapes — plus filters built around the adversarial
+// numerics (NaN, ±Inf, ±2^53 boundaries) that the cover prover refuses to
+// reason about, so the poset is exercised where proofs go dark.
+func fuzzPool(tb testing.TB) []boolexpr.Expr {
+	tb.Helper()
+	srcs := []string{
+		`cat = 1 and price < 10`,
+		`cat = 1 and price < 100`,
+		`cat = 1 and price < 1000`,
+		`cat = 2 and price < 100`,
+		`cat = 1`,
+		`price < 100`,
+		`price < 10`,
+		`price >= 100`,
+		`cat = 1 and (price < 10 or price > 90)`,
+		`(cat = 1 and price < 10) or (cat = 2 and price < 10)`,
+		`not (price < 10)`,
+		`sym prefix "AB" and price < 50`,
+		`sym prefix "ABC"`,
+		`exists price`,
+		`cat = 1 and price < 5 and price > 7`, // unsatisfiable conjunction
+		`price < 3 or price >= 3`,             // near-tautology on price
+		`cat != 1 and cat = 1`,                // unsatisfiable equality pair
+	}
+	pool := make([]boolexpr.Expr, 0, len(srcs)+8)
+	for _, s := range srcs {
+		e, err := sublang.Parse(s)
+		if err != nil {
+			tb.Fatalf("pool filter %q: %v", s, err)
+		}
+		pool = append(pool, e)
+	}
+	// PR 4's adversarial numerics, as operands the prover must survive.
+	for _, v := range []any{
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		int64(1) << 53, int64(1)<<53 + 1, -(int64(1) << 53),
+		float64(int64(1) << 53), -float64(int64(1) << 53),
+	} {
+		pool = append(pool,
+			boolexpr.NewAnd(
+				boolexpr.Pred("cat", predicate.Eq, int64(1)),
+				boolexpr.NewLeaf(predicate.New("price", predicate.Lt, v)),
+			),
+		)
+	}
+	return pool
+}
+
+// FuzzDAGChurn drives insert/remove sequences from fuzzed bytes against a
+// naive recompute-the-frontier oracle. After every operation the poset's
+// structural invariants must hold; periodically (and at the end) the
+// frontier is compared against a full pairwise Covers scan and the
+// frontier-walk match set is compared against brute-force evaluation.
+func FuzzDAGChurn(f *testing.F) {
+	f.Add([]byte{0, 2, 4, 6, 1, 3}, int64(1))
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 3, 5, 7}, int64(7))
+	f.Add([]byte{8, 10, 12, 14, 9, 11, 13, 15, 0, 1}, int64(42))
+	f.Add([]byte{28, 30, 32, 34, 36, 29, 31, 33}, int64(99))
+	f.Add([]byte{16, 18, 20, 22, 24, 26, 17, 19, 21, 23, 25, 27}, int64(-5))
+
+	f.Fuzz(func(t *testing.T, ops []byte, evSeed int64) {
+		if len(ops) > 96 {
+			ops = ops[:96] // prover calls are not free; bound one exec
+		}
+		pool := fuzzPool(t)
+		rng := rand.New(rand.NewSource(evSeed))
+		d := dag.New()
+		var live []*dag.Node
+
+		check := func(step int, full bool) {
+			if err := d.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if d.Refs() != len(live) {
+				t.Fatalf("step %d: refs %d, live %d", step, d.Refs(), len(live))
+			}
+			if !full {
+				return
+			}
+			// Naive frontier recompute: maximality both ways.
+			nodes := d.Nodes()
+			for _, b := range nodes {
+				var coverer *dag.Node
+				for _, a := range nodes {
+					if a != b && cover.Covers(a.Expr(), b.Expr()) {
+						coverer = a
+						break
+					}
+				}
+				if coverer == nil && !b.Frontier() {
+					t.Fatalf("step %d: node %q uncovered but demoted", step, b.Key())
+				}
+				if coverer != nil && b.Frontier() && !reachable(b, coverer) {
+					t.Fatalf("step %d: frontier node %q provably covered by %q", step, b.Key(), coverer.Key())
+				}
+			}
+			// Delivery equivalence on replayed events.
+			for i := 0; i < 8; i++ {
+				ev := churnEvent(rng)
+				got := dagMatch(d, ev)
+				for _, n := range nodes {
+					if want := n.Expr().Eval(ev); got[n] != want {
+						t.Fatalf("step %d: node %q frontier-walk match %v, brute force %v (event %v)",
+							step, n.Key(), got[n], want, ev)
+					}
+				}
+			}
+		}
+
+		for step, b := range ops {
+			if b&1 == 0 || len(live) == 0 {
+				res := d.Add(pool[int(b>>1)%len(pool)])
+				live = append(live, res.Node)
+			} else {
+				i := int(b>>1) % len(live)
+				d.Release(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			check(step, step%16 == 15)
+		}
+		check(len(ops), true)
+	})
+}

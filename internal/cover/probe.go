@@ -1,0 +1,149 @@
+package cover
+
+import (
+	"sort"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/predicate"
+)
+
+// This file is the candidate-filter support surface for internal/cover/dag:
+// cheap per-filter facts that bound which pairs Covers could possibly prove,
+// so the covering DAG probes a small candidate set per insert instead of
+// scanning every live filter.
+//
+// The facts are *exact with respect to this package's prover* — they are
+// computed by calling the prover itself on derived queries — so a candidate
+// filter built from them is lossless: if Covers(a, b) would return true,
+// then a is guaranteed to be in the candidate set computed for b (see the
+// losslessness argument on each function). dag's differential tests pit the
+// filtered implementation against a scan-everything oracle to hold this.
+
+// probeLeaf is a satisfiable equality on a reserved attribute name that no
+// realistic filter constrains. Implications against it separate the proof
+// routes that need the partner expression from those that do not:
+//
+//   - implies(e, probe) can only succeed through e's own unsatisfiability
+//     (an infeasible conjunction implies anything), never through probe;
+//   - implies(probe, e) can only succeed through sub-proofs that ignore the
+//     antecedent entirely, i.e. e is provably a tautology.
+//
+// If a filter does constrain the reserved attribute the probes may report
+// spurious positives, which only *widens* candidate sets — never unsound.
+var probeLeaf = boolexpr.Pred("\x00cover.probe", predicate.Eq, 0)
+
+// SelfUnsat reports that the prover can show e unsatisfiable from e alone.
+// Such a filter is covered by *every* filter (Covers(a, e) is true for any
+// a), so dag must treat every live node as a candidate parent for it.
+func SelfUnsat(e boolexpr.Expr) bool {
+	if e == nil {
+		return false
+	}
+	return implies(e, probeLeaf)
+}
+
+// Tautology reports that the prover can show e matches every event. Such a
+// filter covers *every* filter (Covers(e, b) is true for any b), so dag
+// must keep it in every candidate-parent set.
+func Tautology(e boolexpr.Expr) bool {
+	if e == nil {
+		return false
+	}
+	return implies(probeLeaf, e)
+}
+
+// Pin is a provable point constraint: the filter admits only events whose
+// attribute Attr equals the operand rendered (canonically) as Val. Val uses
+// value.KeyString, the same canonicalisation Key interns by, so numerically
+// equal Int/Float pins unify.
+type Pin struct {
+	Attr string
+	Val  string
+}
+
+// RequiredPins returns the equality leaves on e's top-level conjunction
+// spine (a lone equality leaf counts as its own spine). These are exactly
+// the conjuncts the prover *must* discharge to prove Covers(e, b) for any
+// b: implies(b, And(xs)) demands implies(b, x) for every conjunct x, nested
+// Ands are recursed into, and an equality leaf can only be discharged by
+// proving b pins the attribute to that operand (or by b's own
+// unsatisfiability, which SelfUnsat flags separately).
+//
+// Losslessness: if Covers(e, b) is provable and b is not SelfUnsat, then
+// every Pin in RequiredPins(e) appears in ProvablePins(b). dag therefore
+// indexes e under one required pin and looks nodes up by b's provable pins.
+// An Or (or non-equality) spine yields no required pins; those filters go
+// into dag's always-scanned loose set.
+func RequiredPins(e boolexpr.Expr) []Pin {
+	var out []Pin
+	var walk func(x boolexpr.Expr)
+	walk = func(x boolexpr.Expr) {
+		switch t := x.(type) {
+		case boolexpr.Leaf:
+			if t.Pred.Op == predicate.Eq {
+				out = append(out, Pin{Attr: t.Pred.Attr, Val: t.Pred.Operand.KeyString()})
+			}
+		case boolexpr.And:
+			for _, c := range t.Xs {
+				walk(c)
+			}
+		}
+	}
+	walk(e)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attr != out[j].Attr {
+			return out[i].Attr < out[j].Attr
+		}
+		return out[i].Val < out[j].Val
+	})
+	return dedupPins(out)
+}
+
+// ProvablePins returns every point constraint the prover can derive from e:
+// each returned Pin (x, v) satisfies implies(e, x = v). Candidate pin
+// values are drawn from e's own leaf operands on the attribute — the only
+// values a satisfiable expression can be pinned to, since a pin proof needs
+// the operand as an interval endpoint or equality point — and each
+// candidate is then verified by the real prover, so the result is exact
+// with respect to it by construction.
+func ProvablePins(e boolexpr.Expr) []Pin {
+	if e == nil {
+		return nil
+	}
+	seen := make(map[Pin]bool)
+	var cands []boolexpr.Leaf
+	for _, p := range boolexpr.Leaves(e) {
+		if p.Op == predicate.Exists {
+			continue // Eval ignores the operand; it pins nothing
+		}
+		pin := Pin{Attr: p.Attr, Val: p.Operand.KeyString()}
+		if seen[pin] {
+			continue
+		}
+		seen[pin] = true
+		cands = append(cands, boolexpr.NewLeaf(predicate.P{Attr: p.Attr, Op: predicate.Eq, Operand: p.Operand}))
+	}
+	var out []Pin
+	for i, leaf := range cands {
+		if implies(e, leaf) {
+			out = append(out, Pin{Attr: cands[i].Pred.Attr, Val: cands[i].Pred.Operand.KeyString()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attr != out[j].Attr {
+			return out[i].Attr < out[j].Attr
+		}
+		return out[i].Val < out[j].Val
+	})
+	return dedupPins(out)
+}
+
+func dedupPins(pins []Pin) []Pin {
+	uniq := pins[:0]
+	for i, p := range pins {
+		if i == 0 || p != pins[i-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	return uniq
+}

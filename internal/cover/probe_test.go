@@ -1,0 +1,157 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+
+	"noncanon/internal/boolexpr"
+	"noncanon/internal/predicate"
+)
+
+func pinOf(attr string, v any) Pin {
+	return Pin{Attr: attr, Val: predicate.New(attr, predicate.Eq, v).Operand.KeyString()}
+}
+
+func TestRequiredPins(t *testing.T) {
+	eq := func(attr string, v any) boolexpr.Expr { return boolexpr.Pred(attr, predicate.Eq, v) }
+	lt := func(attr string, v any) boolexpr.Expr { return boolexpr.Pred(attr, predicate.Lt, v) }
+	cases := []struct {
+		name string
+		e    boolexpr.Expr
+		want []Pin
+	}{
+		{"lone eq leaf", eq("cat", 3), []Pin{pinOf("cat", 3)}},
+		{"and spine", boolexpr.NewAnd(eq("cat", 3), lt("price", 10)), []Pin{pinOf("cat", 3)}},
+		{"nested and flattens", boolexpr.NewAnd(boolexpr.NewAnd(eq("a", 1), eq("b", 2)), lt("c", 3)), nil}, // length checked below
+		{"or spine pins nothing", boolexpr.NewOr(eq("cat", 3), lt("price", 10)), nil},
+		{"not pins nothing", boolexpr.NewNot(eq("cat", 3)), nil},
+		{"non-eq leaf pins nothing", lt("price", 10), nil},
+	}
+	for _, tc := range cases {
+		got := RequiredPins(tc.e)
+		switch tc.name {
+		case "nested and flattens":
+			if len(got) != 2 {
+				t.Errorf("%s: got %v, want 2 pins", tc.name, got)
+			}
+		default:
+			if len(got) != len(tc.want) {
+				t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+				continue
+			}
+			for i := range got {
+				if got[i].Attr != tc.want[i].Attr {
+					t.Errorf("%s: pin %d attr %q, want %q", tc.name, i, got[i].Attr, tc.want[i].Attr)
+				}
+			}
+		}
+	}
+}
+
+func TestProvablePinsDerivedEquality(t *testing.T) {
+	// x>=3 AND x<=3 pins x to 3 without a syntactic equality conjunct.
+	e := boolexpr.NewAnd(
+		boolexpr.Pred("x", predicate.Ge, 3),
+		boolexpr.Pred("x", predicate.Le, 3),
+	)
+	pins := ProvablePins(e)
+	found := false
+	for _, p := range pins {
+		if p.Attr == "x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ProvablePins(%s) = %v; want a pin on x", e, pins)
+	}
+}
+
+func TestSelfUnsatAndTautology(t *testing.T) {
+	unsat := boolexpr.NewAnd(
+		boolexpr.Pred("x", predicate.Lt, 3),
+		boolexpr.Pred("x", predicate.Gt, 5),
+	)
+	if !SelfUnsat(unsat) {
+		t.Errorf("SelfUnsat(%s) = false, want true", unsat)
+	}
+	sat := boolexpr.Pred("x", predicate.Lt, 3)
+	if SelfUnsat(sat) {
+		t.Errorf("SelfUnsat(%s) = true, want false", sat)
+	}
+	if Tautology(sat) {
+		t.Errorf("Tautology(%s) = true, want false", sat)
+	}
+	tauto := boolexpr.NewNot(unsat)
+	if !Tautology(tauto) {
+		t.Errorf("Tautology(%s) = false, want true", tauto)
+	}
+}
+
+// TestProbeSoundnessProperty replays random events against flagged
+// expressions: a SelfUnsat filter must match nothing, a Tautology must
+// match everything (including events with absent attributes).
+func TestProbeSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cfg := boolexpr.RandomConfig{MaxDepth: 4, MaxFanout: 3, AllowNot: true, Domain: 10}
+	unsatSeen, tautoSeen := 0, 0
+	for i := 0; i < 4000; i++ {
+		e := boolexpr.RandomExpr(rng, cfg)
+		su, ta := SelfUnsat(e), Tautology(e)
+		if !su && !ta {
+			continue
+		}
+		for j := 0; j < 40; j++ {
+			ev := randomEvent(rng, 10)
+			if su {
+				unsatSeen++
+				if e.Eval(ev) {
+					t.Fatalf("SelfUnsat(%s) but event %v matches", e, ev)
+				}
+			}
+			if ta {
+				tautoSeen++
+				if !e.Eval(ev) {
+					t.Fatalf("Tautology(%s) but event %v does not match", e, ev)
+				}
+			}
+		}
+	}
+	if unsatSeen == 0 || tautoSeen == 0 {
+		t.Logf("coverage: unsat checks %d, tautology checks %d", unsatSeen, tautoSeen)
+	}
+}
+
+// TestCandidateFilterLossless is the keystone of dag's attribute-indexed
+// candidate filter: whenever the prover can prove Covers(a, b), either b
+// is SelfUnsat (dag then scans every node) or every required pin of a is
+// among b's provable pins (dag then finds a in the pin bucket; when a has
+// no required pins it sits in the always-scanned loose set). A violation
+// here means dag could silently skip a provable coverer.
+func TestCandidateFilterLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cfg := boolexpr.RandomConfig{MaxDepth: 4, MaxFanout: 3, AllowNot: true, Domain: 12}
+	checked := 0
+	for i := 0; i < 6000; i++ {
+		a, b := derivePair(rng, cfg)
+		if !Covers(a, b) || SelfUnsat(b) {
+			continue
+		}
+		req := RequiredPins(a)
+		if len(req) == 0 {
+			continue // loose: always a candidate
+		}
+		checked++
+		prov := make(map[Pin]bool)
+		for _, p := range ProvablePins(b) {
+			prov[p] = true
+		}
+		for _, p := range req {
+			if !prov[p] {
+				t.Fatalf("lossy candidate filter: Covers(%s, %s) but required pin %v not provable from coveree", a, b, p)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("property vacuous: no covering pair with required pins seen")
+	}
+}

@@ -34,6 +34,7 @@ func engines() map[string]matcher.Matcher {
 		"counting-variant": newCnt(counting.Variant),
 		"sharded-1":        shard.New(shard.Options{Shards: 1}),
 		"sharded-4":        shard.New(shard.Options{Shards: 4, Parallel: 2}),
+		"dag-aggregated":   newDAGEngine(),
 	}
 }
 
