@@ -5,8 +5,19 @@ import (
 
 	"noncanon/internal/broker"
 	"noncanon/internal/core"
+	"noncanon/internal/obs"
 	"noncanon/internal/subtree"
 )
+
+// Metrics is a namespaced registry of zero-allocation instruments
+// (counters, gauges, latency histograms). Pass one to NewBroker via
+// WithBrokerMetrics to make the broker record into it; expose it with
+// obs.Serve-style endpoints from your main package, or read it directly
+// with Snapshot. See internal/obs for the instrument semantics.
+type Metrics = obs.Registry
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // Broker is a single-process publish/subscribe broker: subscribers register
 // Boolean subscriptions with handlers or channels and receive matching
@@ -36,6 +47,7 @@ type brokerConfig struct {
 	aggregate    bool
 	aggregateDAG bool
 	engine       core.Options
+	metrics      *obs.Registry
 }
 
 // WithQueueSize sets the per-subscription delivery queue capacity.
@@ -92,6 +104,15 @@ func WithBrokerReorder() BrokerOption {
 	return func(c *brokerConfig) { c.engine.Reorder = true }
 }
 
+// WithBrokerMetrics registers the broker's instruments — publish and
+// delivery counters, match/publish latency histograms, engine-size
+// gauges — in m, turning on the latency clock. Without this option the
+// broker still counts (Stats works) but pays no timing overhead and
+// exposes nothing. The increment path allocates nothing either way.
+func WithBrokerMetrics(m *Metrics) BrokerOption {
+	return func(c *brokerConfig) { c.metrics = m }
+}
+
 // NewBroker builds a broker backed by the non-canonical matching engine.
 func NewBroker(opts ...BrokerOption) *Broker {
 	var cfg brokerConfig
@@ -104,6 +125,7 @@ func NewBroker(opts ...BrokerOption) *Broker {
 		Aggregate:    cfg.aggregate,
 		AggregateDAG: cfg.aggregateDAG,
 		Engine:       cfg.engine,
+		Metrics:      cfg.metrics,
 	})}
 }
 

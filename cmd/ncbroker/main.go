@@ -21,6 +21,12 @@
 //	ncbroker -addr :7070 -shards 8
 //	ncbroker -addr :7070 -aggregate
 //	ncbroker -addr :7070 -aggregate-dag
+//	ncbroker -addr :7070 -metrics-addr 127.0.0.1:9090
+//
+// With -metrics-addr, an operational endpoint serves Prometheus text on
+// /metrics, JSON on /vars and pprof on /debug/pprof/ (see internal/obs).
+// Turning it on also starts the broker's latency clock, so the match and
+// publish latency histograms fill.
 package main
 
 import (
@@ -35,12 +41,14 @@ import (
 
 	"noncanon/internal/broker"
 	"noncanon/internal/netbroker"
+	"noncanon/internal/obs"
 )
 
 // config is the parsed command line.
 type config struct {
-	addr string
-	opts netbroker.ServerOptions
+	addr        string
+	metricsAddr string
+	opts        netbroker.ServerOptions
 }
 
 // parseArgs parses flags into a server configuration; usage and errors go
@@ -57,6 +65,7 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 		compact   = fs.Bool("compact", false, "use the compact subscription-tree encoding")
 		reorder   = fs.Bool("reorder", false, "reorder subscription-tree children cheapest-first")
 		retry     = fs.Duration("retry-after", 0, "reply Busy with this retry hint instead of accepting publishes while most subscription queues are backed up (0 disables)")
+		metrics   = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (also enables latency histograms)")
 		quiet     = fs.Bool("quiet", false, "suppress connection diagnostics")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,7 +82,8 @@ func parseArgs(args []string, errOut io.Writer) (config, error) {
 	}
 
 	cfg := config{
-		addr: *addr,
+		addr:        *addr,
+		metricsAddr: *metrics,
 		opts: netbroker.ServerOptions{
 			RetryAfter: *retry,
 			Broker: broker.Options{
@@ -98,6 +108,17 @@ func main() {
 	}
 	if err != nil {
 		os.Exit(2)
+	}
+	if cfg.metricsAddr != "" {
+		reg := obs.NewRegistry()
+		cfg.opts.Broker.Metrics = reg
+		ln, err := obs.Serve(cfg.metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ncbroker: metrics:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		log.Printf("ncbroker: metrics on http://%s/metrics", ln.Addr())
 	}
 	srv := netbroker.NewServer(cfg.opts)
 

@@ -26,6 +26,13 @@
 //	ncoverlay -nodes 15 -topology tree -subs 200 -events 1000 -cover
 //	ncoverlay -listen :7001 -id 1 -hold 30s
 //	ncoverlay -id 2 -peer host:7001 -subs 100 -events 500 -cover
+//
+// With -metrics-addr, an operational endpoint serves Prometheus text on
+// /metrics, JSON on /vars, recent hop traces on /traces and pprof on
+// /debug/pprof/ (see internal/obs). In federation mode, -trace-every N
+// stamps every Nth locally published event with a trace ID and origin
+// timestamp that ride the wire: each broker the event crosses records the
+// hop into its hop-latency histogram and trace ring.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 
 	"noncanon/internal/event"
 	"noncanon/internal/netoverlay"
+	"noncanon/internal/obs"
 	"noncanon/internal/overlay"
 	"noncanon/internal/workload"
 )
@@ -66,6 +74,9 @@ func main() {
 		evict     = flag.Duration("evict-after", 0, "federation mode: evict a peer congested this long, retracting its routes (0 = default, <0 disables)")
 		ping      = flag.Duration("ping", 0, "federation mode: keep-alive ping interval (0 = default, <0 disables)")
 		readIdle  = flag.Duration("read-idle", 0, "federation mode: detach a peer silent this long (0 = default, <0 disables)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /vars, /traces and /debug/pprof on this address")
+		traceEvery  = flag.Int("trace-every", 0, "federation mode: stamp every Nth local event with a cross-hop trace (0 disables)")
 	)
 	flag.Parse()
 	var err error
@@ -85,12 +96,15 @@ func main() {
 			EvictAfter:    *evict,
 			Ping:          *ping,
 			ReadIdle:      *readIdle,
+			MetricsAddr:   *metricsAddr,
+			TraceEvery:    *traceEvery,
 		})
 	} else {
 		err = run(simConfig{
 			Nodes: *nodes, Topology: *topology, Fanout: *fanout,
 			Subs: *subs, Events: *events, Seed: *seed, Cover: *coverOn,
 			LinkHighWater: *highWater, LinkLowWater: *lowWater,
+			MetricsAddr: *metricsAddr,
 		})
 	}
 	if err != nil {
@@ -130,6 +144,11 @@ type fedConfig struct {
 	EvictAfter    time.Duration
 	Ping          time.Duration
 	ReadIdle      time.Duration
+
+	// MetricsAddr serves the operational endpoint; TraceEvery samples
+	// every Nth local event for cross-hop tracing (0 disables each).
+	MetricsAddr string
+	TraceEvery  int
 }
 
 // dialRetry covers peers started in any order: a parent that is still
@@ -146,6 +165,7 @@ func runFederated(w io.Writer, cfg fedConfig) error {
 	b := netoverlay.NewBroker(netoverlay.Options{
 		NodeID:             cfg.ID,
 		Cover:              cfg.Cover,
+		TraceSampleEvery:   cfg.TraceEvery,
 		LinkHighWater:      cfg.LinkHighWater,
 		LinkLowWater:       cfg.LinkLowWater,
 		CongestionDeadline: cfg.EvictAfter,
@@ -156,6 +176,15 @@ func runFederated(w io.Writer, cfg fedConfig) error {
 		},
 	})
 	defer b.Close()
+	if cfg.MetricsAddr != "" {
+		ep := obs.Endpoint{Registry: b.Metrics(), Ring: b.Traces()}
+		ln, err := ep.Serve(cfg.MetricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(w, "broker %d metrics on http://%s/metrics\n", cfg.ID, ln.Addr())
+	}
 	if cfg.Listen != "" {
 		addr, err := b.Listen(cfg.Listen)
 		if err != nil {
@@ -249,6 +278,7 @@ type simConfig struct {
 
 	LinkHighWater int
 	LinkLowWater  int
+	MetricsAddr   string
 }
 
 func run(sc simConfig) error {
@@ -260,6 +290,15 @@ func run(sc simConfig) error {
 		Cover:         sc.Cover,
 		LinkHighWater: sc.LinkHighWater,
 		LinkLowWater:  sc.LinkLowWater,
+	}
+	if sc.MetricsAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		ln, err := obs.Serve(sc.MetricsAddr, cfg.Metrics)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		defer ln.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 	}
 	switch sc.Topology {
 	case "line":

@@ -14,6 +14,7 @@ package arch
 //	model      event, predicate
 //	expr       boolexpr, subtree, matcher, cover, sublang, workload
 //	engine     core, counting, index, shard
+//	infra      obs (metrics/tracing; importable by service and above)
 //	service    broker, router, overlay
 //	transport  wire, netbroker, netoverlay
 //	facade     . (package noncanon)
@@ -28,6 +29,13 @@ package arch
 // routing state machine: it may not import net, internal/wire or
 // internal/netoverlay, so the same router keeps serving the in-process
 // simulation and the TCP federation.
+//
+// Exposition rule: only cmd/* and internal/obs may import net/http. The
+// service and transport layers record into obs instruments; whether those
+// numbers are served over HTTP is a deployment decision made in main, so
+// an HTTP server can never become a hidden dependency of the data path
+// (enforced below via ForbidStd "net/http" on every package that
+// legitimately imports net, and the broader "net" ban everywhere else).
 
 // PackageRule pins one package's outgoing edges.
 type PackageRule struct {
@@ -103,45 +111,52 @@ var DefaultPolicy = Policy{Packages: map[string]PackageRule{
 	"internal/shard": {Layer: "engine", ForbidStd: pureStd,
 		Allow: []string{"internal/boolexpr", "internal/core", "internal/event", "internal/index", "internal/matcher", "internal/predicate"}},
 
+	// --- infra ---
+	// The observability subsystem is the one non-command package allowed
+	// net/http (it IS the exposition endpoint); it depends on nothing in
+	// the module so any layer above engine may record into it. Engine and
+	// below stay obs-free: the broker observes around the engine.
+	"internal/obs": {Layer: "infra"},
+
 	// --- service ---
-	"internal/broker": {Layer: "service",
-		Allow: []string{"internal/boolexpr", "internal/core", "internal/cover", "internal/cover/dag", "internal/event", "internal/index", "internal/matcher", "internal/predicate", "internal/shard", "internal/subtree"}},
+	"internal/broker": {Layer: "service", ForbidStd: []string{"net"},
+		Allow: []string{"internal/boolexpr", "internal/core", "internal/cover", "internal/cover/dag", "internal/event", "internal/index", "internal/matcher", "internal/obs", "internal/predicate", "internal/shard", "internal/subtree"}},
 	"internal/router": {Layer: "service", ForbidStd: []string{"net"},
-		Allow: []string{"internal/boolexpr", "internal/core", "internal/cover", "internal/event", "internal/matcher"},
+		Allow: []string{"internal/boolexpr", "internal/core", "internal/cover", "internal/event", "internal/matcher", "internal/obs"},
 		Deny: map[string]string{
 			"internal/wire":       "router is transport-agnostic; frame encoding belongs to the transports",
 			"internal/netoverlay": "router is transport-agnostic; it must keep serving the in-process overlay too",
 		}},
-	"internal/overlay": {Layer: "service",
-		Allow: []string{"internal/boolexpr", "internal/core", "internal/event", "internal/index", "internal/predicate", "internal/router", "internal/subtree"}},
+	"internal/overlay": {Layer: "service", ForbidStd: []string{"net"},
+		Allow: []string{"internal/boolexpr", "internal/core", "internal/event", "internal/index", "internal/obs", "internal/predicate", "internal/router", "internal/subtree"}},
 
-	// --- transport ---
-	"internal/wire": {Layer: "transport", WireInAPI: true,
+	// --- transport (may dial/listen, but exposition stays in cmd/*) ---
+	"internal/wire": {Layer: "transport", WireInAPI: true, ForbidStd: []string{"net/http"},
 		Allow: []string{"internal/event", "internal/value"}},
-	"internal/netbroker": {Layer: "transport", WireInAPI: true,
+	"internal/netbroker": {Layer: "transport", WireInAPI: true, ForbidStd: []string{"net/http"},
 		Allow: []string{"internal/broker", "internal/event", "internal/sublang", "internal/wire"}},
-	"internal/netoverlay": {Layer: "transport", WireInAPI: true,
-		Allow: []string{"internal/boolexpr", "internal/core", "internal/event", "internal/index", "internal/predicate", "internal/router", "internal/sublang", "internal/subtree", "internal/wire"}},
+	"internal/netoverlay": {Layer: "transport", WireInAPI: true, ForbidStd: []string{"net/http"},
+		Allow: []string{"internal/boolexpr", "internal/core", "internal/event", "internal/index", "internal/obs", "internal/predicate", "internal/router", "internal/sublang", "internal/subtree", "internal/wire"}},
 
 	// --- facade ---
-	".": {Layer: "facade",
-		Allow: []string{"internal/boolexpr", "internal/broker", "internal/core", "internal/counting", "internal/event", "internal/index", "internal/matcher", "internal/predicate", "internal/sublang", "internal/subtree"}},
+	".": {Layer: "facade", ForbidStd: []string{"net"},
+		Allow: []string{"internal/boolexpr", "internal/broker", "internal/core", "internal/counting", "internal/event", "internal/index", "internal/matcher", "internal/obs", "internal/predicate", "internal/sublang", "internal/subtree"}},
 
 	// --- app: commands reach internals only through their declared
 	// service entry points (or the facade); engine guts are off limits ---
 	"internal/bench": {Layer: "app",
-		Allow: []string{"internal/boolexpr", "internal/broker", "internal/chaos", "internal/core", "internal/counting", "internal/event", "internal/index", "internal/matcher", "internal/memmodel", "internal/netbroker", "internal/netoverlay", "internal/overlay", "internal/predicate", "internal/shard", "internal/subtree", "internal/workload"}},
+		Allow: []string{"internal/boolexpr", "internal/broker", "internal/chaos", "internal/core", "internal/counting", "internal/event", "internal/index", "internal/matcher", "internal/memmodel", "internal/netbroker", "internal/netoverlay", "internal/obs", "internal/overlay", "internal/predicate", "internal/shard", "internal/subtree", "internal/workload"}},
 	// Fault-injection plumbing (stallable TCP relay + delivery oracle) for
 	// chaos experiments and transport tests; pure stdlib, no module deps.
 	"internal/chaos": {Layer: "app"},
 	"cmd/ncbroker": {Layer: "app",
-		Allow: []string{"internal/broker", "internal/netbroker"},
+		Allow: []string{"internal/broker", "internal/netbroker", "internal/obs"},
 		Deny: map[string]string{
 			"internal/core":    "commands configure engines through broker.EngineConfig, not core.Options",
 			"internal/subtree": "encoding selection is broker configuration, not command business",
 		}},
 	"cmd/ncoverlay": {Layer: "app",
-		Allow: []string{"internal/event", "internal/netoverlay", "internal/overlay", "internal/workload"}},
+		Allow: []string{"internal/event", "internal/netoverlay", "internal/obs", "internal/overlay", "internal/workload"}},
 	"cmd/ncpub": {Layer: "app",
 		Allow: []string{"internal/event", "internal/netbroker"}},
 	"cmd/ncsub": {Layer: "app",

@@ -103,6 +103,7 @@ func Experiments() []Experiment {
 		Experiment{ID: "million", Title: "M1 (million): engine entries track the covering frontier — DAG vs flat aggregation to 1M subscribers", Run: RunMillion},
 		Experiment{ID: "federate", Title: "F1: federated broker tree over loopback TCP — events/s and flood msgs vs node count (± cover)", Run: RunFederate},
 		Experiment{ID: "chaos", Title: "FC1: chaos federation — bounded spill queues, shedding and slow-peer eviction under a stalled link", Run: RunChaos},
+		Experiment{ID: "obs", Title: "O1: metrics overhead on the broker publish path (base vs instrumented, latency quantiles)", Run: RunObs},
 	)
 	return exps
 }

@@ -13,6 +13,7 @@ import (
 
 	"noncanon/internal/boolexpr"
 	"noncanon/internal/event"
+	"noncanon/internal/obs"
 	"noncanon/internal/predicate"
 )
 
@@ -20,8 +21,13 @@ import (
 // matching the returned event) that has already published once, so every
 // pool and growth table is warm.
 func warmedBroker(tb testing.TB, nsubs int) (*Broker, event.Event) {
+	return warmedBrokerOpts(tb, Options{QueueSize: 4 * nsubs}, nsubs)
+}
+
+func warmedBrokerOpts(tb testing.TB, opts Options, nsubs int) (*Broker, event.Event) {
 	tb.Helper()
-	b := New(Options{QueueSize: 4 * nsubs})
+	opts.QueueSize = 4 * nsubs
+	b := New(opts)
 	for i := 0; i < nsubs; i++ {
 		expr := boolexpr.NewAnd(
 			boolexpr.Pred("sym", predicate.Eq, fmt.Sprintf("S%d", i%4)),
@@ -81,5 +87,45 @@ func TestPublishBatchAllocBudget(t *testing.T) {
 	})
 	if avg > budget {
 		t.Errorf("PublishBatch(%d) allocates %.1f per run, budget %d", batch, avg, budget)
+	}
+}
+
+// TestPublishInstrumentedAllocBudget: turning on an exported metrics
+// registry — counters, latency histograms, the trace-ready clock — must
+// not add a single allocation to Publish. The obs increment path is
+// atomic adds and time.Now, all allocation-free; this pins that metrics
+// can never quietly reintroduce hot-path garbage.
+func TestPublishInstrumentedAllocBudget(t *testing.T) {
+	b, ev := warmedBrokerOpts(t, Options{Metrics: obs.NewRegistry()}, 100)
+	const budget = 2 // identical to the un-instrumented budget
+	avg := testing.AllocsPerRun(200, func() {
+		n, err := b.Publish(ev)
+		if err != nil || n == 0 {
+			t.Fatalf("publish: n=%d err=%v", n, err)
+		}
+	})
+	if avg > budget {
+		t.Errorf("instrumented Publish allocates %.1f per run, budget %d", avg, budget)
+	}
+}
+
+// TestPublishBatchInstrumentedAllocBudget mirrors the batch budget with
+// metrics on: still B+3.
+func TestPublishBatchInstrumentedAllocBudget(t *testing.T) {
+	b, ev := warmedBrokerOpts(t, Options{Metrics: obs.NewRegistry()}, 100)
+	const batch = 16
+	evs := make([]event.Event, batch)
+	for i := range evs {
+		evs[i] = ev
+	}
+	const budget = batch + 3
+	avg := testing.AllocsPerRun(100, func() {
+		counts, err := b.PublishBatch(evs)
+		if err != nil || len(counts) != batch {
+			t.Fatalf("publish batch: counts=%d err=%v", len(counts), err)
+		}
+	})
+	if avg > budget {
+		t.Errorf("instrumented PublishBatch(%d) allocates %.1f per run, budget %d", batch, avg, budget)
 	}
 }

@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"noncanon/internal/boolexpr"
 	"noncanon/internal/core"
@@ -59,6 +60,7 @@ import (
 	"noncanon/internal/event"
 	"noncanon/internal/index"
 	"noncanon/internal/matcher"
+	"noncanon/internal/obs"
 	"noncanon/internal/predicate"
 	"noncanon/internal/shard"
 	"noncanon/internal/subtree"
@@ -115,6 +117,12 @@ type Options struct {
 	AggregateDAG bool
 	// Engine configures the underlying non-canonical engine(s).
 	Engine core.Options
+	// Metrics, when set, is the obs registry the broker's instruments live
+	// in (counters, live gauges, and the match/publish latency
+	// histograms). Nil keeps a private registry: Stats still works, the
+	// counters cost exactly what they always did (one atomic add), and the
+	// latency clock — two time.Now calls per publish — stays off.
+	Metrics *obs.Registry
 }
 
 // engine is the subset of matcher.Matcher the broker drives; both
@@ -142,18 +150,38 @@ type Broker struct {
 	covered int
 	closed  bool
 
-	wg         sync.WaitGroup
-	published  atomic.Uint64
-	batches    atomic.Uint64
-	delivered  atomic.Uint64
-	dropped    atomic.Uint64
-	aggregated atomic.Uint64 // subscribes deduped onto an existing filter
+	wg sync.WaitGroup
+
+	// Activity instruments (internal/obs handles; a private registry when
+	// Options.Metrics is nil, so incrementing costs one atomic either way).
+	published  *obs.Counter
+	batches    *obs.Counter
+	delivered  *obs.Counter
+	dropped    *obs.Counter
+	aggregated *obs.Counter // subscribes deduped onto an existing filter
 
 	// congestedSubs gauges how many live subscriptions are currently
 	// congested (dropped an event and have not yet drained); Congested
 	// derives the broker-wide backpressure signal from it.
-	congestedSubs atomic.Int64
+	congestedSubs *obs.Gauge
+
+	// timed gates the latency clock: true only with an exported registry
+	// (Options.Metrics set), so the un-instrumented publish path pays no
+	// time.Now calls. Even then only every latencySampleEvery-th Publish
+	// is clocked (latencyTick selects it): three clock reads cost more
+	// than the whole instrument budget on a small store, and systematic
+	// 1-in-8 sampling preserves the quantiles while amortising the clock
+	// to nothing. Batch calls are always clocked — the batch already
+	// amortises the reads.
+	timed          bool
+	latencyTick    atomic.Uint64
+	matchLatency   *obs.Histogram
+	publishLatency *obs.Histogram
 }
+
+// latencySampleEvery is the Publish latency-clock sampling interval; it
+// must be a power of two (the hot path masks, not divides).
+const latencySampleEvery = 8
 
 // filterGroup is the fan-out set of every subscriber that registered the
 // (canonically) same filter. Without aggregation each group has exactly
@@ -248,6 +276,34 @@ func New(opts Options) *Broker {
 	} else if opts.Aggregate {
 		b.byKey = make(map[string]*filterGroup, 64)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	// Causes before effects (obs snapshots read newest-registered first):
+	// published precedes delivered/dropped, so a registry snapshot cannot
+	// show a delivery whose publication it missed.
+	b.published = reg.Counter("broker_published_total")
+	b.batches = reg.Counter("broker_batches_total")
+	b.aggregated = reg.Counter("broker_aggregated_total")
+	b.delivered = reg.Counter("broker_delivered_total")
+	b.dropped = reg.Counter("broker_dropped_total")
+	b.congestedSubs = reg.Gauge("broker_congested_subscriptions")
+	b.matchLatency = reg.Histogram("broker_match_latency_seconds")
+	b.publishLatency = reg.Histogram("broker_publish_latency_seconds")
+	b.timed = opts.Metrics != nil
+	if b.timed {
+		// Live structure gauges, computed at scrape time under the broker
+		// lock (scrapes are cold-path; Registry.Snapshot runs callbacks
+		// with no registry lock held).
+		reg.GaugeFunc("broker_subscriptions", func() int64 {
+			return int64(b.NumSubscriptions())
+		})
+		reg.GaugeFunc("broker_engine_entries", func() int64 {
+			st := b.Stats()
+			return int64(st.FrontierFilters)
+		})
+	}
 	return b
 }
 
@@ -266,7 +322,7 @@ func (b *Broker) Subscribe(expr boolexpr.Expr, h Handler) (*Subscription, error)
 		defer b.wg.Done()
 		for ev := range s.queue {
 			h(ev)
-			b.delivered.Add(1)
+			b.delivered.Inc()
 			s.maybeClearCongested()
 		}
 	}()
@@ -288,7 +344,7 @@ func (b *Broker) SubscribeChan(expr boolexpr.Expr) (*Subscription, <-chan event.
 		defer close(out)
 		for ev := range s.queue {
 			out <- ev
-			b.delivered.Add(1)
+			b.delivered.Inc()
 			s.maybeClearCongested()
 		}
 	}()
@@ -325,7 +381,7 @@ func (b *Broker) subscribe(expr boolexpr.Expr, out chan event.Event) (*Subscript
 				}
 			}
 		} else {
-			b.aggregated.Add(1)
+			b.aggregated.Inc()
 		}
 	}
 	if err != nil {
@@ -372,7 +428,7 @@ func (b *Broker) subscribeDAG(key string, expr boolexpr.Expr) (*filterGroup, err
 		b.groups[id] = g
 	}
 	if !res.New {
-		b.aggregated.Add(1)
+		b.aggregated.Inc()
 	}
 	for _, f := range res.Demoted {
 		fg := f.Data.(*filterGroup)
@@ -480,15 +536,24 @@ func (b *Broker) unsubscribeDAG(g *filterGroup) error {
 //
 //nclint:hotpath
 func (b *Broker) Publish(ev event.Event) (int, error) {
+	var start time.Time
+	timed := b.timed && b.latencyTick.Add(1)&(latencySampleEvery-1) == 0
+	if timed {
+		start = time.Now()
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	if b.closed {
 		return 0, ErrClosed
 	}
-	b.published.Add(1)
+	b.published.Inc()
 	n := 0
 	var visited map[*dag.Node]bool
-	for _, id := range b.eng.Match(ev) {
+	matched := b.eng.Match(ev)
+	if timed {
+		b.matchLatency.Observe(time.Since(start))
+	}
+	for _, id := range matched {
 		g, ok := b.groups[id]
 		if !ok {
 			continue
@@ -499,7 +564,7 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 				n++
 			default:
 				s.dropped.Add(1)
-				b.dropped.Add(1)
+				b.dropped.Inc()
 				s.markCongested()
 			}
 		}
@@ -508,6 +573,9 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 			dn, visited = b.enqueueCovered(g.node, ev, visited)
 			n += dn
 		}
+	}
+	if timed {
+		b.publishLatency.Observe(time.Since(start))
 	}
 	return n, nil
 }
@@ -548,7 +616,7 @@ func (b *Broker) enqueueCovered(root *dag.Node, ev event.Event, visited map[*dag
 				n++
 			default:
 				s.dropped.Add(1)
-				b.dropped.Add(1)
+				b.dropped.Inc()
 				s.markCongested()
 			}
 		}
@@ -580,9 +648,17 @@ func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 	if len(evs) == 0 {
 		return counts, nil
 	}
+	var start time.Time
+	if b.timed {
+		start = time.Now()
+	}
 	b.published.Add(uint64(len(evs)))
-	b.batches.Add(1)
-	for i, ids := range b.eng.MatchBatch(evs) {
+	b.batches.Inc()
+	matches := b.eng.MatchBatch(evs)
+	if b.timed {
+		b.matchLatency.Observe(time.Since(start))
+	}
+	for i, ids := range matches {
 		var visited map[*dag.Node]bool // per event, shared across its roots
 		for _, id := range ids {
 			g, ok := b.groups[id]
@@ -595,7 +671,7 @@ func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 					counts[i]++
 				default:
 					s.dropped.Add(1)
-					b.dropped.Add(1)
+					b.dropped.Inc()
 					s.markCongested()
 				}
 			}
@@ -605,6 +681,12 @@ func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 				counts[i] += dn
 			}
 		}
+	}
+	if b.timed {
+		// One observation per batch call: batch latency is the quantity a
+		// batch-tuning operator wants, and per-event division is done better
+		// by the reader than by the hot path.
+		b.publishLatency.Observe(time.Since(start))
 	}
 	return counts, nil
 }
@@ -616,7 +698,7 @@ func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 // broker is oversubscribed and publishers should back off — frontends
 // (netbroker) translate this into a busy/retry-after reply.
 func (b *Broker) Congested() bool {
-	c := b.congestedSubs.Load()
+	c := b.congestedSubs.Value()
 	if c == 0 {
 		return false
 	}
@@ -678,18 +760,22 @@ func (b *Broker) Stats() Stats {
 		distinct = b.dag.Len()
 	}
 	b.mu.RUnlock()
-	return Stats{
-		Subscriptions:         subs,
-		DistinctFilters:       distinct,
-		FrontierFilters:       frontier,
-		CoveredSubscribers:    covered,
-		AggregatedSubscribers: b.aggregated.Load(),
-		Published:             b.published.Load(),
-		Batches:               b.batches.Load(),
-		Delivered:             b.delivered.Load(),
-		Dropped:               b.dropped.Load(),
-		CongestedSubscribers:  int(b.congestedSubs.Load()),
+	// Effects before causes: delivered/dropped are read before published,
+	// so a snapshot taken mid-storm never shows deliveries outrunning the
+	// publications that produced them.
+	st := Stats{
+		Subscriptions:        subs,
+		DistinctFilters:      distinct,
+		FrontierFilters:      frontier,
+		CoveredSubscribers:   covered,
+		CongestedSubscribers: int(b.congestedSubs.Value()),
 	}
+	st.Delivered = b.delivered.Value()
+	st.Dropped = b.dropped.Value()
+	st.AggregatedSubscribers = b.aggregated.Value()
+	st.Batches = b.batches.Value()
+	st.Published = b.published.Value()
+	return st
 }
 
 // Close stops intake, cancels all subscriptions and waits for delivery

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,7 @@ import (
 	"noncanon/internal/core"
 	"noncanon/internal/event"
 	"noncanon/internal/index"
+	"noncanon/internal/obs"
 	"noncanon/internal/predicate"
 	"noncanon/internal/router"
 	"noncanon/internal/sublang"
@@ -65,6 +67,10 @@ var ErrServerClosed = errors.New("netoverlay: server closed")
 // DefaultInboxSize is the broker inbox capacity. As in internal/overlay,
 // forwarding progress never depends on it.
 const DefaultInboxSize = 1024
+
+// traceRingSize is the capacity of the ring of recent hop records kept
+// for sampled traced events (see Options.TraceSampleEvery and Traces).
+const traceRingSize = 256
 
 // writeTimeout bounds one frame write toward a peer; a peer stalled longer
 // is detached (its learned routes are retracted network-wide).
@@ -101,6 +107,19 @@ type Options struct {
 	Cover bool
 	// Engine configures the local matching engine.
 	Engine core.Options
+	// Metrics is the registry this broker's instruments register in; nil
+	// means a private registry (same atomic cost, reachable via Metrics()).
+	// Give each broker its own registry: per-broker function instruments
+	// (queue gauges, shed totals) are replaced, not summed, on collision.
+	Metrics *obs.Registry
+	// TraceSampleEvery turns on event tracing: every Nth local Publish is
+	// stamped with a trace ID and origin timestamp that travel with the
+	// event across every federation hop. Each receiving broker records the
+	// hop into its netoverlay_hop_latency_seconds histogram and its trace
+	// ring (see Traces). Zero disables tracing; untraced frames are
+	// byte-identical to the pre-trace wire format, so traced and untraced
+	// brokers interoperate freely.
+	TraceSampleEvery int
 	// InboxSize is the broker inbox capacity (default DefaultInboxSize).
 	InboxSize int
 	// LinkHighWater is the per-peer spill-queue congestion threshold in
@@ -195,12 +214,21 @@ type Broker struct {
 	detachedShed    uint64
 	detachedSpilled uint64
 
-	nextSub       atomic.Uint64
-	localSubs     sync.Map // sub id → struct{}, for Unsubscribe validation
-	published     atomic.Uint64
-	installErrors atomic.Uint64
-	evicted       atomic.Uint64
-	activity      atomic.Uint64
+	nextSub   atomic.Uint64
+	localSubs sync.Map // sub id → struct{}, for Unsubscribe validation
+	activity  atomic.Uint64
+	traceSeq  atomic.Uint64
+
+	// Observability: every counter below lives in reg (Options.Metrics or
+	// a private registry), so Stats and the exposition endpoint read the
+	// same instruments the hot path increments.
+	reg           *obs.Registry
+	ring          *obs.TraceRing
+	nodeName      string // NodeID in decimal, precomputed for trace records
+	published     *obs.Counter
+	installErrors *obs.Counter
+	evicted       *obs.Counter
+	hopLatency    *obs.Histogram
 }
 
 // inMsg is one broker-inbox entry: either a routing message tagged with the
@@ -240,11 +268,62 @@ func NewBroker(opts Options) *Broker {
 		peers:   make(map[uint32]*peer),
 		pending: make(map[net.Conn]struct{}),
 	}
+	b.reg = opts.Metrics
+	if b.reg == nil {
+		b.reg = obs.NewRegistry()
+	}
+	b.ring = obs.NewTraceRing(traceRingSize)
+	b.nodeName = strconv.FormatUint(uint64(opts.NodeID), 10)
+	// Causes register before effects: Snapshot reads instruments in
+	// reverse registration order, so with published registered before the
+	// router's forwarded/delivered counters a mid-storm snapshot can never
+	// show more forwards than publishes.
+	b.published = b.reg.Counter("netoverlay_published_total")
+	b.installErrors = b.reg.Counter("netoverlay_install_errors_total")
 	b.eng = core.New(predicate.NewRegistry(), index.New(), opts.Engine)
 	b.rt = router.New(router.Config{
 		Cover:     opts.Cover,
 		Engine:    b.eng,
 		Transport: (*brokerTransport)(b),
+		Metrics:   b.reg,
+	})
+	b.evicted = b.reg.Counter("netoverlay_evicted_total")
+	b.hopLatency = b.reg.Histogram("netoverlay_hop_latency_seconds")
+	// Queue aggregates are function instruments over the live peer set
+	// plus the totals folded in when peers detached. They take b.mu, which
+	// is safe: Snapshot runs callbacks with no registry lock held, and
+	// Stats does not hold b.mu while snapshotting.
+	b.reg.CounterFunc("netoverlay_shed_total", func() uint64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		s := b.detachedShed
+		for _, p := range b.peers {
+			s += p.out.Stats().Shed
+		}
+		return s
+	})
+	b.reg.CounterFunc("netoverlay_spilled_bytes_total", func() uint64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		s := b.detachedSpilled
+		for _, p := range b.peers {
+			s += p.out.Stats().SpilledBytes
+		}
+		return s
+	})
+	b.reg.GaugeFunc("netoverlay_queue_bytes", func() int64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		var s int64
+		for _, p := range b.peers {
+			s += int64(p.out.Stats().Bytes)
+		}
+		return s
+	})
+	b.reg.GaugeFunc("netoverlay_peers", func() int64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return int64(len(b.peers))
 	})
 	b.wg.Add(1)
 	go b.run()
@@ -289,8 +368,11 @@ func (b *Broker) monitor() {
 				p.detach(fmt.Errorf("netoverlay: peer %d congested past %v, evicting (queue %+v)",
 					p.nodeID, deadline, p.out.Stats()))
 				// Counted after detach so an observed eviction implies the
-				// peer is already out of the peer table.
-				b.evicted.Add(1)
+				// peer is already out of the peer table. The per-peer
+				// counter survives the detach (it is history, not a view),
+				// and continues counting if the same peer relinks.
+				b.evicted.Inc()
+				b.reg.Counter(peerInstrument("netoverlay_peer_evicted_total", p.nodeID)).Inc()
 			}
 		case <-b.quit:
 			return
@@ -482,47 +564,75 @@ func (b *Broker) Unsubscribe(ref SubRef) error {
 	return nil
 }
 
-// Publish injects an event at this broker.
+// Publish injects an event at this broker. With Options.TraceSampleEvery
+// set, every Nth event is stamped with a trace that rides the wire across
+// every hop it takes through the federation.
 func (b *Broker) Publish(ev event.Event) error {
 	if b.closed.Load() {
 		return ErrClosed
 	}
-	b.published.Add(1)
-	if !b.enqueue(inMsg{m: router.Msg{Kind: router.Event, Ev: ev}, from: -1}) {
+	b.published.Inc()
+	m := router.Msg{Kind: router.Event, Ev: ev}
+	if n := b.opts.TraceSampleEvery; n > 0 {
+		if seq := b.traceSeq.Add(1); seq%uint64(n) == 0 {
+			id := uint64(b.opts.NodeID)<<32 | (seq & 0xffffffff)
+			if id == 0 { // zero means "untraced" on the wire; never emit it
+				id = 1 << 63
+			}
+			m.Trace = router.Trace{ID: id, OriginNanos: time.Now().UnixNano()}
+		}
+	}
+	if !b.enqueue(inMsg{m: m, from: -1}) {
 		return ErrClosed
 	}
 	return nil
 }
 
-// Stats returns an activity snapshot.
+// Stats returns an activity snapshot. It is one coherent registry read:
+// every field comes from the same obs.Registry.Snapshot, whose
+// effects-before-causes read order keeps Forwarded ≤ Published and
+// Delivered ≤ Published even while publishes are in flight.
 func (b *Broker) Stats() Stats {
-	c := b.rt.Counts()
-	b.mu.Lock()
-	peers := len(b.peers)
-	shed, spilled := b.detachedShed, b.detachedSpilled
-	var queued uint64
-	for _, p := range b.peers {
-		qs := p.out.Stats()
-		shed += qs.Shed
-		spilled += qs.SpilledBytes
-		queued += uint64(qs.Bytes)
+	var st Stats
+	for _, s := range b.reg.Snapshot() {
+		switch s.Name {
+		case "netoverlay_published_total":
+			st.Published = s.Value
+		case "netoverlay_install_errors_total":
+			st.InstallErrors = s.Value
+		case "netoverlay_evicted_total":
+			st.Evicted = s.Value
+		case "netoverlay_shed_total":
+			st.Shed = s.Value
+		case "netoverlay_spilled_bytes_total":
+			st.SpilledBytes = s.Value
+		case "netoverlay_queue_bytes":
+			st.QueuedBytes = uint64(s.GaugeValue)
+		case "netoverlay_peers":
+			st.Peers = int(s.GaugeValue)
+		case "router_forwarded_total":
+			st.Forwarded = s.Value
+		case "router_delivered_total":
+			st.Delivered = s.Value
+		case "router_sub_msgs_total":
+			st.SubscriptionMsgs = s.Value
+		case "router_cover_suppressed_total":
+			st.CoverSuppressed = s.Value
+		case "router_hop_dropped_total":
+			st.HopDropped = s.Value
+		}
 	}
-	b.mu.Unlock()
-	return Stats{
-		Published:        b.published.Load(),
-		Forwarded:        c.Forwarded,
-		Delivered:        c.Delivered,
-		SubscriptionMsgs: c.SubMsgs,
-		CoverSuppressed:  c.CoverSuppressed,
-		HopDropped:       c.HopDropped,
-		InstallErrors:    b.installErrors.Load(),
-		Shed:             shed,
-		SpilledBytes:     spilled,
-		QueuedBytes:      queued,
-		Evicted:          b.evicted.Load(),
-		Peers:            peers,
-	}
+	return st
 }
+
+// Metrics returns the registry this broker's instruments live in — the
+// one from Options.Metrics, or the private default. Hand it to obs.Serve
+// (or obs.Endpoint with Traces) to expose this broker operationally.
+func (b *Broker) Metrics() *obs.Registry { return b.reg }
+
+// Traces returns the ring of recent per-hop records for sampled traced
+// events received by this broker (see Options.TraceSampleEvery).
+func (b *Broker) Traces() *obs.TraceRing { return b.ring }
 
 // Activity returns a monotone counter of broker work (messages processed,
 // frames written). Settle uses it to detect quiescence.
@@ -661,7 +771,9 @@ func (b *Broker) run() {
 			case router.Unsub:
 				b.rt.HandleUnsubscribe(m.m.SubID, m.from)
 			case router.Event:
-				b.rt.HandleEvent(m.m.Ev, m.m.Hops, m.from)
+				// HandleEventMsg, not HandleEvent: the message may carry a
+				// trace, which must survive into the forwarded copies.
+				b.rt.HandleEventMsg(m.m, m.from)
 			}
 		case <-b.quit:
 			return
@@ -671,7 +783,7 @@ func (b *Broker) run() {
 
 // anomaly surfaces a routing error as a counted stat plus the callback.
 func (b *Broker) anomaly(err error) {
-	b.installErrors.Add(1)
+	b.installErrors.Inc()
 	b.opts.Logf("netoverlay: node %d: %v", b.opts.NodeID, err)
 	if b.opts.OnError != nil {
 		b.opts.OnError(err)

@@ -8,11 +8,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"noncanon/internal/boolexpr"
 	"noncanon/internal/event"
+	"noncanon/internal/obs"
 	"noncanon/internal/overlay"
 	"noncanon/internal/predicate"
 	"noncanon/internal/wire"
@@ -420,5 +422,119 @@ func TestFederationGoroutineLeak(t *testing.T) {
 	if n := waitNumGoroutine(before+slack, 10*time.Second); n > before+slack {
 		buf := make([]byte, 1<<20)
 		t.Errorf("goroutine leak: %d before, %d after close\n%s", before, n, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestTracePropagationAcrossFederation runs a 3-broker line A—B—C with
+// tracing on at A and a subscriber at C, and checks the trace machinery
+// end to end: every sampled event leaves exactly one hop record at each
+// broker it crossed (B at hop 1, C at hop 2, none at the origin), the
+// records' timestamps are monotone along the path, and the hop-latency
+// histograms fill only where hops were received.
+func TestTracePropagationAcrossFederation(t *testing.T) {
+	newTraced := func(id uint32, every int) *Broker {
+		b := NewBroker(Options{NodeID: id, TraceSampleEvery: every, Logf: t.Logf})
+		if _, err := b.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { b.Close() })
+		return b
+	}
+	a, bb, c := newTraced(1, 2), newTraced(2, 0), newTraced(3, 0)
+	if err := bb.Connect(a.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect(bb.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	if _, err := c.Subscribe(boolexpr.Pred("n", predicate.Ge, int64(0)), func(event.Event) {
+		delivered.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	Settle(settleIdle, a, bb, c)
+
+	const events = 10 // TraceSampleEvery 2 → 5 traced
+	for i := 0; i < events; i++ {
+		if err := a.Publish(event.New().Set("n", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	Settle(settleIdle, a, bb, c)
+
+	if delivered.Load() != events {
+		t.Fatalf("delivered = %d, want %d", delivered.Load(), events)
+	}
+	const traced = events / 2
+	// One hop record per forward: the middle and far brokers each saw
+	// every traced event once; the origin records no hop of its own.
+	if got := a.Traces().Recent(); len(got) != 0 {
+		t.Errorf("origin broker recorded %d hop records, want 0: %+v", len(got), got)
+	}
+	hopsB, hopsC := bb.Traces().Recent(), c.Traces().Recent()
+	if len(hopsB) != traced || len(hopsC) != traced {
+		t.Fatalf("hop records B=%d C=%d, want %d each", len(hopsB), len(hopsC), traced)
+	}
+	byID := func(rs []obs.TraceRecord) map[uint64]obs.TraceRecord {
+		m := make(map[uint64]obs.TraceRecord, len(rs))
+		for _, r := range rs {
+			if _, dup := m[r.TraceID]; dup {
+				t.Errorf("trace %#x recorded twice at node %s", r.TraceID, r.Node)
+			}
+			m[r.TraceID] = r
+		}
+		return m
+	}
+	mb, mc := byID(hopsB), byID(hopsC)
+	for id, rb := range mb {
+		rc, ok := mc[id]
+		if !ok {
+			t.Errorf("trace %#x seen at B but not at C", id)
+			continue
+		}
+		if rb.Node != "2" || rc.Node != "3" {
+			t.Errorf("trace %#x nodes = %s,%s, want 2,3", id, rb.Node, rc.Node)
+		}
+		if rb.Hops != 1 || rc.Hops != 2 {
+			t.Errorf("trace %#x hops = %d,%d, want 1,2", id, rb.Hops, rc.Hops)
+		}
+		if rb.OriginNanos != rc.OriginNanos {
+			t.Errorf("trace %#x origin stamp changed in flight: %d vs %d", id, rb.OriginNanos, rc.OriginNanos)
+		}
+		// Monotone along the path: origin ≤ arrival at B ≤ arrival at C
+		// (one machine, one clock).
+		if rb.ArrivalNanos < rb.OriginNanos || rc.ArrivalNanos < rb.ArrivalNanos {
+			t.Errorf("trace %#x timestamps not monotone: origin %d, B %d, C %d",
+				id, rb.OriginNanos, rb.ArrivalNanos, rc.ArrivalNanos)
+		}
+	}
+	// The hop-latency histogram fills exactly where hops were received.
+	for _, probe := range []struct {
+		name string
+		b    *Broker
+		want uint64
+	}{{"A", a, 0}, {"B", bb, traced}, {"C", c, traced}} {
+		s, ok := probe.b.Metrics().Get("netoverlay_hop_latency_seconds")
+		if !ok {
+			t.Fatalf("%s: hop latency histogram missing", probe.name)
+		}
+		if s.Hist.Count != probe.want {
+			t.Errorf("%s: hop latency count = %d, want %d", probe.name, s.Hist.Count, probe.want)
+		}
+	}
+	// Per-peer forwarded counters saw every event cross their link.
+	for _, probe := range []struct {
+		name string
+		b    *Broker
+		peer uint32
+	}{{"A→B", a, 2}, {"B→C", bb, 3}} {
+		s, ok := probe.b.Metrics().Get(peerInstrument("netoverlay_peer_forwarded_total", probe.peer))
+		if !ok {
+			t.Fatalf("%s: per-peer forwarded counter missing", probe.name)
+		}
+		if s.Value != events {
+			t.Errorf("%s: forwarded = %d, want %d", probe.name, s.Value, events)
+		}
 	}
 }

@@ -3,13 +3,21 @@ package netoverlay
 import (
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
+	"noncanon/internal/obs"
 	"noncanon/internal/router"
 	"noncanon/internal/sublang"
 	"noncanon/internal/wire"
 )
+
+// peerInstrument builds a per-peer instrument name with the peer's node ID
+// as an embedded label, e.g. netoverlay_peer_queue_bytes{peer="3"}.
+func peerInstrument(family string, nodeID uint32) string {
+	return family + `{peer="` + strconv.FormatUint(uint64(nodeID), 10) + `"}`
+}
 
 // peer is one live broker-to-broker TCP link.
 type peer struct {
@@ -26,6 +34,11 @@ type peer struct {
 
 	// wmu serializes frame writes between writeLoop and pingLoop.
 	wmu sync.Mutex
+
+	// fwd counts event frames written to this peer
+	// (netoverlay_peer_forwarded_total{peer="N"}; survives detach so a
+	// relinking peer keeps its history).
+	fwd *obs.Counter
 
 	// done closes when the link tears down (detach or shutdown), stopping
 	// the ping loop.
@@ -109,6 +122,19 @@ func (b *Broker) attach(nc net.Conn, peerID uint32) error {
 	b.peers[peerID] = p
 	b.mu.Unlock()
 
+	// Per-peer instruments. The counter is get-or-create: a peer that
+	// detaches and relinks resumes its own series. The function
+	// instruments are views over this link's spill queue; registering
+	// again replaces a stale closure left by a previous incarnation, and
+	// detach removes them.
+	p.fwd = b.reg.Counter(peerInstrument("netoverlay_peer_forwarded_total", peerID))
+	b.reg.GaugeFunc(peerInstrument("netoverlay_peer_queue_bytes", peerID), func() int64 {
+		return int64(p.out.Stats().Bytes)
+	})
+	b.reg.CounterFunc(peerInstrument("netoverlay_peer_shed_total", peerID), func() uint64 {
+		return p.out.Stats().Shed
+	})
+
 	attached := make(chan struct{})
 	ok := b.enqueue(inMsg{ctl: func() {
 		p.link = b.rt.AddLink()
@@ -155,6 +181,12 @@ func (p *peer) detach(reason error) {
 		p.b.detachedShed += qs.Shed
 		p.b.detachedSpilled += qs.SpilledBytes
 		p.b.mu.Unlock()
+		// Drop the per-peer queue views: their closures watch a queue that
+		// just died. The plain counters (forwarded, evicted) stay — they
+		// are history, and Stats keeps counting what this link shed via
+		// detachedShed above.
+		p.b.reg.Unregister(peerInstrument("netoverlay_peer_queue_bytes", p.nodeID))
+		p.b.reg.Unregister(peerInstrument("netoverlay_peer_shed_total", p.nodeID))
 		if reason != nil {
 			p.b.opts.Logf("netoverlay: node %d: peer %d detached: %v", p.b.opts.NodeID, p.nodeID, reason)
 		}
@@ -226,12 +258,31 @@ func (p *peer) readLoop() {
 				return
 			}
 		case wire.MsgEventForward:
-			hops, ev, err := wire.ReadEventForward(payload)
+			hops, ev, traceID, originNanos, err := wire.ReadEventForwardTrace(payload)
 			if err != nil {
 				p.detach(err)
 				return
 			}
-			if !p.b.enqueue(inMsg{m: router.Msg{Kind: router.Event, Ev: ev, Hops: int(hops)}, from: p.link}) {
+			m := router.Msg{Kind: router.Event, Ev: ev, Hops: int(hops)}
+			if traceID != 0 {
+				// A sampled event: record this hop (latency is arrival
+				// minus the origin stamp — one-way, so it includes clock
+				// offset between machines; on one machine it is honest) and
+				// keep the trace on the message so any further forward
+				// carries it to the next broker.
+				now := time.Now().UnixNano()
+				p.b.hopLatency.Observe(time.Duration(now - originNanos))
+				p.b.ring.Record(obs.TraceRecord{
+					TraceID:      traceID,
+					Node:         p.b.nodeName,
+					Hops:         int(hops),
+					OriginNanos:  originNanos,
+					ArrivalNanos: now,
+					LatencyNanos: now - originNanos,
+				})
+				m.Trace = router.Trace{ID: traceID, OriginNanos: originNanos}
+			}
+			if !p.b.enqueue(inMsg{m: m, from: p.link}) {
 				return
 			}
 		case wire.MsgPing:
@@ -264,7 +315,10 @@ func (p *peer) writeLoop() {
 			buf = wire.AppendUnsubForward(buf, m.SubID)
 		case router.Event:
 			typ = wire.MsgEventForward
-			buf = wire.AppendEventForward(buf, uint8(m.Hops), m.Ev)
+			// Untraced events (Trace.ID zero) encode byte-identically to
+			// the pre-trace format, so old peers decode them unchanged.
+			buf = wire.AppendEventForwardTrace(buf, uint8(m.Hops), m.Ev, m.Trace.ID, m.Trace.OriginNanos)
+			p.fwd.Inc()
 		default:
 			continue
 		}

@@ -1,0 +1,41 @@
+//go:build !race
+
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The whole point of obs is that instruments can sit on the match/publish
+// spine without perturbing it: every increment-path operation is pinned
+// at zero allocations. (AllocsPerRun is meaningless under -race, hence
+// the build tag; CI runs both configurations.)
+func TestIncrementPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	for name, fn := range map[string]func(){
+		"Counter.Inc":       func() { c.Inc() },
+		"Counter.Add":       func() { c.Add(3) },
+		"Gauge.Set":         func() { g.Set(7) },
+		"Gauge.Add":         func() { g.Add(-1) },
+		"Histogram.Observe": func() { h.Observe(3 * time.Microsecond) },
+	} {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, budget 0", name, allocs)
+		}
+	}
+}
+
+// Handle lookup by name is read-locked but still allocation-free — a
+// component that looks its counter up per batch (not per event) pays no
+// allocation either.
+func TestLookupAllocFree(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c")
+	if allocs := testing.AllocsPerRun(1000, func() { r.Counter("c").Inc() }); allocs != 0 {
+		t.Errorf("Counter lookup: %v allocs/op, budget 0", allocs)
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// splitLabels separates an instrument name like
+// `netoverlay_peer_queue_bytes{peer="2"}` into the metric family name and
+// its label block (empty when unlabeled). Registered names embed labels
+// directly — the registry stays a flat namespace and exposition just has
+// to group families for TYPE lines.
+func splitLabels(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// WritePrometheus renders every instrument in Prometheus text format
+// (version 0.0.4). Counters and counter-funcs become `counter` families,
+// gauges `gauge`, histograms `histogram` with cumulative `le` buckets in
+// seconds. Instruments sharing a family (labeled variants) get one TYPE
+// line. Exposition is cold-path: it allocates freely.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	typed := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		family, labels := splitLabels(s.Name)
+		var err error
+		switch s.Kind {
+		case KindCounter, KindCounterFunc:
+			if !typed[family] {
+				typed[family] = true
+				if _, err = fmt.Fprintf(w, "# TYPE %s counter\n", family); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s%s %d\n", family, labels, s.Value)
+		case KindGauge, KindGaugeFunc:
+			if !typed[family] {
+				typed[family] = true
+				if _, err = fmt.Fprintf(w, "# TYPE %s gauge\n", family); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s%s %d\n", family, labels, s.GaugeValue)
+		case KindHistogram:
+			if !typed[family] {
+				typed[family] = true
+				if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", family); err != nil {
+					return err
+				}
+			}
+			err = writePromHistogram(w, family, labels, s.Hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, family, labels string, h HistogramSnapshot) error {
+	joiner := "{"
+	if labels != "" {
+		joiner = labels[:len(labels)-1] + ","
+	}
+	var cum uint64
+	for i, b := range h.Buckets {
+		cum += b
+		if i == NumBuckets-1 {
+			if _, err := fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", family, joiner, cum); err != nil {
+				return err
+			}
+			break
+		}
+		le := float64(BucketBound(i)) / 1e9
+		if _, err := fmt.Fprintf(w, "%s_bucket%sle=\"%g\"} %d\n", family, joiner, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", family, labels, float64(h.Sum)/1e9); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", family, labels, h.Count)
+	return err
+}
+
+// WriteJSON renders the samples as one expvar-style JSON object, keyed by
+// instrument name, sorted for stable output. Histograms expand to an
+// object with count, sum, mean and the headline quantiles in nanoseconds.
+func WriteJSON(w io.Writer, samples []Sample) error {
+	sorted := make([]Sample, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	for i, s := range sorted {
+		sep := ",\n"
+		if i == 0 {
+			sep = "\n"
+		}
+		var err error
+		switch s.Kind {
+		case KindCounter, KindCounterFunc:
+			_, err = fmt.Fprintf(w, "%s%q: %d", sep, s.Name, s.Value)
+		case KindGauge, KindGaugeFunc:
+			_, err = fmt.Fprintf(w, "%s%q: %d", sep, s.Name, s.GaugeValue)
+		case KindHistogram:
+			h := s.Hist
+			_, err = fmt.Fprintf(w,
+				"%s%q: {\"count\": %d, \"sum_ns\": %d, \"mean_ns\": %d, \"p50_ns\": %d, \"p99_ns\": %d}",
+				sep, s.Name, h.Count, int64(h.Sum), int64(h.Mean()),
+				int64(h.Quantile(0.5)), int64(h.Quantile(0.99)))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n}\n")
+	return err
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every histogram: bucket 0 holds
+// observations below 1.024µs, buckets 1..22 are successive powers of two
+// of nanoseconds (upper bound of bucket i is 2^(10+i) ns, so ~2µs, ~4µs,
+// … up to ~4.29s), and bucket 23 is the overflow (+Inf) bucket. Fixed
+// exponential buckets keep Observe a shift-and-add — no search, no
+// configuration, no allocation — at a resolution (×2 per bucket) that is
+// plenty for latency work where the interesting differences are orders of
+// magnitude.
+const NumBuckets = 24
+
+// bucketBase is the log2 of bucket 0's upper bound in nanoseconds.
+const bucketBase = 10
+
+// BucketBound returns the upper bound of bucket i in nanoseconds; the
+// last bucket is unbounded and reports the largest representable bound.
+func BucketBound(i int) time.Duration {
+	if i >= NumBuckets-1 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1) << uint(bucketBase+i))
+}
+
+// bucketOf maps a duration in nanoseconds to its bucket index.
+func bucketOf(ns int64) int {
+	if ns < 1<<bucketBase {
+		return 0 // negative clock skew lands here too, rather than panicking
+	}
+	i := bits.Len64(uint64(ns)) - bucketBase
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is a single
+// bucket increment plus a sum add — lock-free, allocation-free — so it
+// can sit directly on the publish/match spine. Quantiles are estimated
+// from the bucket counts at read time; nothing stops the world.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration.
+//
+//nclint:hotpath
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Count is derived from the bucket counts read in one pass, so Count ==
+// sum(Buckets) always holds within a snapshot.
+type HistogramSnapshot struct {
+	// Buckets[i] counts observations that fell in bucket i (per-bucket,
+	// not cumulative; exposition accumulates).
+	Buckets [NumBuckets]uint64
+	// Count is the total observation count.
+	Count uint64
+	// Sum is the sum of all observed durations.
+	Sum time.Duration
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	// Sum first, buckets after: an Observe racing the snapshot then shows
+	// up in Sum before its bucket, keeping Sum ≥ what the buckets imply
+	// rather than a mean that overshoots the data.
+	s.Sum = time.Duration(h.sum.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket holding the target rank. It returns 0 for an empty
+// histogram. The estimate is bounded by the bucket resolution: exact at
+// bucket boundaries, within a factor of two inside a bucket — the right
+// tool for "did p99 move an order of magnitude", not microsecond forensics.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		next := cum + float64(b)
+		if next >= target {
+			lower := time.Duration(0)
+			if i > 0 {
+				lower = BucketBound(i - 1)
+			}
+			upper := BucketBound(i)
+			if i == NumBuckets-1 {
+				return lower // unbounded bucket: report its floor
+			}
+			frac := (target - cum) / float64(b)
+			return lower + time.Duration(frac*float64(upper-lower))
+		}
+		cum = next
+	}
+	return BucketBound(NumBuckets - 2) // unreachable with Count > 0
+}
+
+// Mean returns the mean observed duration, or 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}

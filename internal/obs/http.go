@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Endpoint bundles what the operational HTTP surface exposes: the
+// registry to scrape and (optionally) a trace ring to dump. The zero
+// Ring is fine — /traces then reports an empty list.
+type Endpoint struct {
+	Registry *Registry
+	Ring     *TraceRing
+}
+
+// NewMux builds the endpoint's routes on a fresh mux:
+//
+//	/metrics        Prometheus text format
+//	/vars           expvar-style JSON over the same samples
+//	/traces         recent sampled trace hops as JSON, oldest first
+//	/debug/pprof/   the standard runtime profiles
+//
+// pprof is mounted on this private mux by hand rather than imported for
+// its DefaultServeMux side effect, so nothing leaks onto the default mux
+// and the endpoint only exists where explicitly served.
+func (e Endpoint) NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, e.Registry.Snapshot())
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteJSON(w, e.Registry.Snapshot())
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var recs []TraceRecord
+		if e.Ring != nil {
+			recs = e.Ring.Recent()
+		}
+		fmt.Fprint(w, "[")
+		for i, r := range recs {
+			sep := ",\n "
+			if i == 0 {
+				sep = "\n "
+			}
+			fmt.Fprintf(w,
+				"%s{\"trace_id\": %d, \"node\": %q, \"hops\": %d, \"origin_ns\": %d, \"arrival_ns\": %d, \"latency_ns\": %d}",
+				sep, r.TraceID, r.Node, r.Hops, r.OriginNanos, r.ArrivalNanos, r.LatencyNanos)
+		}
+		fmt.Fprint(w, "\n]\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves the endpoint until the listener is
+// closed. It returns the bound listener (so addr may use port 0 and the
+// caller can read the real address) and never blocks; the serve loop's
+// terminal error is discarded, as shutting the listener is the one way
+// this is meant to stop.
+func (e Endpoint) Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: e.NewMux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}
+
+// Serve starts the operational endpoint for a registry with no trace
+// ring — the common single-broker case.
+func Serve(addr string, r *Registry) (net.Listener, error) {
+	return Endpoint{Registry: r}.Serve(addr)
+}

@@ -32,6 +32,7 @@ import (
 	"noncanon/internal/core"
 	"noncanon/internal/event"
 	"noncanon/internal/index"
+	"noncanon/internal/obs"
 	"noncanon/internal/predicate"
 	"noncanon/internal/router"
 	"noncanon/internal/subtree"
@@ -93,6 +94,13 @@ type Config struct {
 	// a broker goroutine; must not block. The anomalies are also counted in
 	// Stats.InstallErrors.
 	OnError func(at NodeID, err error)
+	// Metrics, when set, is the obs registry the network's instruments live
+	// in. Every node's router shares the registry (and therefore the
+	// instruments), so network totals are one snapshot read; per-link
+	// spill-queue gauges are registered too. Nil keeps a private registry —
+	// Stats works either way. Give each Network its own registry: two
+	// networks on one registry would merge their series.
+	Metrics *obs.Registry
 }
 
 // SubRef names a subscription in the overlay.
@@ -147,8 +155,9 @@ type Network struct {
 
 	subOrigin sync.Map // sub id → NodeID, for Unsubscribe validation
 
-	published     atomic.Uint64
-	installErrors atomic.Uint64
+	reg           *obs.Registry
+	published     *obs.Counter
+	installErrors *obs.Counter
 }
 
 type node struct {
@@ -195,6 +204,16 @@ func New(n int, edges [][2]NodeID, cfg Config) (*Network, error) {
 		cfg.LinkHighWater = DefaultLinkHighWater
 	}
 	nw := &Network{cfg: cfg, quit: make(chan struct{})}
+	nw.reg = cfg.Metrics
+	if nw.reg == nil {
+		nw.reg = obs.NewRegistry()
+	}
+	// Published is the cause of everything the routers count; registering
+	// it before any router exists means a registry snapshot (which reads
+	// newest-registered first) reads every effect before it — the ordering
+	// that keeps Published ≥ per-event forwards coherent mid-churn.
+	nw.published = nw.reg.Counter("overlay_published_total")
+	nw.installErrors = nw.reg.Counter("overlay_install_errors_total")
 	nw.flushed = sync.NewCond(&nw.mu)
 	nw.nodes = make([]*node, n)
 	for i := range nw.nodes {
@@ -220,10 +239,42 @@ func New(n int, edges [][2]NodeID, cfg Config) (*Network, error) {
 			Cover:     cfg.Cover,
 			Engine:    nd.eng,
 			Transport: (*nodeTransport)(nd),
+			Metrics:   nw.reg,
 		})
 		nd.out = make([]*router.Queue[router.Msg], len(nd.neighbors))
 		for i := range nd.out {
 			nd.out[i] = router.NewFlowQueue(router.EstimateMsgBytes, cfg.LinkHighWater, cfg.LinkLowWater)
+		}
+	}
+	// Spill-queue aggregates and (for exported registries) per-link depth
+	// gauges. Registered after the routers so a snapshot reads these
+	// shed/spill effects before the published cause too.
+	nw.reg.CounterFunc("overlay_shed_total", func() uint64 {
+		var n uint64
+		for _, nd := range nw.nodes {
+			for _, q := range nd.out {
+				n += q.Stats().Shed
+			}
+		}
+		return n
+	})
+	nw.reg.CounterFunc("overlay_spilled_bytes_total", func() uint64 {
+		var n uint64
+		for _, nd := range nw.nodes {
+			for _, q := range nd.out {
+				n += q.Stats().SpilledBytes
+			}
+		}
+		return n
+	})
+	if cfg.Metrics != nil {
+		for _, nd := range nw.nodes {
+			for i := range nd.out {
+				q := nd.out[i]
+				name := fmt.Sprintf("overlay_link_queue_bytes{node=%q,link=%q}",
+					fmt.Sprint(int(nd.id)), fmt.Sprint(int(nd.neighbors[i].id)))
+				nw.reg.GaugeFunc(name, func() int64 { return int64(q.Stats().Bytes) })
+			}
 		}
 	}
 	for _, nd := range nw.nodes {
@@ -353,7 +404,7 @@ func (nw *Network) Publish(at NodeID, ev event.Event) error {
 	if int(at) < 0 || int(at) >= len(nw.nodes) {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, at)
 	}
-	nw.published.Add(1)
+	nw.published.Inc()
 	nw.send(nw.nodes[at], message{m: router.Msg{Kind: router.Event, Ev: ev}, from: -1})
 	return nil
 }
@@ -392,23 +443,34 @@ func (nw *Network) Flush() {
 	nw.mu.Unlock()
 }
 
-// Stats returns an activity snapshot.
+// Stats returns an activity snapshot. Every node's router shares the
+// network registry's instruments, so the totals come from ONE registry
+// snapshot rather than a per-node sweep of independently read atomics —
+// the snapshot's effect-before-cause read order is what lets counters
+// reconcile (e.g. Published ≥ Forwarded on single-next-hop topologies)
+// even while brokers are mid-storm.
 func (nw *Network) Stats() Stats {
-	st := Stats{
-		Published:     nw.published.Load(),
-		InstallErrors: nw.installErrors.Load(),
-	}
-	for _, nd := range nw.nodes {
-		c := nd.rt.Counts()
-		st.Forwarded += c.Forwarded
-		st.Delivered += c.Delivered
-		st.SubscriptionMsgs += c.SubMsgs
-		st.CoverSuppressed += c.CoverSuppressed
-		st.HopDropped += c.HopDropped
-		for _, q := range nd.out {
-			qs := q.Stats()
-			st.Shed += qs.Shed
-			st.SpilledBytes += qs.SpilledBytes
+	var st Stats
+	for _, s := range nw.reg.Snapshot() {
+		switch s.Name {
+		case "overlay_published_total":
+			st.Published = s.Value
+		case "overlay_install_errors_total":
+			st.InstallErrors = s.Value
+		case "overlay_shed_total":
+			st.Shed = s.Value
+		case "overlay_spilled_bytes_total":
+			st.SpilledBytes = s.Value
+		case "router_forwarded_total":
+			st.Forwarded = s.Value
+		case "router_delivered_total":
+			st.Delivered = s.Value
+		case "router_sub_msgs_total":
+			st.SubscriptionMsgs = s.Value
+		case "router_cover_suppressed_total":
+			st.CoverSuppressed = s.Value
+		case "router_hop_dropped_total":
+			st.HopDropped = s.Value
 		}
 	}
 	return st
@@ -511,7 +573,7 @@ func (nd *node) handle(msg message) {
 // anomaly surfaces a routing error as a counted stat plus the optional
 // callback — a federated deployment cannot debug panics in a peer process.
 func (nd *node) anomaly(err error) {
-	nd.net.installErrors.Add(1)
+	nd.net.installErrors.Inc()
 	if nd.net.cfg.OnError != nil {
 		nd.net.cfg.OnError(nd.id, err)
 	}

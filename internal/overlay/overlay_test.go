@@ -8,6 +8,7 @@ import (
 
 	"noncanon/internal/boolexpr"
 	"noncanon/internal/event"
+	"noncanon/internal/obs"
 	"noncanon/internal/predicate"
 )
 
@@ -282,5 +283,81 @@ func TestManyEventsManySubscribersUnderRace(t *testing.T) {
 	}
 	if st := nw.Stats(); st.Published != 200 {
 		t.Errorf("Published = %d", st.Published)
+	}
+}
+
+// TestStatsCoherenceUnderChurn is the snapshot-coherence property: on a
+// two-node line (one next-hop link per event, so every forward has a
+// distinct publication behind it), concurrently sampled Stats must always
+// reconcile — Forwarded ≤ Published and Delivered ≤ Published — because
+// the whole snapshot comes from one registry read that reads effects
+// before causes. Before the registry migration each field was an
+// independently read atomic and a sampler could observe a forward whose
+// publish it then missed. Run under -race in CI.
+func TestStatsCoherenceUnderChurn(t *testing.T) {
+	nw, err := NewLine(2, Config{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	if _, err := nw.Subscribe(1, pred("k", predicate.Gt, int64(-1)), func(event.Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Flush()
+
+	const publishers, perP = 4, 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var violations atomic.Uint64
+	wg.Add(1)
+	go func() { // sampler
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := nw.Stats()
+			if st.Forwarded > st.Published {
+				violations.Add(1)
+				t.Errorf("incoherent snapshot: Forwarded %d > Published %d", st.Forwarded, st.Published)
+				return
+			}
+			if st.Delivered > st.Published {
+				violations.Add(1)
+				t.Errorf("incoherent snapshot: Delivered %d > Published %d", st.Delivered, st.Published)
+				return
+			}
+		}
+	}()
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				ev := event.New().Set("k", int64(p*perP+i))
+				if err := nw.Publish(0, ev); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	// Let the sampler see the whole storm, then stop it and wait for all
+	// goroutines before checking totals at quiescence.
+	nw.Flush()
+	close(stop)
+	wg.Wait()
+	nw.Flush()
+	st := nw.Stats()
+	if st.Published != publishers*perP {
+		t.Errorf("Published = %d, want %d", st.Published, publishers*perP)
+	}
+	if st.Forwarded != publishers*perP || st.Delivered != publishers*perP {
+		t.Errorf("Forwarded/Delivered = %d/%d, want %d each", st.Forwarded, st.Delivered, publishers*perP)
+	}
+	if violations.Load() != 0 {
+		t.Fatalf("%d incoherent snapshots observed", violations.Load())
 	}
 }

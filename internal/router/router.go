@@ -31,13 +31,13 @@ package router
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"noncanon/internal/boolexpr"
 	"noncanon/internal/core"
 	"noncanon/internal/cover"
 	"noncanon/internal/event"
 	"noncanon/internal/matcher"
+	"noncanon/internal/obs"
 )
 
 // MaxHops bounds event forwarding as a safety net; tree routing never
@@ -61,6 +61,14 @@ const (
 	Event
 )
 
+// Trace identifies a sampled event for cross-broker latency tracing: a
+// non-zero ID plus the origin broker's publish timestamp (UnixNano). The
+// zero Trace means "not sampled" and costs nothing anywhere.
+type Trace struct {
+	ID          uint64
+	OriginNanos int64
+}
+
 // Msg is one broker-to-broker routing message.
 type Msg struct {
 	Kind  Kind
@@ -68,6 +76,9 @@ type Msg struct {
 	Expr  boolexpr.Expr
 	Ev    event.Event
 	Hops  int
+	// Trace rides along on Event messages; the router preserves it across
+	// forwards so every hop of a sampled event can be timed.
+	Trace Trace
 }
 
 // Transport carries routing messages toward a neighbouring broker. Send is
@@ -88,6 +99,11 @@ type Config struct {
 	Engine *core.Engine
 	// Transport carries outbound messages.
 	Transport Transport
+	// Metrics is the registry the router's counters live in; nil gets a
+	// private registry (Counts still works, nothing is exported). Routers
+	// sharing a registry share instruments — the overlay exploits this to
+	// read network totals in one snapshot.
+	Metrics *obs.Registry
 }
 
 // Counts is a snapshot of router activity.
@@ -105,6 +121,11 @@ type Counts struct {
 	// HopDropped counts events discarded at the MaxHops safety net — on a
 	// tree this staying zero is a routing invariant.
 	HopDropped uint64
+	// CoverCacheHits and CoverCacheMisses count lookups in the memoized
+	// covering test (Config.Cover only): hits skipped a pairwise Covers
+	// proof, misses ran one and cached it.
+	CoverCacheHits   uint64
+	CoverCacheMisses uint64
 }
 
 // route is the broker's view of one overlay subscription.
@@ -112,9 +133,30 @@ type route struct {
 	subID    uint64
 	engineID matcher.SubID
 	expr     boolexpr.Expr // kept for covering re-floods and link syncs
+	key      string        // cover.Key(expr), the memoization key (Cover only)
 	handler  Handler       // non-nil only at the subscriber's home broker
 	nextHop  int           // link index toward the subscriber; -1 when local
 }
+
+// fwdEntry is one subscription actually forwarded over a link, with its
+// canonical key alongside so covering checks against it can hit the cache.
+type fwdEntry struct {
+	expr boolexpr.Expr
+	key  string
+}
+
+// coverPair keys one memoized Covers(a, b) verdict by the operands'
+// canonical keys. cover.Key equality implies identical matched-event
+// sets, so a cached true transfers soundly to any expression with the
+// same key; a cached false merely forgoes pruning, which covering is
+// always allowed to do.
+type coverPair struct {
+	a, b string
+}
+
+// coverCacheMax bounds the memo table; churn past it clears and restarts
+// rather than growing without bound (the next storm re-warms it).
+const coverCacheMax = 1 << 16
 
 // Router is the per-broker routing state machine.
 type Router struct {
@@ -133,19 +175,29 @@ type Router struct {
 	// the subscriptions this broker actually sent over link i; coveredBy[i]
 	// maps a suppressed subscription to the forwarded one that shadows it,
 	// and coverees[i] is the reverse index consulted on unsubscribe.
-	fwd       []map[uint64]boolexpr.Expr
+	fwd       []map[uint64]fwdEntry
 	coveredBy []map[uint64]uint64
 	coverees  []map[uint64]map[uint64]struct{}
 
-	forwarded     atomic.Uint64
-	delivered     atomic.Uint64
-	subMsgs       atomic.Uint64
-	coverSuppress atomic.Uint64
-	hopDropped    atomic.Uint64
+	// coverCache memoizes pairwise Covers proofs across links and floods
+	// (broker-goroutine-owned, like the rest of the routing state).
+	coverCache map[coverPair]bool
+
+	forwarded     *obs.Counter
+	delivered     *obs.Counter
+	subMsgs       *obs.Counter
+	coverSuppress *obs.Counter
+	hopDropped    *obs.Counter
+	coverHits     *obs.Counter
+	coverMisses   *obs.Counter
 }
 
 // New builds a router over the given engine and transport.
 func New(cfg Config) *Router {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	r := &Router{
 		eng:      cfg.Engine,
 		tr:       cfg.Transport,
@@ -153,6 +205,22 @@ func New(cfg Config) *Router {
 		routes:   make(map[uint64]*route),
 		byEngine: make(map[matcher.SubID]*route),
 	}
+	if cfg.Cover {
+		r.coverCache = make(map[coverPair]bool)
+	}
+	// Cause-counters before effect-counters: Registry.Snapshot reads in
+	// reverse registration order, so registering subMsgs → … → forwarded
+	// means a snapshot reads forwarded (effect) before the counters whose
+	// activity produced it, and totals reconcile mid-storm. Callers that
+	// register their own cause (overlay's published) must do so before
+	// constructing routers.
+	r.subMsgs = reg.Counter("router_sub_msgs_total")
+	r.coverMisses = reg.Counter("router_cover_cache_misses_total")
+	r.coverHits = reg.Counter("router_cover_cache_hits_total")
+	r.coverSuppress = reg.Counter("router_cover_suppressed_total")
+	r.hopDropped = reg.Counter("router_hop_dropped_total")
+	r.delivered = reg.Counter("router_delivered_total")
+	r.forwarded = reg.Counter("router_forwarded_total")
 	for i := 0; i < cfg.Links; i++ {
 		r.AddLink()
 	}
@@ -165,7 +233,7 @@ func (r *Router) AddLink() int {
 	i := len(r.links)
 	r.links = append(r.links, true)
 	if r.cover {
-		r.fwd = append(r.fwd, make(map[uint64]boolexpr.Expr))
+		r.fwd = append(r.fwd, make(map[uint64]fwdEntry))
 		r.coveredBy = append(r.coveredBy, make(map[uint64]uint64))
 		r.coverees = append(r.coverees, make(map[uint64]map[uint64]struct{}))
 	}
@@ -187,7 +255,7 @@ func (r *Router) SyncLink(link int) {
 		if rt.nextHop == link {
 			continue // defensive; a fresh link cannot be a next hop yet
 		}
-		r.sendSubOverLink(link, id, rt.expr)
+		r.sendSubOverLink(link, id, rt.expr, rt.key)
 	}
 }
 
@@ -200,7 +268,7 @@ func (r *Router) RemoveLink(link int) {
 	}
 	r.links[link] = false
 	if r.cover {
-		r.fwd[link] = make(map[uint64]boolexpr.Expr)
+		r.fwd[link] = make(map[uint64]fwdEntry)
 		r.coveredBy[link] = make(map[uint64]uint64)
 		r.coverees[link] = make(map[uint64]map[uint64]struct{})
 	}
@@ -237,14 +305,18 @@ func (r *Router) CoverState(link int) (fwd, covered, coverers int) {
 	return len(r.fwd[link]), len(r.coveredBy[link]), len(r.coverees[link])
 }
 
-// Counts snapshots the activity counters; safe from any goroutine.
+// Counts snapshots the activity counters; safe from any goroutine. With a
+// shared Config.Metrics registry the counters are shared too, so Counts
+// then reports totals across every router on the registry.
 func (r *Router) Counts() Counts {
 	return Counts{
-		Forwarded:       r.forwarded.Load(),
-		Delivered:       r.delivered.Load(),
-		SubMsgs:         r.subMsgs.Load(),
-		CoverSuppressed: r.coverSuppress.Load(),
-		HopDropped:      r.hopDropped.Load(),
+		Forwarded:        r.forwarded.Value(),
+		Delivered:        r.delivered.Value(),
+		SubMsgs:          r.subMsgs.Value(),
+		CoverSuppressed:  r.coverSuppress.Value(),
+		HopDropped:       r.hopDropped.Value(),
+		CoverCacheHits:   r.coverHits.Value(),
+		CoverCacheMisses: r.coverMisses.Value(),
 	}
 }
 
@@ -263,6 +335,9 @@ func (r *Router) HandleSubscribe(subID uint64, expr boolexpr.Expr, h Handler, fr
 		return false, fmt.Errorf("router: install subscription %d: %w", subID, err)
 	}
 	rt := &route{subID: subID, engineID: engineID, expr: expr, nextHop: from}
+	if r.cover {
+		rt.key = cover.Key(expr) // once per route, not once per pairwise proof
+	}
 	if from == -1 {
 		rt.handler = h
 	}
@@ -272,9 +347,28 @@ func (r *Router) HandleSubscribe(subID uint64, expr boolexpr.Expr, h Handler, fr
 		if i == from || !r.links[i] {
 			continue
 		}
-		r.sendSubOverLink(i, subID, expr)
+		r.sendSubOverLink(i, subID, expr, rt.key)
 	}
 	return true, nil
+}
+
+// coversCached answers cover.Covers(a, b) through the key-pair memo. The
+// proof is recomputed at most once per distinct (Key(a), Key(b)) pair for
+// the cache's lifetime — SyncLink and covering re-floods stop re-proving
+// the same pairs once per link.
+func (r *Router) coversCached(aKey string, a boolexpr.Expr, bKey string, b boolexpr.Expr) bool {
+	p := coverPair{aKey, bKey}
+	if v, ok := r.coverCache[p]; ok {
+		r.coverHits.Inc()
+		return v
+	}
+	if len(r.coverCache) >= coverCacheMax {
+		r.coverCache = make(map[coverPair]bool)
+	}
+	r.coverMisses.Inc()
+	v := cover.Covers(a, b)
+	r.coverCache[p] = v
+	return v
 }
 
 // sendSubOverLink forwards a subscription over one link unless a
@@ -282,14 +376,14 @@ func (r *Router) HandleSubscribe(subID uint64, expr boolexpr.Expr, h Handler, fr
 // already attracts a superset of the matching events toward this broker, so
 // routing stays exact and the flood is pruned. Suppressions are recorded
 // so an unsubscribe of the coverer can re-flood them.
-func (r *Router) sendSubOverLink(i int, subID uint64, expr boolexpr.Expr) {
+func (r *Router) sendSubOverLink(i int, subID uint64, expr boolexpr.Expr, key string) {
 	if !r.cover {
-		r.subMsgs.Add(1)
+		r.subMsgs.Inc()
 		r.tr.Send(i, Msg{Kind: Sub, SubID: subID, Expr: expr})
 		return
 	}
-	for tid, texpr := range r.fwd[i] {
-		if cover.Covers(texpr, expr) {
+	for tid, te := range r.fwd[i] {
+		if r.coversCached(te.key, te.expr, key, expr) {
 			r.coveredBy[i][subID] = tid
 			set := r.coverees[i][tid]
 			if set == nil {
@@ -297,12 +391,12 @@ func (r *Router) sendSubOverLink(i int, subID uint64, expr boolexpr.Expr) {
 				r.coverees[i][tid] = set
 			}
 			set[subID] = struct{}{}
-			r.coverSuppress.Add(1)
+			r.coverSuppress.Inc()
 			return
 		}
 	}
-	r.fwd[i][subID] = expr
-	r.subMsgs.Add(1)
+	r.fwd[i][subID] = fwdEntry{expr: expr, key: key}
+	r.subMsgs.Inc()
 	r.tr.Send(i, Msg{Kind: Sub, SubID: subID, Expr: expr})
 }
 
@@ -345,7 +439,7 @@ func (r *Router) HandleUnsubscribe(subID uint64, from int) bool {
 // neither, dropping events for stable subscribers.
 func (r *Router) unsubOverLink(i int, subID uint64) {
 	if !r.cover {
-		r.subMsgs.Add(1)
+		r.subMsgs.Inc()
 		r.tr.Send(i, Msg{Kind: Unsub, SubID: subID})
 		return
 	}
@@ -372,13 +466,13 @@ func (r *Router) unsubOverLink(i int, subID uint64) {
 		for _, sid := range ids {
 			delete(r.coveredBy[i], sid)
 			if rr, live := r.routes[sid]; live {
-				r.sendSubOverLink(i, sid, rr.expr)
+				r.sendSubOverLink(i, sid, rr.expr, rr.key)
 			}
 		}
 	} else {
 		delete(r.coverees[i], subID)
 	}
-	r.subMsgs.Add(1)
+	r.subMsgs.Inc()
 	r.tr.Send(i, Msg{Kind: Unsub, SubID: subID})
 }
 
@@ -386,8 +480,16 @@ func (r *Router) unsubOverLink(i int, subID uint64) {
 // broker's own API), delivers to local subscribers and forwards one copy
 // per distinct next-hop link.
 func (r *Router) HandleEvent(ev event.Event, hops, from int) {
+	r.HandleEventMsg(Msg{Kind: Event, Ev: ev, Hops: hops}, from)
+}
+
+// HandleEventMsg is HandleEvent taking the full routing message, so
+// per-message extras — today the trace — survive the forward instead of
+// being flattened away at every hop.
+func (r *Router) HandleEventMsg(m Msg, from int) {
+	ev, hops := m.Ev, m.Hops
 	if hops >= MaxHops {
-		r.hopDropped.Add(1)
+		r.hopDropped.Inc()
 		return
 	}
 	matched := r.eng.Match(ev)
@@ -401,7 +503,7 @@ func (r *Router) HandleEvent(ev event.Event, hops, from int) {
 		}
 		if rt.nextHop == -1 {
 			rt.handler(ev)
-			r.delivered.Add(1)
+			r.delivered.Inc()
 			continue
 		}
 		if rt.nextHop == from {
@@ -416,7 +518,9 @@ func (r *Router) HandleEvent(ev event.Event, hops, from int) {
 			bigHops[rt.nextHop] = true
 		}
 	}
-	fwd := Msg{Kind: Event, Ev: ev, Hops: hops + 1}
+	fwd := m // keep Trace (and any future per-message extras) intact
+	fwd.Kind = Event
+	fwd.Hops = hops + 1
 	for i := range r.links {
 		use := false
 		if i < 64 {
@@ -427,7 +531,7 @@ func (r *Router) HandleEvent(ev event.Event, hops, from int) {
 		if !use || !r.links[i] {
 			continue
 		}
-		r.forwarded.Add(1)
+		r.forwarded.Inc()
 		r.tr.Send(i, fwd)
 	}
 }

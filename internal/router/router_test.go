@@ -9,6 +9,7 @@ import (
 	"noncanon/internal/core"
 	"noncanon/internal/event"
 	"noncanon/internal/index"
+	"noncanon/internal/obs"
 	"noncanon/internal/predicate"
 )
 
@@ -344,4 +345,138 @@ func TestQueueConcurrentProducers(t *testing.T) {
 		t.Fatal("consumer stuck")
 	}
 	q.Close()
+}
+
+// TestCoverCacheDifferential replays the same churny workload through a
+// memoizing router and through raw cover.Covers, asserting identical
+// routing decisions — the cache must be invisible except in the hit
+// counters. (Both paths are deterministic: the memo is keyed by canonical
+// cover.Key pairs, and a cached verdict is exactly the verdict Covers
+// returns for that key pair's expressions.)
+func TestCoverCacheDifferential(t *testing.T) {
+	run := func() (*Router, *recorder) {
+		r, tr := newRouter(t, 3, true)
+		id := uint64(0)
+		for round := 0; round < 3; round++ {
+			for c := 0; c < 4; c++ {
+				for _, hi := range []int{10, 100, 1000} {
+					id++
+					if _, err := r.HandleSubscribe(id, band(c, hi), nil, -1); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Retract the wide filters so their coverees re-flood (which
+			// re-checks pairs — cache hits on the second round).
+			for retract := id - 11; retract <= id; retract += 3 {
+				r.HandleUnsubscribe(retract, -1)
+			}
+		}
+		return r, tr
+	}
+	r1, tr1 := run()
+	r2, tr2 := run()
+	if len(tr1.sent) != len(tr2.sent) {
+		t.Fatalf("runs diverged: %d vs %d sends", len(tr1.sent), len(tr2.sent))
+	}
+	for i := range tr1.sent {
+		a, b := tr1.sent[i], tr2.sent[i]
+		if a.link != b.link || a.m.Kind != b.m.Kind || a.m.SubID != b.m.SubID {
+			t.Fatalf("send %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	c1, c2 := r1.Counts(), r2.Counts()
+	hits, misses := c1.CoverCacheHits, c1.CoverCacheMisses
+	// Hit/miss totals are not compared across runs: the covering loop
+	// walks a map, so how many pairs are checked before a coverer is found
+	// varies run to run (it did before memoization too). The routing
+	// outcome must not.
+	c1.CoverCacheHits, c1.CoverCacheMisses = 0, 0
+	c2.CoverCacheHits, c2.CoverCacheMisses = 0, 0
+	if c1 != c2 {
+		t.Errorf("counts diverged: %+v vs %+v", c1, c2)
+	}
+	if hits == 0 {
+		t.Error("workload produced no cache hits; memoization untested")
+	}
+	if misses == 0 {
+		t.Error("no cache misses recorded")
+	}
+}
+
+// TestCoverCacheSuppressionEquivalence pins that memoized covering makes
+// the same suppression decisions as PR 4's un-memoized router did: a
+// covered subscription still never crosses the link, and retraction still
+// re-floods it.
+func TestCoverCacheSuppressionEquivalence(t *testing.T) {
+	r, tr := newRouter(t, 2, true)
+	wide := band(1, 1000)
+	narrow := band(1, 10)
+	if _, err := r.HandleSubscribe(1, wide, nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.HandleSubscribe(2, narrow, nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.ofKind(Sub)); got != 2 { // one per link for wide only
+		t.Fatalf("subs sent = %d, want 2 (narrow suppressed)", got)
+	}
+	// Same narrow filter again on another ID: covering check hits the cache.
+	if _, err := r.HandleSubscribe(3, band(1, 10), nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Counts()
+	if c.CoverSuppressed != 4 { // subs 2 and 3 over both links
+		t.Errorf("suppressed = %d, want 4", c.CoverSuppressed)
+	}
+	if c.CoverCacheHits == 0 {
+		t.Errorf("identical filter re-check missed the cache: %+v", c)
+	}
+}
+
+// TestHandleEventMsgPreservesTrace pins that a traced event keeps its
+// trace across a forward — the property the federation's hop records
+// depend on.
+func TestHandleEventMsgPreservesTrace(t *testing.T) {
+	r, tr := newRouter(t, 2, false)
+	if _, err := r.HandleSubscribe(7, band(1, 100), nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	trace := Trace{ID: 0xfeed, OriginNanos: 123456789}
+	r.HandleEventMsg(Msg{Kind: Event, Ev: bandEvent(1, 5), Hops: 2, Trace: trace}, 0)
+	fwds := tr.ofKind(Event)
+	if len(fwds) != 1 {
+		t.Fatalf("forwards = %d, want 1", len(fwds))
+	}
+	if got := fwds[0].m; got.Trace != trace || got.Hops != 3 {
+		t.Errorf("forwarded msg = %+v, want trace %+v hops 3", got, trace)
+	}
+	// The wrapper sends untraced messages, zero Trace.
+	r.HandleEvent(bandEvent(1, 5), 0, -1)
+	fwds = tr.ofKind(Event)
+	if len(fwds) != 2 || fwds[1].m.Trace != (Trace{}) {
+		t.Fatalf("HandleEvent wrapper attached a trace: %+v", fwds[len(fwds)-1].m)
+	}
+}
+
+// TestRouterSharedRegistryTotals pins the shared-registry contract: two
+// routers on one registry share counters, so either's Counts reports the
+// pair's totals.
+func TestRouterSharedRegistryTotals(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := &recorder{}
+	ra := New(Config{Links: 1, Engine: newEngine(), Transport: tr, Metrics: reg})
+	rb := New(Config{Links: 1, Engine: newEngine(), Transport: tr, Metrics: reg})
+	if _, err := ra.HandleSubscribe(1, band(1, 100), nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.HandleSubscribe(2, band(1, 100), nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := ra.Counts().SubMsgs; got != 2 {
+		t.Errorf("shared SubMsgs = %d, want 2", got)
+	}
+	if s, ok := reg.Get("router_sub_msgs_total"); !ok || s.Value != 2 {
+		t.Errorf("registry counter = %+v %v", s, ok)
+	}
 }

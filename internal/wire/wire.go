@@ -323,6 +323,48 @@ func ReadEventForward(b []byte) (hops uint8, ev event.Event, err error) {
 	return hops, ev, nil
 }
 
+// AppendEventForwardTrace appends a MsgEventForward payload with the
+// optional trace suffix: after the event, a non-zero trace ID and the
+// event's origin timestamp (UnixNano). A zero traceID appends nothing and
+// the frame is byte-identical to AppendEventForward's.
+//
+// The suffix is the protocol's versioning seam for event forwards:
+// ReadEventForward deliberately ignores bytes after the event, so a
+// version-1 peer that predates tracing parses a traced frame correctly
+// (it just drops the trace), and a traced peer reading an untraced frame
+// sees no suffix and reports traceID 0. No FederationVersion bump — the
+// handshake is exact-match, and absence-by-default is what keeps mixed
+// fleets interoperable. Future suffix fields must extend the same way:
+// append-only, ignored when absent.
+func AppendEventForwardTrace(b []byte, hops uint8, ev event.Event, traceID uint64, originNanos int64) []byte {
+	b = append(b, hops)
+	b = AppendEvent(b, ev)
+	if traceID != 0 {
+		b = AppendU64(b, traceID)
+		b = AppendU64(b, uint64(originNanos))
+	}
+	return b
+}
+
+// ReadEventForwardTrace consumes a MsgEventForward payload including the
+// optional trace suffix; traceID is 0 when the sender attached none.
+func ReadEventForwardTrace(b []byte) (hops uint8, ev event.Event, traceID uint64, originNanos int64, err error) {
+	if len(b) < 1 {
+		return 0, event.Event{}, 0, 0, fmt.Errorf("%w: short event-forward header", ErrMalformed)
+	}
+	hops = b[0]
+	var rest []byte
+	ev, rest, err = ReadEvent(b[1:])
+	if err != nil {
+		return 0, event.Event{}, 0, 0, err
+	}
+	if len(rest) >= 16 { // ≥, not ==: later suffix fields extend past ours
+		traceID = binary.BigEndian.Uint64(rest)
+		originNanos = int64(binary.BigEndian.Uint64(rest[8:]))
+	}
+	return hops, ev, traceID, originNanos, nil
+}
+
 // AppendBusy appends a MsgBusy payload: the rejected request's ID and the
 // suggested retry delay in milliseconds.
 func AppendBusy(b []byte, reqID uint32, retryAfterMillis uint32) []byte {

@@ -351,3 +351,54 @@ func TestFederationPayloadShortInputs(t *testing.T) {
 		t.Errorf("truncated event forward err = %v", err)
 	}
 }
+
+func TestEventForwardTraceRoundTrip(t *testing.T) {
+	ev := event.New().Set("sym", "ACME").Set("price", int64(7))
+
+	// Traced frame round-trips all four fields.
+	b := AppendEventForwardTrace(nil, 2, ev, 0xabcdef0123456789, -5e9)
+	hops, got, traceID, origin, err := ReadEventForwardTrace(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops != 2 || !got.Equal(ev) {
+		t.Errorf("hops/event = %d %v", hops, got)
+	}
+	if traceID != 0xabcdef0123456789 || origin != -5e9 {
+		t.Errorf("trace = %#x origin %d", traceID, origin)
+	}
+
+	// Backward compatibility both ways. An old reader parses a traced
+	// frame, silently dropping the suffix...
+	oldHops, oldEv, err := ReadEventForward(b)
+	if err != nil {
+		t.Fatalf("old reader rejected traced frame: %v", err)
+	}
+	if oldHops != 2 || !oldEv.Equal(ev) {
+		t.Errorf("old reader on traced frame = %d %v", oldHops, oldEv)
+	}
+	// ...and a traced reader reports no trace on an old frame.
+	hops, got, traceID, origin, err = ReadEventForwardTrace(AppendEventForward(nil, 3, ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops != 3 || !got.Equal(ev) || traceID != 0 || origin != 0 {
+		t.Errorf("untraced frame = %d %v trace %d origin %d", hops, got, traceID, origin)
+	}
+
+	// A zero trace ID encodes byte-identically to the untraced form.
+	plain := AppendEventForward(nil, 3, ev)
+	traced := AppendEventForwardTrace(nil, 3, ev, 0, 12345)
+	if string(plain) != string(traced) {
+		t.Errorf("zero-trace frame differs from plain frame")
+	}
+
+	// A partial suffix (future field, or truncation past the event) is
+	// ignored, not an error — same contract as trailing bytes today.
+	if _, _, traceID, _, err = ReadEventForwardTrace(append(AppendEventForward(nil, 1, ev), 1, 2, 3)); err != nil || traceID != 0 {
+		t.Errorf("short suffix: trace %d err %v", traceID, err)
+	}
+	if _, _, _, _, err = ReadEventForwardTrace(nil); !errors.Is(err, ErrMalformed) {
+		t.Errorf("empty traced forward err = %v", err)
+	}
+}
