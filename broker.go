@@ -131,6 +131,12 @@ func NewBroker(opts ...BrokerOption) *Broker {
 
 // Subscribe parses and registers a textual subscription with a handler. The
 // handler runs on the subscription's delivery goroutine.
+//
+// Ownership: events a handler receives are always owned — the broker
+// calls Retain before enqueueing, so even an event decoded in the wire
+// layer's zero-copy aliasing mode no longer references any network
+// buffer by the time it reaches a subscriber. Handlers may keep a
+// delivered Event indefinitely; Events are immutable and safe to share.
 func (br *Broker) Subscribe(sub string, h func(ev Event)) (*BrokerSubscription, error) {
 	x, err := Parse(sub)
 	if err != nil {

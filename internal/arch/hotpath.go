@@ -17,6 +17,11 @@ import (
 //     interface arguments escape);
 //   - string concatenation inside a loop (quadratic garbage);
 //   - map literals (a map literal allocates even when empty);
+//   - make(map[...]...) — constructing a map is an allocation, and the
+//     flat-event refactor exists precisely so the spine never needs one;
+//   - ranging over a map — iteration is randomized and pointer-chasing,
+//     hostile to the cache discipline the sorted-attribute layout buys
+//     (probing m[k] stays fine);
 //   - append growing a locally-declared slice inside a loop when the
 //     declaration carries no capacity hint (make with two arguments, a
 //     plain var, or a literal — each append risks a reallocation).
@@ -104,6 +109,13 @@ func checkHotBody(mod *Module, p *Package, fd *ast.FuncDecl) []Finding {
 					report(x.Pos(), fmt.Sprintf("append grows %s without a capacity hint in a loop", target))
 				}
 			}
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && isBuiltin(p, id) && isMapType(p, x) {
+				report(x.Pos(), "make(map) allocates")
+			}
+		case *ast.RangeStmt:
+			if isMapType(p, x.X) {
+				report(x.X.Pos(), "map iteration is unordered and cache-hostile")
+			}
 		case *ast.BinaryExpr:
 			if x.Op == token.ADD && inLoop(x.Pos()) && isStringExpr(p, x) {
 				report(x.Pos(), "string concatenation in a loop allocates")
@@ -113,17 +125,26 @@ func checkHotBody(mod *Module, p *Package, fd *ast.FuncDecl) []Finding {
 				report(x.Pos(), "string concatenation in a loop allocates")
 			}
 		case *ast.CompositeLit:
-			if p.Info != nil {
-				if tv, ok := p.Info.Types[x]; ok && tv.Type != nil {
-					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-						report(x.Pos(), "map literal allocates")
-					}
-				}
+			if isMapType(p, x) {
+				report(x.Pos(), "map literal allocates")
 			}
 		}
 		return true
 	})
 	return out
+}
+
+// isMapType reports whether the expression's type is (underlying) a map.
+func isMapType(p *Package, e ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
 }
 
 func isBuiltin(p *Package, id *ast.Ident) bool {

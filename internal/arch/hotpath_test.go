@@ -22,6 +22,8 @@ func TestHotPathFixture(t *testing.T) {
 			"string += in a loop",
 			"string + in a loop",
 			"map literal allocates",
+			"make(map) on the hot path",
+			"map iteration on the hot path",
 			"append to a bare var in a loop",
 			"append to a literal-declared slice in a loop",
 			"append to a capacity-less make in a loop",
@@ -48,6 +50,8 @@ func TestHotPathMessages(t *testing.T) {
 		"fmt.Sprintf allocates in hot-path function formats",
 		"string concatenation in a loop allocates in hot-path function concatAssign",
 		"map literal allocates in hot-path function mapLiteral",
+		"make(map) allocates in hot-path function makesMap",
+		"map iteration is unordered and cache-hostile in hot-path function rangesMap",
 		"append grows out without a capacity hint in a loop in hot-path function growsVar",
 	} {
 		found := false

@@ -10,7 +10,7 @@ package arch
 //
 // Layers, bottom to top (labels are documentation; the edges are the law):
 //
-//	kernel     value, index/btree, memmodel, substore
+//	kernel     value, intern, index/btree, memmodel, substore
 //	model      event, predicate
 //	expr       boolexpr, subtree, matcher, cover, sublang, workload
 //	engine     core, counting, index, shard
@@ -71,16 +71,20 @@ var pureStd = []string{"net", "os", "syscall", "unsafe", "reflect"}
 // DefaultPolicy is the layering DAG of this module.
 var DefaultPolicy = Policy{Packages: map[string]PackageRule{
 	// --- kernel ---
-	"internal/value":       {Layer: "kernel", ForbidStd: pureStd},
+	"internal/value": {Layer: "kernel", ForbidStd: pureStd},
+	// The symbol table is process-global leaf state: nothing below it, and
+	// it must stay pure compute like the rest of the kernel so interned
+	// matching remains embeddable anywhere.
+	"internal/intern":       {Layer: "kernel", ForbidStd: pureStd},
 	"internal/index/btree": {Layer: "kernel", ForbidStd: pureStd},
 	"internal/memmodel":    {Layer: "kernel", ForbidStd: pureStd},
 	"internal/substore":    {Layer: "kernel"}, // file-backed store: os allowed
 
 	// --- model ---
 	"internal/event": {Layer: "model", ForbidStd: pureStd,
-		Allow: []string{"internal/value"}},
+		Allow: []string{"internal/intern", "internal/value"}},
 	"internal/predicate": {Layer: "model", ForbidStd: pureStd,
-		Allow: []string{"internal/event", "internal/value"}},
+		Allow: []string{"internal/event", "internal/intern", "internal/value"}},
 
 	// --- expr ---
 	"internal/boolexpr": {Layer: "expr", ForbidStd: pureStd,
@@ -103,7 +107,7 @@ var DefaultPolicy = Policy{Packages: map[string]PackageRule{
 
 	// --- engine ---
 	"internal/index": {Layer: "engine", ForbidStd: pureStd,
-		Allow: []string{"internal/event", "internal/index/btree", "internal/predicate", "internal/value"}},
+		Allow: []string{"internal/event", "internal/index/btree", "internal/intern", "internal/predicate", "internal/value"}},
 	"internal/core": {Layer: "engine", ForbidStd: pureStd,
 		Allow: []string{"internal/boolexpr", "internal/event", "internal/index", "internal/matcher", "internal/predicate", "internal/subtree"}},
 	"internal/counting": {Layer: "engine", ForbidStd: pureStd,
@@ -132,7 +136,7 @@ var DefaultPolicy = Policy{Packages: map[string]PackageRule{
 
 	// --- transport (may dial/listen, but exposition stays in cmd/*) ---
 	"internal/wire": {Layer: "transport", WireInAPI: true, ForbidStd: []string{"net/http"},
-		Allow: []string{"internal/event", "internal/value"}},
+		Allow: []string{"internal/event", "internal/intern", "internal/value"}},
 	"internal/netbroker": {Layer: "transport", WireInAPI: true, ForbidStd: []string{"net/http"},
 		Allow: []string{"internal/broker", "internal/event", "internal/sublang", "internal/wire"}},
 	"internal/netoverlay": {Layer: "transport", WireInAPI: true, ForbidStd: []string{"net/http"},
@@ -145,7 +149,7 @@ var DefaultPolicy = Policy{Packages: map[string]PackageRule{
 	// --- app: commands reach internals only through their declared
 	// service entry points (or the facade); engine guts are off limits ---
 	"internal/bench": {Layer: "app",
-		Allow: []string{"internal/boolexpr", "internal/broker", "internal/chaos", "internal/core", "internal/counting", "internal/event", "internal/index", "internal/matcher", "internal/memmodel", "internal/netbroker", "internal/netoverlay", "internal/obs", "internal/overlay", "internal/predicate", "internal/shard", "internal/subtree", "internal/workload"}},
+		Allow: []string{"internal/boolexpr", "internal/broker", "internal/chaos", "internal/core", "internal/counting", "internal/event", "internal/index", "internal/matcher", "internal/memmodel", "internal/netbroker", "internal/netoverlay", "internal/obs", "internal/overlay", "internal/predicate", "internal/shard", "internal/subtree", "internal/wire", "internal/workload"}},
 	// Fault-injection plumbing (stallable TCP relay + delivery oracle) for
 	// chaos experiments and transport tests; pure stdlib, no module deps.
 	"internal/chaos": {Layer: "app"},

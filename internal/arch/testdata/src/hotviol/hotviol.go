@@ -36,6 +36,20 @@ func mapLiteral(k string) map[string]int {
 }
 
 //nclint:hotpath
+func makesMap(n int) map[string]int {
+	return make(map[string]int, n) // make(map) on the hot path
+}
+
+//nclint:hotpath
+func rangesMap(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // map iteration on the hot path
+		sum += v
+	}
+	return sum
+}
+
+//nclint:hotpath
 func growsVar(xs []int) []int {
 	var out []int
 	for _, x := range xs {
@@ -93,6 +107,14 @@ func appendOnce(xs []int) []int {
 	var out []int
 	out = append(out, xs...)
 	return out
+}
+
+// probesMap reads one key: a map probe is fine on the hot path, only
+// construction and iteration are flagged.
+//
+//nclint:hotpath
+func probesMap(m map[string]int, k string) int {
+	return m[k]
 }
 
 // justifiedFmt carries a justified exception and must NOT be flagged.

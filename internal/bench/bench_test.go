@@ -20,7 +20,7 @@ func TestExperimentsRegistry(t *testing.T) {
 		"table1", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f",
 		"memory", "crossover", "ablation-reorder", "ablation-encoding",
 		"parallel", "shard", "batch", "cover", "million", "federate", "chaos",
-		"obs",
+		"obs", "hotpath",
 	}
 	if len(exps) != len(wantIDs) {
 		t.Fatalf("%d experiments, want %d", len(exps), len(wantIDs))

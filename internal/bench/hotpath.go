@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"noncanon/internal/broker"
+	"noncanon/internal/core"
+	"noncanon/internal/event"
+	"noncanon/internal/index"
+	"noncanon/internal/matcher"
+	"noncanon/internal/predicate"
+	"noncanon/internal/wire"
+	"noncanon/internal/workload"
+)
+
+// hotpathSubs is the fixed subscription population of the H1 stages that
+// involve matching. H1 is a trajectory benchmark, not a sweep: the shape
+// stays constant across PRs so the per-stage numbers in BENCH_*.json are
+// comparable release to release.
+const hotpathSubs = 1000
+
+// HotpathStage is one measured stage of the publish spine (experiment H1).
+type HotpathStage struct {
+	Stage       string
+	NsPerOp     float64
+	AllocsPerOp float64
+	// EventsPerSecCore is single-goroutine throughput, i.e. per-core: the
+	// loop runs one event at a time on one OS thread.
+	EventsPerSecCore float64
+}
+
+// HotpathResult is the regenerated per-stage cost profile of the publish
+// spine, from wire decode to broker delivery.
+type HotpathResult struct {
+	GOMAXPROCS int
+	Events     int // distinct events per round
+	Rounds     int
+	Stages     []HotpathStage
+}
+
+// minRoundTime is the floor for one timed round. Cheap stages (a decode
+// is a few hundred nanoseconds) repeat their event pass until a round
+// lasts at least this long, so round times sit far above scheduler and
+// timer granularity — a millisecond-scale round can swing tens of percent
+// from one run to the next, which no regression tolerance survives.
+const minRoundTime = 25 * time.Millisecond
+
+// measureStage times fn over rounds and samples the allocator's Mallocs
+// counter around the whole run. fn(i) performs operation i of a pass over
+// the n events; a full untimed pass warms pools and growth tables first,
+// and a timed estimate sizes how many passes one round needs to reach
+// minRoundTime. ns/op is the FASTEST round: ambient noise (GC, steal,
+// descheduling) is strictly additive, so the minimum is the stablest
+// estimator of the code's own cost — which is what the regression gate
+// needs to compare across runs on a shared machine. Allocations are
+// deterministic per op and average over every round.
+func measureStage(name string, n, rounds int, fn func(i int)) HotpathStage {
+	pass := func() {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+	}
+	pass() // warm
+	start := time.Now()
+	pass()
+	est := time.Since(start)
+	reps := 1
+	if est > 0 && est < minRoundTime {
+		reps = int(minRoundTime/est) + 1
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	best := time.Duration(0)
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		for p := 0; p < reps; p++ {
+			pass()
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	runtime.ReadMemStats(&after)
+	ops := n * reps
+	ns := float64(best.Nanoseconds()) / float64(ops)
+	return HotpathStage{
+		Stage:            name,
+		NsPerOp:          ns,
+		AllocsPerOp:      float64(after.Mallocs-before.Mallocs) / float64(ops*rounds),
+		EventsPerSecCore: 1e9 / ns,
+	}
+}
+
+// MeasureHotpath profiles the publish spine stage by stage (experiment
+// H1): copying decode vs aliasing decode of the same encoded events, the
+// engine's pooled MatchInto, and the full broker Publish. Everything runs
+// single-goroutine so ns/op inverts to events/s-per-core, the unit the
+// zero-copy refactor optimizes for.
+func MeasureHotpath(cfg Config) (HotpathResult, error) {
+	cfg = cfg.withDefaults()
+	events := 1000 * cfg.Trials
+	rounds := 4
+	res := HotpathResult{GOMAXPROCS: runtime.GOMAXPROCS(0), Events: events, Rounds: rounds}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// One encoded frame payload per event, each in its own allocation, so
+	// the aliasing decode references stable bytes exactly as it would a
+	// reader-loop frame buffer between ReadFrameInto calls.
+	evs := make([]event.Event, events)
+	payloads := make([][]byte, events)
+	for i := range evs {
+		evs[i] = workload.StockEvent(rng, i)
+		payloads[i] = wire.AppendEvent(nil, evs[i])
+	}
+
+	res.Stages = append(res.Stages, measureStage("decode_copy", events, rounds, func(i int) {
+		if _, _, err := wire.ReadEvent(payloads[i]); err != nil {
+			panic(err)
+		}
+	}))
+	res.Stages = append(res.Stages, measureStage("decode_alias", events, rounds, func(i int) {
+		if _, _, err := wire.ReadEventAlias(payloads[i]); err != nil {
+			panic(err)
+		}
+	}))
+
+	// Matching: a fixed stock-subscription population and the pooled
+	// append-style spine the broker publishes through.
+	reg := predicate.NewRegistry()
+	idx := index.New()
+	eng := core.New(reg, idx, core.Options{})
+	subRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for i := 0; i < hotpathSubs; i++ {
+		if _, err := eng.Subscribe(workload.StockSub(subRng)); err != nil {
+			return res, fmt.Errorf("bench: hotpath subscribe %d: %w", i, err)
+		}
+	}
+	var buf []matcher.SubID
+	res.Stages = append(res.Stages, measureStage("match", events, rounds, func(i int) {
+		buf = eng.MatchInto(evs[i], buf[:0])
+	}))
+
+	// Full publish: matching plus fan-out enqueue onto no-op subscribers.
+	b := broker.New(broker.Options{QueueSize: 4 * hotpathSubs})
+	defer b.Close()
+	subRng = rand.New(rand.NewSource(cfg.Seed + 1))
+	for i := 0; i < hotpathSubs; i++ {
+		if _, err := b.Subscribe(workload.StockSub(subRng), func(event.Event) {}); err != nil {
+			return res, fmt.Errorf("bench: hotpath broker subscribe %d: %w", i, err)
+		}
+	}
+	res.Stages = append(res.Stages, measureStage("publish", events, rounds, func(i int) {
+		if _, err := b.Publish(evs[i]); err != nil {
+			panic(err)
+		}
+	}))
+	return res, nil
+}
+
+// RunHotpath reports the publish-spine stage profile (experiment H1).
+func RunHotpath(cfg Config) error {
+	cfg = cfg.withDefaults()
+	res, err := MeasureHotpath(cfg)
+	if err != nil {
+		return err
+	}
+	w := cfg.Out
+	if cfg.CSV {
+		fmt.Fprintf(w, "stage,ns_op,allocs_op,ev_s_core\n")
+		for _, s := range res.Stages {
+			fmt.Fprintf(w, "%s,%.1f,%.3f,%.1f\n", s.Stage, s.NsPerOp, s.AllocsPerOp, s.EventsPerSecCore)
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "H1: publish-spine stage costs (GOMAXPROCS %d, single-goroutine)\n", res.GOMAXPROCS)
+	fmt.Fprintf(w, "workload: %d stock events x %d rounds, %d subscriptions on the match stages\n\n",
+		res.Events, res.Rounds, hotpathSubs)
+	fmt.Fprintf(w, "%-14s %-12s %-12s %-14s\n", "stage", "ns/op", "allocs/op", "events/s/core")
+	for _, s := range res.Stages {
+		fmt.Fprintf(w, "%-14s %-12.1f %-12.3f %-14.1f\n", s.Stage, s.NsPerOp, s.AllocsPerOp, s.EventsPerSecCore)
+	}
+	fmt.Fprintf(w, "\ndecode_alias vs decode_copy is the zero-copy saving; match and publish\n")
+	fmt.Fprintf(w, "ride the pooled MatchInto spine (alloc budgets pin their floors).\n")
+	return nil
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func hotpathBaseline(t *testing.T) JSONResult {
+	t.Helper()
+	res, err := ParseTrajectory([]byte(`{
+	  "experiment": "hotpath",
+	  "points": [
+	    {"stage": "decode_copy",  "ns_op": 1000, "allocs_op": 12, "ev_s_core": 1000000},
+	    {"stage": "decode_alias", "ns_op": 400,  "allocs_op": 1,  "ev_s_core": 2500000},
+	    {"stage": "match",        "ns_op": 2000, "allocs_op": 0,  "ev_s_core": 500000}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCompareHotpathVerdicts drives the comparator through a pass, an
+// ns/op regression beyond tolerance, an allocs/op climb, and an
+// improvement, pinning the failure reasons.
+func TestCompareHotpathVerdicts(t *testing.T) {
+	base := hotpathBaseline(t)
+	cur := HotpathResult{Stages: []HotpathStage{
+		{Stage: "decode_copy", NsPerOp: 1050, AllocsPerOp: 12}, // +5%: within tolerance
+		{Stage: "decode_alias", NsPerOp: 500, AllocsPerOp: 1},  // +25%: ns/op regression
+		{Stage: "match", NsPerOp: 1500, AllocsPerOp: 1.0},      // faster but now allocates
+		{Stage: "publish", NsPerOp: 9999, AllocsPerOp: 99},     // not in baseline: skipped
+	}}
+	lines, err := CompareHotpath(base, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (publish has no baseline): %+v", len(lines), lines)
+	}
+	byStage := map[string]RegressLine{}
+	for _, l := range lines {
+		byStage[l.Stage] = l
+	}
+	if l := byStage["decode_copy"]; l.Failed {
+		t.Errorf("decode_copy within tolerance but failed: %+v", l)
+	}
+	if l := byStage["decode_alias"]; !l.Failed || !strings.Contains(l.Reason, "ns/op regressed") {
+		t.Errorf("decode_alias should fail on ns/op: %+v", l)
+	}
+	if l := byStage["match"]; !l.Failed || !strings.Contains(l.Reason, "allocs/op grew") {
+		t.Errorf("match should fail on allocs despite being faster: %+v", l)
+	}
+}
+
+// TestCompareHotpathAllocSlack: sub-allocation jitter under the slack
+// passes; a whole extra allocation fails.
+func TestCompareHotpathAllocSlack(t *testing.T) {
+	base := hotpathBaseline(t)
+	jitter := HotpathResult{Stages: []HotpathStage{{Stage: "match", NsPerOp: 2000, AllocsPerOp: 0.3}}}
+	lines, err := CompareHotpath(base, jitter, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines[0].Failed {
+		t.Errorf("0.3 allocs jitter over a 0 baseline should pass: %+v", lines[0])
+	}
+	extra := HotpathResult{Stages: []HotpathStage{{Stage: "match", NsPerOp: 2000, AllocsPerOp: 1.0}}}
+	lines, err = CompareHotpath(base, extra, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lines[0].Failed {
+		t.Errorf("a full extra allocation over a 0 baseline should fail: %+v", lines[0])
+	}
+}
+
+// TestCompareHotpathRejectsForeignBaseline: gating against a document
+// from another experiment is an error, not a vacuous pass.
+func TestCompareHotpathRejectsForeignBaseline(t *testing.T) {
+	obsDoc, err := ParseTrajectory([]byte(`{"experiment": "obs", "points": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareHotpath(obsDoc, HotpathResult{}, 10); err == nil {
+		t.Error("foreign baseline accepted")
+	}
+	disjoint := hotpathBaseline(t)
+	cur := HotpathResult{Stages: []HotpathStage{{Stage: "brand_new", NsPerOp: 1, AllocsPerOp: 0}}}
+	if _, err := CompareHotpath(disjoint, cur, 10); err == nil {
+		t.Error("stage-disjoint comparison accepted")
+	}
+}

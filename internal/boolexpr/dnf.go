@@ -396,7 +396,7 @@ func ComplementLiterals(d DNF) (DNF, error) {
 			if !ok {
 				return nil, fmt.Errorf("%w: not (%s)", ErrNotNegatable, l.Pred)
 			}
-			nc[j] = Literal{Pred: predicate.P{Attr: l.Pred.Attr, Op: op, Operand: l.Pred.Operand}}
+			nc[j] = Literal{Pred: predicate.P{Attr: l.Pred.Attr, Sym: l.Pred.Sym, Op: op, Operand: l.Pred.Operand}}
 		}
 		out[i] = nc
 	}

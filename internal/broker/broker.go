@@ -131,8 +131,16 @@ type engine interface {
 	Subscribe(expr boolexpr.Expr) (matcher.SubID, error)
 	Unsubscribe(id matcher.SubID) error
 	Match(ev event.Event) []matcher.SubID
+	MatchInto(ev event.Event, out []matcher.SubID) []matcher.SubID
 	MatchBatch(evs []event.Event) [][]matcher.SubID
 	NumSubscriptions() int
+}
+
+// matchBuf is the pooled result buffer of the publish path: MatchInto
+// appends into its recycled slice, so a steady-state Publish allocates no
+// match-result storage at all.
+type matchBuf struct {
+	ids []matcher.SubID
 }
 
 // Broker routes published events to matching subscribers.
@@ -177,6 +185,9 @@ type Broker struct {
 	latencyTick    atomic.Uint64
 	matchLatency   *obs.Histogram
 	publishLatency *obs.Histogram
+
+	// matchPool recycles *matchBuf values across Publish calls.
+	matchPool sync.Pool
 }
 
 // latencySampleEvery is the Publish latency-clock sampling interval; it
@@ -541,6 +552,11 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 	if timed {
 		start = time.Now()
 	}
+	// Subscriber queues outlive any frame buffer, so a borrowed event
+	// (zero-copy wire decode) must take ownership of its strings before
+	// the first enqueue. For owned events — the common case — Retain is a
+	// free no-op.
+	ev = ev.Retain()
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	if b.closed {
@@ -549,7 +565,11 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 	b.published.Inc()
 	n := 0
 	var visited map[*dag.Node]bool
-	matched := b.eng.Match(ev)
+	mb, _ := b.matchPool.Get().(*matchBuf)
+	if mb == nil {
+		mb = &matchBuf{}
+	}
+	matched := b.eng.MatchInto(ev, mb.ids[:0])
 	if timed {
 		b.matchLatency.Observe(time.Since(start))
 	}
@@ -574,6 +594,8 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 			n += dn
 		}
 	}
+	mb.ids = matched
+	b.matchPool.Put(mb)
 	if timed {
 		b.publishLatency.Observe(time.Since(start))
 	}
@@ -659,6 +681,13 @@ func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 		b.matchLatency.Observe(time.Since(start))
 	}
 	for i, ids := range matches {
+		if len(ids) == 0 {
+			continue
+		}
+		// Like Publish: a borrowed event must own its strings before the
+		// first enqueue (free for owned events). Only matched events pay
+		// even the check.
+		ev := evs[i].Retain()
 		var visited map[*dag.Node]bool // per event, shared across its roots
 		for _, id := range ids {
 			g, ok := b.groups[id]
@@ -667,7 +696,7 @@ func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 			}
 			for _, s := range g.members {
 				select {
-				case s.queue <- evs[i]:
+				case s.queue <- ev:
 					counts[i]++
 				default:
 					s.dropped.Add(1)
@@ -677,7 +706,7 @@ func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 			}
 			if g.node != nil && len(g.node.Children()) > 0 {
 				var dn int
-				dn, visited = b.enqueueCovered(g.node, evs[i], visited)
+				dn, visited = b.enqueueCovered(g.node, ev, visited)
 				counts[i] += dn
 			}
 		}

@@ -57,9 +57,30 @@ func TestMatchAllocBudget(t *testing.T) {
 	}
 }
 
-// TestMatchBatchAllocBudget: a batch of B events performs B+1 allocations
-// — one result slice per event plus the outer slice — so batching adds no
-// per-event envelope beyond the unavoidable results.
+// TestMatchIntoAllocBudget: the append-style spine is allocation-free
+// once the caller recycles its buffer — this is the broker's publish
+// path, and the floor the whole zero-copy refactor exists to reach.
+func TestMatchIntoAllocBudget(t *testing.T) {
+	e, ev := warmedEngine(t, 200)
+	buf := e.MatchInto(ev, nil) // warm the caller buffer
+	if len(buf) == 0 {
+		t.Fatal("event stopped matching")
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		buf = e.MatchInto(ev, buf[:0])
+		if len(buf) == 0 {
+			t.Fatal("event stopped matching")
+		}
+	})
+	if avg > 0 {
+		t.Errorf("MatchInto allocates %.1f per run, budget 0", avg)
+	}
+}
+
+// TestMatchBatchAllocBudget: a batch performs two allocations regardless
+// of batch size — the outer row index and one shared result arena whose
+// capacity is remembered across batches (rows are capped sub-slices of
+// it, see matcher.Matcher).
 func TestMatchBatchAllocBudget(t *testing.T) {
 	e, ev := warmedEngine(t, 200)
 	const batch = 16
@@ -67,7 +88,8 @@ func TestMatchBatchAllocBudget(t *testing.T) {
 	for i := range evs {
 		evs[i] = ev
 	}
-	const budget = batch + 1
+	e.MatchBatch(evs) // warm the arena capacity hint
+	const budget = 2
 	avg := testing.AllocsPerRun(100, func() {
 		if len(e.MatchBatch(evs)) != batch {
 			t.Fatal("batch result misaligned")

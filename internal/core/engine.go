@@ -103,6 +103,7 @@ type matchScratch struct {
 	subMark  []uint32 // indexed by SubID-1: epoch when enlisted as candidate
 	predBuf  []predicate.ID
 	candBuf  []matcher.SubID
+	batchCap int // high-water result-arena capacity for MatchBatch presizing
 }
 
 var _ matcher.Matcher = (*Engine)(nil)
@@ -260,10 +261,29 @@ func (e *Engine) Match(ev event.Event) []matcher.SubID {
 	return e.matchScratched(sc, sc.predBuf)
 }
 
+// MatchInto is Match in append style: matching subscription IDs are
+// appended to out and the extended slice returned. With a caller-recycled
+// buffer the steady state allocates nothing — this is the broker's
+// publish path.
+//
+//nclint:hotpath
+func (e *Engine) MatchInto(ev event.Event, out []matcher.SubID) []matcher.SubID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sc := e.getScratchRLocked()
+	defer e.scratch.Put(sc)
+	sc.predBuf = e.idx.Match(ev, sc.predBuf[:0])
+	epoch := e.prepare(sc, sc.predBuf)
+	return e.evalPrepared(sc, epoch, out)
+}
+
 // MatchBatch runs both filtering phases for every event under a single
 // read-lock acquisition with a single pooled scratch, so a batch pays the
 // per-call envelope once. Every event in the batch matches against the
-// same store state.
+// same store state. The per-event rows share one arena allocation whose
+// capacity is remembered across batches (see matcher.Matcher: rows are
+// caller-owned but may share backing storage), so a steady-state batch
+// costs two allocations regardless of batch size.
 //
 //nclint:hotpath
 func (e *Engine) MatchBatch(evs []event.Event) [][]matcher.SubID {
@@ -275,9 +295,20 @@ func (e *Engine) MatchBatch(evs []event.Event) [][]matcher.SubID {
 	sc := e.getScratchRLocked()
 	defer e.scratch.Put(sc)
 	out := make([][]matcher.SubID, len(evs))
+	arena := make([]matcher.SubID, 0, sc.batchCap)
 	for i, ev := range evs {
 		sc.predBuf = e.idx.Match(ev, sc.predBuf[:0])
-		out[i] = e.matchScratched(sc, sc.predBuf)
+		epoch := e.prepare(sc, sc.predBuf)
+		start := len(arena)
+		arena = e.evalPrepared(sc, epoch, arena)
+		if len(arena) > start {
+			// Full-slice-expression cap: appending to a row can never
+			// clobber its neighbour, it reallocates instead.
+			out[i] = arena[start:len(arena):len(arena)]
+		}
+	}
+	if cap(arena) > sc.batchCap {
+		sc.batchCap = cap(arena)
 	}
 	return out
 }
@@ -365,6 +396,15 @@ func (e *Engine) matchScratched(sc *matchScratch, fulfilled []predicate.ID) []ma
 		return nil
 	}
 	out := make([]matcher.SubID, 0, len(sc.candBuf)+len(e.always))
+	return e.evalPrepared(sc, epoch, out)
+}
+
+// evalPrepared evaluates the candidates prepared into sc (plus the
+// always-evaluate list), appending matches to out. Caller holds at least
+// the read lock and owns out; nothing is allocated here unless out grows.
+//
+//nclint:hotpath
+func (e *Engine) evalPrepared(sc *matchScratch, epoch uint32, out []matcher.SubID) []matcher.SubID {
 	for _, sid := range sc.candBuf {
 		if subtree.EvalMarked(e.slots[sid-1].compiled.Code, sc.predMark, epoch) {
 			out = append(out, sid)

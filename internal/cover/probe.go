@@ -121,7 +121,7 @@ func ProvablePins(e boolexpr.Expr) []Pin {
 			continue
 		}
 		seen[pin] = true
-		cands = append(cands, boolexpr.NewLeaf(predicate.P{Attr: p.Attr, Op: predicate.Eq, Operand: p.Operand}))
+		cands = append(cands, boolexpr.NewLeaf(predicate.P{Attr: p.Attr, Sym: p.Sym, Op: predicate.Eq, Operand: p.Operand}))
 	}
 	var out []Pin
 	for i, leaf := range cands {

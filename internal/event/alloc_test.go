@@ -1,0 +1,56 @@
+//go:build !race
+
+package event
+
+import "testing"
+
+// The zero event is the common carrier for control frames and probes; it
+// must cost nothing. Pinned here so the flat representation can't regress
+// back to eager map allocation.
+func TestZeroEventAllocBudget(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		e := New()
+		if e.Len() != 0 {
+			t.Fatal("zero event not empty")
+		}
+		if _, ok := e.Get("missing"); ok {
+			t.Fatal("zero event has attributes")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("zero event costs %.1f allocs/op, budget is 0", allocs)
+	}
+}
+
+// Lookups on a populated event must not allocate either: Get is a binary
+// search and GetSym a linear scan, both over the event's own storage.
+func TestLookupAllocBudget(t *testing.T) {
+	e := New().Set("sym", "ACME").Set("price", 42).Set("size", 7)
+	sym := e.All()[2].Sym // "sym" sorts last
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := e.Get("price"); !ok {
+			t.Fatal("price missing")
+		}
+		if _, ok := e.GetSym(sym, "sym"); !ok {
+			t.Fatal("sym missing")
+		}
+		if e.Has("missing") {
+			t.Fatal("phantom attribute")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("lookups cost %.1f allocs/op, budget is 0", allocs)
+	}
+}
+
+// Retain on an owned event is a free no-op — the broker calls it on every
+// publish, so this is a hot-path budget, not a nicety.
+func TestRetainOwnedAllocBudget(t *testing.T) {
+	e := New().Set("sym", "ACME").Set("price", 42)
+	allocs := testing.AllocsPerRun(100, func() {
+		e = e.Retain()
+	})
+	if allocs != 0 {
+		t.Fatalf("Retain on owned event costs %.1f allocs/op, budget is 0", allocs)
+	}
+}

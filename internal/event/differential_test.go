@@ -1,0 +1,162 @@
+package event
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"noncanon/internal/intern"
+	"noncanon/internal/value"
+)
+
+// mapOracle is the old map-backed event semantics, kept as an executable
+// specification: repeated Set overwrites, invalid values are dropped,
+// iteration is name-sorted.
+type mapOracle map[string]value.Value
+
+func (m mapOracle) set(attr string, v any) {
+	if val := value.Of(v); val.IsValid() {
+		m[attr] = val
+	}
+}
+
+func (m mapOracle) sortedNames() []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// adversarialValues are the boundary payloads every representation change
+// must survive: NaN, infinities, and the float/int equality cliff at 2^53.
+var adversarialValues = []any{
+	math.NaN(), math.Inf(1), math.Inf(-1),
+	float64(1 << 53), float64(1<<53) + 2, -float64(1 << 53),
+	int64(1 << 53), int64(1<<53) + 1, int64(-1 << 53),
+	math.Copysign(0, -1), float64(0), int64(0),
+	int64(math.MaxInt64), int64(math.MinInt64),
+	"", "x", "\x00", "üben", true, false,
+}
+
+func randomPayload(rng *rand.Rand) any {
+	return adversarialValues[rng.Intn(len(adversarialValues))]
+}
+
+// TestDifferentialMapOracle drives random Set sequences (with duplicate
+// attribute names and adversarial numerics) through the flat event and the
+// map oracle in lockstep and demands identical observable behavior.
+func TestDifferentialMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	attrNames := []string{"a", "b", "price", "sym", "zz", "μ", ""}
+	for trial := 0; trial < 500; trial++ {
+		e := New()
+		oracle := mapOracle{}
+		for step := 0; step < rng.Intn(12); step++ {
+			attr := attrNames[rng.Intn(len(attrNames))]
+			v := randomPayload(rng)
+			e = e.Set(attr, v)
+			oracle.set(attr, v)
+		}
+		checkAgainstOracle(t, e, oracle)
+		if t.Failed() {
+			t.Fatalf("trial %d diverged", trial)
+		}
+	}
+}
+
+// TestDifferentialFromAttrs feeds FromAttrs unsorted, duplicated, and
+// partially invalid attribute slices and checks it lands on the same event
+// as replaying the slice through the oracle (last occurrence wins).
+func TestDifferentialFromAttrs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	attrNames := []string{"a", "b", "price", "sym"}
+	for trial := 0; trial < 500; trial++ {
+		var attrs []Attr
+		oracle := mapOracle{}
+		for step := 0; step < rng.Intn(10); step++ {
+			attr := attrNames[rng.Intn(len(attrNames))]
+			v := randomPayload(rng)
+			val := value.Of(v)
+			if rng.Intn(8) == 0 {
+				val = value.Value{} // invalid: FromAttrs must drop it
+			}
+			if val.IsValid() {
+				oracle.set(attr, v)
+			}
+			var sym intern.Sym
+			if rng.Intn(2) == 0 {
+				sym = intern.Of(attr)
+			}
+			attrs = append(attrs, Attr{Name: attr, Sym: sym, Val: val})
+		}
+		e := FromAttrs(attrs)
+		checkAgainstOracle(t, e, oracle)
+		if t.Failed() {
+			t.Fatalf("trial %d diverged", trial)
+		}
+	}
+}
+
+func checkAgainstOracle(t *testing.T, e Event, oracle mapOracle) {
+	t.Helper()
+	if e.Len() != len(oracle) {
+		t.Errorf("Len = %d, oracle has %d", e.Len(), len(oracle))
+	}
+	names := oracle.sortedNames()
+	got := e.Attrs()
+	if len(got) != len(names) {
+		t.Errorf("Attrs = %v, want %v", got, names)
+		return
+	}
+	for i, name := range names {
+		if got[i] != name {
+			t.Errorf("Attrs[%d] = %q, want %q", i, got[i], name)
+		}
+		v, ok := e.Get(name)
+		if !ok {
+			t.Errorf("Get(%q) missing", name)
+			continue
+		}
+		want := oracle[name]
+		// NaN != NaN under Equal? value.Equal treats NaN per its own
+		// contract; compare by Key which is total.
+		if v.Key() != want.Key() {
+			t.Errorf("Get(%q) = %v, want %v", name, v, want)
+		}
+		if sym, lok := intern.Lookup(name); lok {
+			sv, sok := e.GetSym(sym, name)
+			if !sok || sv.Key() != want.Key() {
+				t.Errorf("GetSym(%q) = %v,%v, want %v", name, sv, sok, want)
+			}
+		}
+	}
+	// Range order and content must mirror the sorted oracle.
+	i := 0
+	e.Range(func(attr string, v value.Value) bool {
+		if i >= len(names) || attr != names[i] {
+			t.Errorf("Range[%d] = %q, want %q", i, attr, names[i])
+			return false
+		}
+		i++
+		return true
+	})
+}
+
+// TestGetSymLateIntern pins the Sym-0 fallback: an event built before a
+// name is ever interned must still be found by a predicate that interned
+// the name afterwards.
+func TestGetSymLateIntern(t *testing.T) {
+	name := fmt.Sprintf("late-interned-%d", rand.Int63())
+	// Simulate wire decode of an unknown name: no symbol available.
+	e := FromAttrs([]Attr{{Name: name, Sym: intern.None, Val: value.OfInt(7)}})
+	// A subscription arrives and interns the name.
+	sym := intern.Of(name)
+	v, ok := e.GetSym(sym, name)
+	if !ok || v.Int() != 7 {
+		t.Fatalf("GetSym after late intern = %v,%v, want 7", v, ok)
+	}
+}

@@ -1,6 +1,19 @@
 // Package event defines the event (notification message) model: a set of
 // named, typed attributes published into the system and matched against
 // subscriptions.
+//
+// Representation: an event is an immutable, name-sorted flat slice of
+// attributes whose names carry their interned symbol (internal/intern), so
+// the matching spine compares 32-bit symbols instead of hashing strings
+// and iterates a contiguous array instead of walking map buckets. The
+// zero Event is empty and allocates nothing.
+//
+// Ownership: events built locally (New/Set/FromMap/FromAttrs) own their
+// strings. The wire decoder's aliasing mode builds *borrowed* events whose
+// string bytes reference the frame buffer they were decoded from; anything
+// that outlives the frame — subscriber delivery, durable references —
+// must call Retain first, which coalesces the volatile strings into one
+// owned allocation and is a no-op on events that already own their data.
 package event
 
 import (
@@ -8,101 +21,288 @@ import (
 	"sort"
 	"strings"
 
+	"noncanon/internal/intern"
 	"noncanon/internal/value"
 )
 
-// Event is an immutable-by-convention collection of attribute→value pairs.
-// Construct with New and the fluent Set calls, or FromMap. Matching never
-// mutates an event, and events handed to subscribers must not be modified.
+// Attr is one attribute of an event. Sym is Name's interned symbol, or
+// intern.None when the name was not in the table at construction time (the
+// wire decoder never inserts); consumers must then fall back to comparing
+// Name.
+type Attr struct {
+	Name string
+	Sym  intern.Sym
+	Val  value.Value
+}
+
+// Event is an immutable collection of attribute→value pairs, sorted by
+// attribute name. Construct with New and the fluent Set calls, FromMap, or
+// FromAttrs. Matching never mutates an event, and events handed to
+// subscribers must not be modified.
 type Event struct {
-	attrs map[string]value.Value
+	attrs []Attr
+	// borrowed marks events whose string bytes may alias a transient
+	// buffer (zero-copy wire decode); Retain clears it by materialising
+	// owned copies.
+	borrowed bool
 }
 
-// New returns an empty event.
-func New() Event {
-	return Event{attrs: make(map[string]value.Value, 8)}
-}
+// New returns an empty event. It allocates nothing; storage appears on the
+// first Set.
+func New() Event { return Event{} }
 
-// FromMap builds an event from native Go values. Unsupported value types are
-// dropped (they would never match any predicate anyway).
+// FromMap builds an event from native Go values. Unsupported value types
+// are dropped (they would never match any predicate anyway).
 func FromMap(m map[string]any) Event {
-	e := Event{attrs: make(map[string]value.Value, len(m))}
+	attrs := make([]Attr, 0, len(m))
 	for k, v := range m {
 		if val := value.Of(v); val.IsValid() {
-			e.attrs[k] = val
+			attrs = append(attrs, Attr{Name: k, Sym: intern.Of(k), Val: val})
 		}
 	}
-	return e
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+	return Event{attrs: attrs}
 }
 
-// Set assigns an attribute and returns the event for chaining. A nil-map
-// (zero) event is upgraded to an initialised one so that
-// `var e event.Event; e = e.Set(...)` works.
+// FromAttrs builds an event taking ownership of attrs: the caller must not
+// use the slice afterwards. Attributes with invalid values are dropped;
+// out-of-order or duplicate names are normalised in place (for duplicates
+// the last occurrence wins, matching repeated Set). Already-sorted input —
+// the wire decoder's canonical case — is detected with one linear scan and
+// causes no extra work. Sym fields are taken as given; intern.None is
+// legal and means "compare by name".
+func FromAttrs(attrs []Attr) Event {
+	return Event{attrs: normalize(attrs)}
+}
+
+// FromBorrowedAttrs is FromAttrs for attribute strings that alias a
+// transient buffer (the zero-copy wire decode path). The resulting event
+// must be Retained before it outlives the buffer.
+func FromBorrowedAttrs(attrs []Attr) Event {
+	return Event{attrs: normalize(attrs), borrowed: true}
+}
+
+func normalize(attrs []Attr) []Attr {
+	w := 0
+	sorted := true
+	for i := range attrs {
+		if !attrs[i].Val.IsValid() {
+			continue
+		}
+		if w > 0 && attrs[w-1].Name >= attrs[i].Name {
+			sorted = false
+		}
+		attrs[w] = attrs[i]
+		w++
+	}
+	attrs = attrs[:w]
+	if sorted {
+		return attrs
+	}
+	sort.SliceStable(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+	w = 0
+	for i := 0; i < len(attrs); {
+		j := i
+		for j+1 < len(attrs) && attrs[j+1].Name == attrs[i].Name {
+			j++
+		}
+		attrs[w] = attrs[j] // last occurrence wins, like repeated Set
+		w++
+		i = j + 1
+	}
+	return attrs[:w]
+}
+
+// search returns the index of name in the sorted attrs, or its insertion
+// point, with a presence flag.
+func (e Event) search(name string) (int, bool) {
+	lo, hi := 0, len(e.attrs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.attrs[mid].Name < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(e.attrs) && e.attrs[lo].Name == name
+}
+
+// Set assigns an attribute and returns the new event for chaining. Events
+// are values: Set copies, so earlier copies never observe the change.
+// Unsupported value types are dropped. Set interns the attribute name —
+// it is the local-construction path; wire decode goes through FromAttrs.
 func (e Event) Set(attr string, v any) Event {
-	if e.attrs == nil {
-		e.attrs = make(map[string]value.Value, 8)
+	val := value.Of(v)
+	if !val.IsValid() {
+		return e
 	}
-	if val := value.Of(v); val.IsValid() {
-		e.attrs[attr] = val
+	e = e.Retain() // owned strings before the copy can outlive a frame
+	sym := intern.Of(attr)
+	i, found := e.search(attr)
+	if found {
+		attrs := make([]Attr, len(e.attrs))
+		copy(attrs, e.attrs)
+		attrs[i].Sym = sym
+		attrs[i].Val = val
+		return Event{attrs: attrs}
 	}
-	return e
+	attrs := make([]Attr, len(e.attrs)+1)
+	copy(attrs, e.attrs[:i])
+	attrs[i] = Attr{Name: attr, Sym: sym, Val: val}
+	copy(attrs[i+1:], e.attrs[i:])
+	return Event{attrs: attrs}
 }
 
-// Get returns the value of an attribute; the second result reports presence.
+// Get returns the value of an attribute; the second result reports
+// presence. Lookup is a binary search over the sorted attributes.
 func (e Event) Get(attr string) (value.Value, bool) {
-	v, ok := e.attrs[attr]
-	return v, ok
+	if i, ok := e.search(attr); ok {
+		return e.attrs[i].Val, true
+	}
+	return value.Value{}, false
+}
+
+// GetSym looks an attribute up by its interned symbol, with name fallback
+// for attributes that carry no symbol (decoded before the name was ever
+// interned, or built by hand). This is the predicate-evaluation path: for
+// the typical small event a linear scan of 32-bit compares beats hashing.
+func (e Event) GetSym(sym intern.Sym, name string) (value.Value, bool) {
+	if sym == intern.None {
+		return e.Get(name)
+	}
+	for i := range e.attrs {
+		a := &e.attrs[i]
+		if a.Sym == sym {
+			return a.Val, true
+		}
+		if a.Sym == intern.None && a.Name == name {
+			return a.Val, true
+		}
+	}
+	return value.Value{}, false
 }
 
 // Has reports whether the attribute is present.
 func (e Event) Has(attr string) bool {
-	_, ok := e.attrs[attr]
+	_, ok := e.search(attr)
 	return ok
 }
 
 // Len returns the number of attributes.
 func (e Event) Len() int { return len(e.attrs) }
 
+// All returns the attributes in name-sorted order as a read-only view of
+// the event's own storage: callers must not modify it. This is the hot
+// iteration path (phase-one index dispatch).
+func (e Event) All() []Attr { return e.attrs }
+
 // Attrs returns the attribute names in sorted order. The slice is freshly
 // allocated; callers may keep it.
 func (e Event) Attrs() []string {
-	names := make([]string, 0, len(e.attrs))
-	for k := range e.attrs {
-		names = append(names, k)
+	names := make([]string, len(e.attrs))
+	for i := range e.attrs {
+		names[i] = e.attrs[i].Name
 	}
-	sort.Strings(names)
 	return names
 }
 
-// Range calls fn for every attribute until fn returns false. Iteration order
-// is unspecified.
+// Range calls fn for every attribute until fn returns false, in sorted
+// name order.
 func (e Event) Range(fn func(attr string, v value.Value) bool) {
-	for k, v := range e.attrs {
-		if !fn(k, v) {
+	for i := range e.attrs {
+		if !fn(e.attrs[i].Name, e.attrs[i].Val) {
 			return
 		}
 	}
 }
 
-// Clone returns a deep copy. Events cross goroutine and broker boundaries,
-// so the broker clones at trust boundaries per the
-// copy-slices-and-maps-at-boundaries rule.
-func (e Event) Clone() Event {
-	c := Event{attrs: make(map[string]value.Value, len(e.attrs))}
-	for k, v := range e.attrs {
-		c.attrs[k] = v
+// Borrowed reports whether the event's strings may still alias a decode
+// buffer (no Retain yet). Owned events — everything not produced by the
+// aliasing wire decode — report false.
+func (e Event) Borrowed() bool { return e.borrowed }
+
+// Retain returns an event guaranteed to own all its storage. For owned
+// events it is a free no-op. For borrowed events it coalesces every
+// volatile string — names without a symbol and string values — into one
+// owned allocation and rewrites the attributes in place, so every copy of
+// this event sharing the slice is repaired together; the caller must
+// Retain before sharing an event across goroutines. This is the
+// copy-on-keep contract of the zero-copy wire path: whoever lets an event
+// outlive its frame buffer calls Retain first.
+func (e Event) Retain() Event {
+	if !e.borrowed {
+		return e
 	}
-	return c
+	total := 0
+	for i := range e.attrs {
+		a := &e.attrs[i]
+		if a.Sym == intern.None {
+			total += len(a.Name)
+		}
+		if a.Val.Kind() == value.String {
+			total += len(a.Val.Str())
+		}
+	}
+	if total > 0 {
+		var b strings.Builder
+		b.Grow(total)
+		for i := range e.attrs {
+			a := &e.attrs[i]
+			if a.Sym == intern.None {
+				b.WriteString(a.Name)
+			}
+			if a.Val.Kind() == value.String {
+				b.WriteString(a.Val.Str())
+			}
+		}
+		s := b.String()
+		off := 0
+		for i := range e.attrs {
+			a := &e.attrs[i]
+			if a.Sym == intern.None {
+				a.Name = s[off : off+len(a.Name)]
+				off += len(a.Name)
+			}
+			if a.Val.Kind() == value.String {
+				l := len(a.Val.Str())
+				a.Val = value.OfString(s[off : off+l])
+				off += l
+			}
+		}
+	}
+	return Event{attrs: e.attrs}
 }
 
-// Equal reports attribute-wise equality of two events.
+// Clone returns a deep, owned copy. Events cross goroutine and broker
+// boundaries, so the broker clones at trust boundaries per the
+// copy-slices-and-maps-at-boundaries rule.
+func (e Event) Clone() Event {
+	if len(e.attrs) == 0 {
+		return Event{}
+	}
+	attrs := make([]Attr, len(e.attrs))
+	copy(attrs, e.attrs)
+	c := Event{attrs: attrs, borrowed: e.borrowed}
+	return c.Retain()
+}
+
+// Equal reports attribute-wise equality of two events. Names compare by
+// symbol when both sides carry one.
 func (e Event) Equal(o Event) bool {
 	if len(e.attrs) != len(o.attrs) {
 		return false
 	}
-	for k, v := range e.attrs {
-		w, ok := o.attrs[k]
-		if !ok || !v.Equal(w) {
+	for i := range e.attrs {
+		a, b := &e.attrs[i], &o.attrs[i]
+		if a.Sym != intern.None && b.Sym != intern.None {
+			if a.Sym != b.Sym {
+				return false
+			}
+		} else if a.Name != b.Name {
+			return false
+		}
+		if !a.Val.Equal(b.Val) {
 			return false
 		}
 	}
@@ -113,11 +313,11 @@ func (e Event) Equal(o Event) bool {
 func (e Event) String() string {
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, k := range e.Attrs() {
+	for i := range e.attrs {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%s=%s", k, e.attrs[k])
+		fmt.Fprintf(&b, "%s=%s", e.attrs[i].Name, e.attrs[i].Val)
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -125,10 +325,12 @@ func (e Event) String() string {
 
 // MemBytes estimates resident bytes of the event for the memory model.
 func (e Event) MemBytes() int {
-	const mapOverheadPerEntry = 48
+	// string header + symbol + padding; the flat layout replaces the old
+	// per-entry map bucket overhead.
+	const attrOverhead = 24
 	n := 0
-	for k, v := range e.attrs {
-		n += mapOverheadPerEntry + len(k) + v.MemBytes()
+	for i := range e.attrs {
+		n += attrOverhead + len(e.attrs[i].Name) + e.attrs[i].Val.MemBytes()
 	}
 	return n
 }

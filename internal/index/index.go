@@ -18,6 +18,7 @@ package index
 
 import (
 	"noncanon/internal/event"
+	"noncanon/internal/intern"
 	"noncanon/internal/predicate"
 	"noncanon/internal/value"
 
@@ -91,15 +92,19 @@ func newAttrIndex() *attrIndex {
 	}
 }
 
-// Index is the phase-one structure set across all attributes.
+// Index is the phase-one structure set across all attributes. Attributes
+// are keyed by their interned symbol: Add interns (subscription vocabulary
+// is local and bounded), and Match dispatches on the symbols already
+// carried by the event's attributes, so the per-attribute probe hashes a
+// u32 instead of a string.
 type Index struct {
-	attrs map[string]*attrIndex
+	bySym map[intern.Sym]*attrIndex
 	n     int // live predicate entries
 }
 
 // New returns an empty predicate index.
 func New() *Index {
-	return &Index{attrs: make(map[string]*attrIndex, 64)}
+	return &Index{bySym: make(map[intern.Sym]*attrIndex, 64)}
 }
 
 // NumPredicates returns the number of indexed predicate entries.
@@ -109,10 +114,14 @@ func (ix *Index) NumPredicates() int { return ix.n }
 // once (the predicate registry interns predicates, so engines add a
 // predicate only when its refcount rises from zero).
 func (ix *Index) Add(id predicate.ID, p predicate.P) {
-	ai, ok := ix.attrs[p.Attr]
+	sym := p.Sym
+	if sym == intern.None {
+		sym = intern.Of(p.Attr) // registering a subscription: local vocabulary
+	}
+	ai, ok := ix.bySym[sym]
 	if !ok {
 		ai = newAttrIndex()
-		ix.attrs[p.Attr] = ai
+		ix.bySym[sym] = ai
 	}
 	ix.n++
 	switch p.Op {
@@ -159,7 +168,16 @@ func (ix *Index) Add(id predicate.ID, p predicate.P) {
 // Remove unindexes the (id, p) pair added by Add. It reports whether the
 // entry was found.
 func (ix *Index) Remove(id predicate.ID, p predicate.P) bool {
-	ai, ok := ix.attrs[p.Attr]
+	sym := p.Sym
+	if sym == intern.None {
+		// Lookup, not Of: removing a predicate never added must not
+		// grow the symbol table.
+		var ok bool
+		if sym, ok = intern.Lookup(p.Attr); !ok {
+			return false
+		}
+	}
+	ai, ok := ix.bySym[sym]
 	if !ok {
 		return false
 	}
@@ -248,14 +266,21 @@ func removeNe(s []neEntry, id predicate.ID) ([]neEntry, bool) {
 //
 //nclint:hotpath
 func (ix *Index) Match(e event.Event, out []predicate.ID) []predicate.ID {
-	e.Range(func(attr string, v value.Value) bool {
-		ai, ok := ix.attrs[attr]
-		if !ok {
-			return true
+	for _, a := range e.All() {
+		sym := a.Sym
+		if sym == intern.None {
+			// The event was decoded before this name was ever interned
+			// (or built by hand); resolve it now so late subscriptions on
+			// early-decoded events still match.
+			var ok bool
+			if sym, ok = intern.Lookup(a.Name); !ok {
+				continue // no subscription ever mentioned this attribute
+			}
 		}
-		out = ai.match(v, out)
-		return true
-	})
+		if ai, ok := ix.bySym[sym]; ok {
+			out = ai.match(a.Val, out)
+		}
+	}
 	return out
 }
 
@@ -374,8 +399,8 @@ func (ix *Index) MemBytes() int {
 		rangeEntrySize   = 8
 	)
 	total := 0
-	for attr, ai := range ix.attrs {
-		total += mapEntryOverhead + len(attr)
+	for sym, ai := range ix.bySym {
+		total += mapEntryOverhead + len(intern.Name(sym))
 		for _, ids := range ai.eq {
 			total += mapEntryOverhead + len(ids)*idSize
 		}

@@ -1,0 +1,117 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestOfLookupRoundTrip(t *testing.T) {
+	s := Of("intern-test-price")
+	if s == None {
+		t.Fatal("Of returned None")
+	}
+	if again := Of("intern-test-price"); again != s {
+		t.Fatalf("Of not idempotent: %d then %d", s, again)
+	}
+	got, ok := Lookup("intern-test-price")
+	if !ok || got != s {
+		t.Fatalf("Lookup = %d,%v want %d,true", got, ok, s)
+	}
+	if name := Name(s); name != "intern-test-price" {
+		t.Fatalf("Name(%d) = %q", s, name)
+	}
+}
+
+func TestLookupNeverInserts(t *testing.T) {
+	before := Len()
+	if s, ok := Lookup("intern-test-never-interned"); ok || s != None {
+		t.Fatalf("Lookup invented a symbol: %d,%v", s, ok)
+	}
+	if s, ok := LookupBytes([]byte("intern-test-never-interned-2")); ok || s != None {
+		t.Fatalf("LookupBytes invented a symbol: %d,%v", s, ok)
+	}
+	if after := Len(); after != before {
+		t.Fatalf("lookup grew the table: %d -> %d", before, after)
+	}
+}
+
+func TestLookupBytesMatchesOf(t *testing.T) {
+	s := Of("intern-test-bytes")
+	got, ok := LookupBytes([]byte("intern-test-bytes"))
+	if !ok || got != s {
+		t.Fatalf("LookupBytes = %d,%v want %d,true", got, ok, s)
+	}
+}
+
+func TestNameUnknown(t *testing.T) {
+	if Name(None) != "" {
+		t.Error("Name(None) must be empty")
+	}
+	if Name(Sym(1<<31)) != "" {
+		t.Error("Name of an unissued symbol must be empty")
+	}
+}
+
+// TestDistinctSymbols pushes enough inserts through to cross several
+// promotions and checks density and bijectivity.
+func TestDistinctSymbols(t *testing.T) {
+	seen := make(map[Sym]string)
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("intern-test-dense-%d", i)
+		s := Of(name)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("symbol %d handed to both %q and %q", s, prev, name)
+		}
+		seen[s] = name
+	}
+	for s, name := range seen {
+		if Name(s) != name {
+			t.Fatalf("Name(%d) = %q, want %q", s, Name(s), name)
+		}
+		if got, ok := Lookup(name); !ok || got != s {
+			t.Fatalf("Lookup(%q) = %d,%v want %d", name, got, ok, s)
+		}
+	}
+}
+
+// TestConcurrentInternStress hammers Of/Lookup/Name from many goroutines;
+// run under -race this checks the promotion dance publishes safely, and in
+// any mode it checks symbols stay stable across promotions.
+func TestConcurrentInternStress(t *testing.T) {
+	const workers = 8
+	const names = 64
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			syms := make(map[string]Sym, names)
+			for round := 0; round < 50; round++ {
+				for i := 0; i < names; i++ {
+					name := fmt.Sprintf("intern-test-conc-%d", i)
+					s := Of(name)
+					if prev, ok := syms[name]; ok && prev != s {
+						errs <- fmt.Sprintf("symbol for %q moved: %d -> %d", name, prev, s)
+						return
+					}
+					syms[name] = s
+					if got, ok := Lookup(name); !ok || got != s {
+						errs <- fmt.Sprintf("Lookup(%q) = %d,%v want %d (interned earlier in this goroutine)", name, got, ok, s)
+						return
+					}
+					if Name(s) != name {
+						errs <- fmt.Sprintf("Name(%d) = %q want %q", s, Name(s), name)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

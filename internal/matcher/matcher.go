@@ -84,7 +84,9 @@ type Matcher interface {
 	// engine amortises its per-call envelope over the batch: one lock
 	// acquisition (and, for the sharded engine, one shard fan-out) covers
 	// all events, so every event in a batch observes the same store state.
-	// The returned slices are freshly allocated.
+	// The rows are caller-owned but may share one backing arena: appending
+	// to a row is safe (each row's capacity is capped, so growth
+	// reallocates), while writes past a row's length are not.
 	MatchBatch(evs []event.Event) [][]SubID
 
 	// MatchPredicates runs phase two only, taking the fulfilled-predicate

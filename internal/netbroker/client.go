@@ -108,8 +108,10 @@ func NewClient(nc net.Conn) *Client {
 
 func (c *Client) readLoop() {
 	defer c.wg.Done()
+	var buf []byte // reused frame buffer; payloads below alias it
 	for {
-		typ, payload, err := wire.ReadFrame(c.nc)
+		typ, payload, bufOut, err := wire.ReadFrameInto(c.nc, buf)
+		buf = bufOut
 		if err != nil {
 			c.failAll(err)
 			return
@@ -128,7 +130,11 @@ func (c *Client) readLoop() {
 		delete(c.pending, reqID)
 		c.mu.Unlock()
 		if ok {
-			ch <- response{typ: typ, payload: rest}
+			// The waiter consumes the payload after this loop has moved
+			// on to the next frame, so it must not alias the reused
+			// buffer. Responses are small (counts, IDs, error strings);
+			// the copy is cheap next to the round trip it concludes.
+			ch <- response{typ: typ, payload: append([]byte(nil), rest...)}
 		}
 	}
 }
@@ -138,10 +144,15 @@ func (c *Client) dispatchEvent(payload []byte) {
 	if err != nil {
 		return
 	}
-	ev, _, err := wire.ReadEvent(rest)
+	// Alias decode, then Retain before the channel send: the subscriber
+	// drains sub.ch at its own pace, long after the frame buffer has been
+	// overwritten, so the event must own its strings by then. Retain
+	// copies only the volatile ones (un-interned names, string values).
+	ev, _, err := wire.ReadEventAlias(rest)
 	if err != nil {
 		return
 	}
+	ev = ev.Retain()
 	c.mu.Lock()
 	sub := c.subs[subID]
 	c.mu.Unlock()

@@ -153,16 +153,26 @@ type conn struct {
 	nc  net.Conn
 
 	wmu sync.Mutex // serialises response and event writes
+	enc []byte     // event-push encode buffer; guarded by wmu
 
 	smu     sync.Mutex
 	nextSub uint64 // connection-local subscription handle source
 	subs    map[uint64]*broker.Subscription
+
+	// Reader-loop state, touched only by serve's goroutine: the reused
+	// frame buffer and the recycled batch slice for alias decode.
+	rbuf    []byte
+	evBatch []event.Event
 }
 
 func (c *conn) serve() {
 	defer c.cleanup()
 	for {
-		typ, payload, err := wire.ReadFrame(c.nc)
+		// The frame buffer is reused across iterations: handle must not
+		// keep payload (or anything aliasing it) past its return. Events
+		// go through broker.Publish, which Retains before enqueueing.
+		typ, payload, buf, err := wire.ReadFrameInto(c.nc, c.rbuf)
+		c.rbuf = buf
 		if err != nil {
 			return // disconnect (clean EOF or protocol error)
 		}
@@ -274,7 +284,11 @@ func (c *conn) writeBusyIfCongested(reqID uint32) (bool, error) {
 }
 
 func (c *conn) handlePublish(reqID uint32, rest []byte) error {
-	ev, _, err := wire.ReadEvent(rest)
+	// Alias decode: the event borrows the reader-loop frame buffer, which
+	// stays untouched until the next ReadFrameInto — after this handler
+	// returns. Publish Retains before any enqueue, so nothing escaping
+	// this call still references the buffer.
+	ev, _, err := wire.ReadEventAlias(rest)
 	if err != nil {
 		return c.writeError(reqID, "malformed event: "+err.Error())
 	}
@@ -296,10 +310,14 @@ func (c *conn) handlePublish(reqID uint32, rest []byte) error {
 // events — earn an error reply, not a disconnect: the frame itself was
 // well-delimited, so the connection state is intact.
 func (c *conn) handlePublishBatch(reqID uint32, rest []byte) error {
-	evs, _, err := wire.ReadEventBatch(rest)
+	// Alias decode into the connection's recycled batch slice; see
+	// handlePublish for the buffer-lifetime argument (PublishBatch
+	// Retains every event it enqueues).
+	evs, _, err := wire.ReadEventBatchAlias(rest, c.evBatch)
 	if err != nil {
 		return c.writeError(reqID, "malformed batch: "+err.Error())
 	}
+	c.evBatch = evs[:0]
 	if busy, err := c.writeBusyIfCongested(reqID); busy || err != nil {
 		return err
 	}
@@ -317,11 +335,19 @@ func (c *conn) handlePublishBatch(reqID uint32, rest []byte) error {
 
 // deliverFor pushes one matched event to the client, tagged with the
 // connection-local handle of the subscription it matched. It runs on the
-// broker's per-subscription delivery goroutine.
+// broker's per-subscription delivery goroutine; the event is owned (the
+// broker Retained it before enqueueing — that is the subscriber-side half
+// of the Retain contract), so encoding here never touches a frame buffer.
+// The encode buffer is recycled under the write lock, making steady-state
+// delivery allocation-free.
 func (c *conn) deliverFor(handle uint64, ev event.Event) {
-	buf := wire.AppendU64(nil, handle)
+	c.wmu.Lock()
+	buf := wire.AppendU64(c.enc[:0], handle)
 	buf = wire.AppendEvent(buf, ev)
-	if err := c.write(wire.MsgEvent, buf); err != nil {
+	c.enc = buf
+	err := c.writeLocked(wire.MsgEvent, buf)
+	c.wmu.Unlock()
+	if err != nil {
 		c.srv.opts.Logf("netbroker: push to %s: %v", c.nc.RemoteAddr(), err)
 		c.nc.Close() // reader will clean up
 	}
@@ -330,6 +356,10 @@ func (c *conn) deliverFor(handle uint64, ev event.Event) {
 func (c *conn) write(typ byte, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	return c.writeLocked(typ, payload)
+}
+
+func (c *conn) writeLocked(typ byte, payload []byte) error {
 	if err := c.nc.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
 		return err
 	}

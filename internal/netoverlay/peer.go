@@ -217,6 +217,7 @@ func (p *peer) shutdown() {
 // broker goroutine (which drains the inbox) never waits on it.
 func (p *peer) readLoop() {
 	defer p.b.wg.Done()
+	var buf []byte // reused frame buffer; payloads below alias it
 	for {
 		// A half-open peer (no FIN — machine death, pulled cable, frozen
 		// proxy) never errors a plain read. The idle deadline turns that
@@ -225,7 +226,8 @@ func (p *peer) readLoop() {
 		if p.b.opts.ReadIdleTimeout > 0 {
 			p.nc.SetReadDeadline(time.Now().Add(p.b.opts.ReadIdleTimeout))
 		}
-		typ, payload, err := wire.ReadFrame(p.nc)
+		typ, payload, bufOut, err := wire.ReadFrameInto(p.nc, buf)
+		buf = bufOut
 		if err != nil {
 			p.detach(err)
 			return
@@ -258,12 +260,16 @@ func (p *peer) readLoop() {
 				return
 			}
 		case wire.MsgEventForward:
-			hops, ev, traceID, originNanos, err := wire.ReadEventForwardTrace(payload)
+			// Alias decode saves the per-attribute copies, then Retain pays
+			// for only the volatile strings before the event crosses into
+			// the broker inbox — an asynchronous hand-off that outlives
+			// this loop's frame buffer.
+			hops, ev, traceID, originNanos, err := wire.ReadEventForwardTraceAlias(payload)
 			if err != nil {
 				p.detach(err)
 				return
 			}
-			m := router.Msg{Kind: router.Event, Ev: ev, Hops: int(hops)}
+			m := router.Msg{Kind: router.Event, Ev: ev.Retain(), Hops: int(hops)}
 			if traceID != 0 {
 				// A sampled event: record this hop (latency is arrival
 				// minus the origin stamp — one-way, so it includes clock

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"noncanon/internal/event"
+	"noncanon/internal/intern"
 	"noncanon/internal/value"
 )
 
@@ -68,16 +69,27 @@ func (o Op) String() string {
 // Valid reports whether o is a defined operator.
 func (o Op) Valid() bool { return o >= Eq && o <= Exists }
 
-// P is a predicate: an attribute-operator-operand triple.
+// P is a predicate: an attribute-operator-operand triple. Sym is Attr's
+// interned symbol; the constructors fill it, and literal construction may
+// leave it intern.None, in which case evaluation falls back to comparing
+// Attr by name.
 type P struct {
 	Attr    string
+	Sym     intern.Sym
 	Op      Op
 	Operand value.Value
 }
 
-// New builds a predicate from a native operand value.
+// New builds a predicate from a native operand value. Registering a
+// subscription is what defines the local attribute vocabulary, so New
+// interns the attribute name.
 func New(attr string, op Op, operand any) P {
-	return P{Attr: attr, Op: op, Operand: value.Of(operand)}
+	return P{Attr: attr, Sym: intern.Of(attr), Op: op, Operand: value.Of(operand)}
+}
+
+// Make is New for an operand already in value form.
+func Make(attr string, op Op, operand value.Value) P {
+	return P{Attr: attr, Sym: intern.Of(attr), Op: op, Operand: operand}
 }
 
 // String renders the predicate in subscription-language syntax.
@@ -97,7 +109,7 @@ func (p P) String() string {
 // type-incompatible comparisons evaluate to false (never error), matching
 // standard pub/sub semantics.
 func (p P) Eval(e event.Event) bool {
-	v, ok := e.Get(p.Attr)
+	v, ok := e.GetSym(p.Sym, p.Attr)
 	if p.Op == Exists {
 		return ok
 	}

@@ -202,6 +202,32 @@ func (e *Engine) Match(ev event.Event) []matcher.SubID {
 	return e.fanOut(func(s *core.Engine) []matcher.SubID { return s.Match(ev) })
 }
 
+// MatchInto is Match in append style (see core.Engine.MatchInto): matches
+// are appended to the caller-owned out. Sequential fan-out globalises
+// shard-local IDs in place, so nothing is allocated beyond out's own
+// growth; the parallel fan-out path needs per-shard result buffers and
+// falls back to Match's allocation pattern.
+//
+//nclint:hotpath
+func (e *Engine) MatchInto(ev event.Event, out []matcher.SubID) []matcher.SubID {
+	n := len(e.shards)
+	if n == 1 {
+		// Shard 0: Join is the identity.
+		return e.shards[0].MatchInto(ev, out)
+	}
+	if e.par <= 1 {
+		for i := 0; i < n; i++ {
+			start := len(out)
+			out = e.shards[i].MatchInto(ev, out)
+			for j := start; j < len(out); j++ {
+				out[j] = Join(i, out[j])
+			}
+		}
+		return out
+	}
+	return append(out, e.Match(ev)...)
+}
+
 // MatchBatch fans the whole batch out to every shard at once — one
 // fan-out (and one per-shard lock acquisition) per batch instead of per
 // event — and merges the per-shard results per event in shard order.

@@ -161,7 +161,7 @@ func (p *parser) parseUnary() (boolexpr.Expr, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		return p.leaf(predicate.P{Attr: attr, Op: predicate.Exists})
+		return p.leaf(predicate.Make(attr, predicate.Exists, value.Value{}))
 	case tokIdent:
 		return p.parsePredicate()
 	default:
@@ -187,7 +187,7 @@ func (p *parser) parsePredicate() (boolexpr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return p.leaf(predicate.P{Attr: attr, Op: op, Operand: operand})
+		return p.leaf(predicate.Make(attr, op, operand))
 	case tokPrefix, tokSuffix, tokContains:
 		op := map[tokenKind]predicate.Op{
 			tokPrefix:   predicate.Prefix,

@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"noncanon/internal/event"
+	"noncanon/internal/intern"
+	"noncanon/internal/value"
+)
+
+// FuzzDecodeEventAlias differentially compares the copying and zero-copy
+// decoders: on every input they must agree on error-vs-success, consume
+// the same number of bytes, and — after Retain — produce byte-identical
+// canonical encodings. It then clobbers the input buffer and checks the
+// retained event is unaffected, which is the whole point of the
+// Retain()/copy-on-keep contract.
+//
+// Seeds beyond the inline f.Add corpus are checked in under
+// testdata/fuzz/FuzzDecodeEventAlias.
+func FuzzDecodeEventAlias(f *testing.F) {
+	events := []event.Event{
+		event.New(),
+		event.New().Set("price", 150).Set("sym", "ACME"),
+		event.New().Set("f", 1.5).Set("b", true).Set("s", "payload"),
+		event.New().Set("neg", -1234567890).Set("never-interned-fuzz-name", "x"),
+	}
+	for _, ev := range events {
+		f.Add(AppendEvent(nil, ev))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x01, 'a', 0x09})
+	f.Add([]byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode from a private copy so we can clobber it afterwards.
+		buf := append([]byte(nil), data...)
+		evA, restA, errA := ReadEventAlias(buf)
+		evC, restC, errC := ReadEvent(data)
+		if (errA == nil) != (errC == nil) {
+			t.Fatalf("decoders disagree on error: alias=%v copy=%v (input %x)", errA, errC, data)
+		}
+		if errA != nil {
+			return
+		}
+		if len(restA) != len(restC) {
+			t.Fatalf("decoders consumed different lengths: alias left %d, copy left %d (input %x)",
+				len(restA), len(restC), data)
+		}
+		if !evA.Borrowed() {
+			t.Fatal("alias decode did not mark the event borrowed")
+		}
+		if evC.Borrowed() {
+			t.Fatal("copying decode produced a borrowed event")
+		}
+		retained := evA.Retain()
+		encC := AppendEvent(nil, evC)
+		if encA := AppendEvent(nil, retained); !bytes.Equal(encA, encC) {
+			t.Fatalf("alias+Retain and copy decode diverge\n  input: %x\n  alias: %x\n  copy:  %x", data, encA, encC)
+		}
+		// The frame buffer is reused: the retained event must not notice.
+		for i := range buf {
+			buf[i] = 0xAA
+		}
+		if encA := AppendEvent(nil, retained); !bytes.Equal(encA, encC) {
+			t.Fatalf("retained event changed when its frame buffer was clobbered\n  input: %x\n  after: %x\n  want:  %x",
+				data, encA, encC)
+		}
+	})
+}
+
+// TestRetainSurvivesBufferReuse is the deterministic core of the fuzz
+// property: decode in alias mode, Retain, overwrite the frame buffer,
+// and check every attribute — including a never-interned name and a
+// string value, the two volatile kinds — still reads back intact.
+func TestRetainSurvivesBufferReuse(t *testing.T) {
+	const volatileName = "retain-test-never-interned-name"
+	src := event.New().
+		Set("sym", "ACME").
+		Set("note", "hold me").
+		Set("price", 42)
+	enc := AppendEvent(nil, src)
+	// Splice in an attribute whose name is NOT in the intern table, built
+	// by hand so event.Set can't intern it: bump the count and append
+	// name/kind/value.
+	enc[1] += 1
+	enc = AppendString(enc, volatileName)
+	enc = append(enc, kindString, 5)
+	enc = append(enc, "fresh"...)
+
+	buf := append([]byte(nil), enc...)
+	ev, rest, err := ReadEventAlias(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("alias decode: %v (rest %d)", err, len(rest))
+	}
+	if _, known := intern.Lookup(volatileName); known {
+		t.Fatalf("%q unexpectedly interned; decode must not have done that", volatileName)
+	}
+	ev = ev.Retain()
+	if ev.Borrowed() {
+		t.Fatal("Retain left the event borrowed")
+	}
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	checks := []struct {
+		attr string
+		want any
+	}{
+		{"sym", "ACME"}, {"note", "hold me"}, {"price", int64(42)}, {volatileName, "fresh"},
+	}
+	for _, c := range checks {
+		v, ok := ev.Get(c.attr)
+		if !ok {
+			t.Fatalf("attribute %q lost after buffer reuse", c.attr)
+		}
+		switch want := c.want.(type) {
+		case string:
+			if v.Kind() != value.String || v.Str() != want {
+				t.Fatalf("attribute %q = %v, want %q", c.attr, v, want)
+			}
+		case int64:
+			if v.Kind() != value.Int || v.Int() != want {
+				t.Fatalf("attribute %q = %v, want %d", c.attr, v, want)
+			}
+		}
+	}
+}
+
+// TestBorrowedEventAliasesBuffer proves the zero-copy mode really does
+// alias (no silent defensive copy): mutating the buffer before Retain is
+// visible through an un-retained string value. This is a test of the
+// mechanism, not a usage pattern — real readers Retain before reuse.
+func TestBorrowedEventAliasesBuffer(t *testing.T) {
+	enc := AppendEvent(nil, event.New().Set("s", "abcd"))
+	buf := append([]byte(nil), enc...)
+	ev, _, err := ReadEventAlias(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := ev.Get("s")
+	if v.Str() != "abcd" {
+		t.Fatalf("got %q", v.Str())
+	}
+	// Flip the last byte of the payload, which is the 'd' of "abcd".
+	buf[len(buf)-1] = 'X'
+	v, _ = ev.Get("s")
+	if v.Str() != "abcX" {
+		t.Fatalf("borrowed string did not alias the buffer: %q", v.Str())
+	}
+}
+
+// TestReadFrameIntoReusesBuffer pins the zero-allocation steady state of
+// a reader loop: once the buffer has grown, further frames of equal or
+// smaller size must not reallocate.
+func TestReadFrameIntoReusesBuffer(t *testing.T) {
+	var stream bytes.Buffer
+	payloads := [][]byte{
+		bytes.Repeat([]byte{1}, 100),
+		bytes.Repeat([]byte{2}, 50),
+		bytes.Repeat([]byte{3}, 100),
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(&stream, MsgPublish, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf []byte
+	var typ byte
+	var payload []byte
+	var err error
+	typ, payload, buf, err = ReadFrameInto(&stream, buf)
+	if err != nil || typ != MsgPublish || len(payload) != 100 {
+		t.Fatalf("frame 1: typ=%d len=%d err=%v", typ, len(payload), err)
+	}
+	first := &buf[0]
+	for i, want := range []int{50, 100} {
+		_, payload, buf, err = ReadFrameInto(&stream, buf)
+		if err != nil || len(payload) != want {
+			t.Fatalf("frame %d: len=%d err=%v", i+2, len(payload), err)
+		}
+		if &buf[0] != first {
+			t.Fatalf("frame %d reallocated the buffer", i+2)
+		}
+	}
+}

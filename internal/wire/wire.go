@@ -11,6 +11,15 @@
 // events pushed by the server carry the subscription ID they matched.
 // Events serialise as a u16 attribute count followed by name/kind/value
 // triples with varint-length strings.
+//
+// Zero-copy contract: ReadFrameInto reuses a caller-owned buffer across
+// frames, and the *Alias decode variants build borrowed events whose
+// strings reference that buffer directly. A borrowed event is valid only
+// until the buffer's next reuse; whoever keeps one longer — subscriber
+// delivery, queues, durable references — must call Event.Retain first.
+// Attribute names are resolved against the intern table with Lookup only
+// (never Of), so a hostile peer streaming fabricated names cannot grow
+// the process-wide symbol table.
 package wire
 
 import (
@@ -19,8 +28,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"unsafe"
 
 	"noncanon/internal/event"
+	"noncanon/internal/intern"
 	"noncanon/internal/value"
 )
 
@@ -112,24 +123,41 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame.
+// ReadFrame reads one frame into a fresh buffer. Reader loops should use
+// ReadFrameInto instead and reuse the buffer across frames; ReadFrame is
+// the compatibility wrapper for cold paths (handshakes, tests).
 func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	typ, payload, _, err = ReadFrameInto(r, nil)
+	return typ, payload, err
+}
+
+// ReadFrameInto reads one frame into buf, growing it as needed, and
+// returns the (possibly reallocated) buffer for the next call. payload
+// aliases buf and is valid only until buf's next reuse: callers that keep
+// any part of it — or any borrowed event decoded from it — past that
+// point must copy (for events, Event.Retain). The steady state of a
+// reader loop is zero allocations per frame once buf has grown to the
+// connection's working frame size.
+func ReadFrameInto(r io.Reader, buf []byte) (typ byte, payload []byte, bufOut []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err // io.EOF passes through for clean shutdown
+		return 0, nil, buf, err // io.EOF passes through for clean shutdown
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 {
-		return 0, nil, fmt.Errorf("%w: empty frame", ErrMalformed)
+		return 0, nil, buf, fmt.Errorf("%w: empty frame", ErrMalformed)
 	}
 	if n > MaxFrameSize {
-		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+		return 0, nil, buf, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	buf := make([]byte, n)
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, fmt.Errorf("wire: read payload: %w", err)
+		return 0, nil, buf, fmt.Errorf("wire: read payload: %w", err)
 	}
-	return buf[0], buf[1:], nil
+	return buf[0], buf[1:], buf, nil
 }
 
 // --- payload primitives ---
@@ -184,10 +212,10 @@ const (
 // AppendEvent appends the wire form of an event.
 func AppendEvent(b []byte, ev event.Event) []byte {
 	b = binary.BigEndian.AppendUint16(b, uint16(ev.Len()))
-	// Sorted attribute order keeps encodings canonical.
-	for _, attr := range ev.Attrs() {
-		v, _ := ev.Get(attr)
-		b = AppendString(b, attr)
+	// All() is already name-sorted, which keeps encodings canonical.
+	for _, a := range ev.All() {
+		v := a.Val
+		b = AppendString(b, a.Name)
 		switch v.Kind() {
 		case value.Int:
 			b = append(b, kindInt)
@@ -227,6 +255,20 @@ func AppendEventBatch(b []byte, evs []event.Event) []byte {
 // cannot possibly hold (every event costs at least its two-byte attribute
 // count) fail with ErrMalformed before any event allocation happens.
 func ReadEventBatch(b []byte) ([]event.Event, []byte, error) {
+	return readEventBatch(b, nil, false)
+}
+
+// ReadEventBatchAlias is ReadEventBatch in zero-copy mode: every decoded
+// event is borrowed (see ReadEventAlias) and must be Retained before the
+// frame buffer is reused. evs, when non-nil, is recycled as the result's
+// backing storage so a reader loop amortises the batch slice too; in the
+// steady state the batch costs one allocation per event (each event's
+// attribute slice) and nothing else.
+func ReadEventBatchAlias(b []byte, evs []event.Event) ([]event.Event, []byte, error) {
+	return readEventBatch(b, evs[:0], true)
+}
+
+func readEventBatch(b []byte, evs []event.Event, alias bool) ([]event.Event, []byte, error) {
 	n, b, err := ReadU32(b)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: short batch header", ErrMalformed)
@@ -237,10 +279,12 @@ func ReadEventBatch(b []byte) ([]event.Event, []byte, error) {
 	if uint64(n)*2 > uint64(len(b)) {
 		return nil, nil, fmt.Errorf("%w: batch count %d exceeds payload", ErrMalformed, n)
 	}
-	evs := make([]event.Event, 0, n)
+	if cap(evs) < int(n) {
+		evs = make([]event.Event, 0, n)
+	}
 	for i := uint32(0); i < n; i++ {
 		var ev event.Event
-		ev, b, err = ReadEvent(b)
+		ev, b, err = readEvent(b, alias)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -349,12 +393,23 @@ func AppendEventForwardTrace(b []byte, hops uint8, ev event.Event, traceID uint6
 // ReadEventForwardTrace consumes a MsgEventForward payload including the
 // optional trace suffix; traceID is 0 when the sender attached none.
 func ReadEventForwardTrace(b []byte) (hops uint8, ev event.Event, traceID uint64, originNanos int64, err error) {
+	return readEventForwardTrace(b, false)
+}
+
+// ReadEventForwardTraceAlias is ReadEventForwardTrace in zero-copy mode:
+// the event is borrowed (see ReadEventAlias) and must be Retained before
+// the frame buffer is reused.
+func ReadEventForwardTraceAlias(b []byte) (hops uint8, ev event.Event, traceID uint64, originNanos int64, err error) {
+	return readEventForwardTrace(b, true)
+}
+
+func readEventForwardTrace(b []byte, alias bool) (hops uint8, ev event.Event, traceID uint64, originNanos int64, err error) {
 	if len(b) < 1 {
 		return 0, event.Event{}, 0, 0, fmt.Errorf("%w: short event-forward header", ErrMalformed)
 	}
 	hops = b[0]
 	var rest []byte
-	ev, rest, err = ReadEvent(b[1:])
+	ev, rest, err = readEvent(b[1:], alias)
 	if err != nil {
 		return 0, event.Event{}, 0, 0, err
 	}
@@ -385,26 +440,88 @@ func ReadBusy(b []byte) (reqID uint32, retryAfterMillis uint32, err error) {
 	return reqID, retryAfterMillis, nil
 }
 
-// ReadEvent consumes the wire form of an event.
+// readStringBytes consumes a uvarint-length-prefixed string without
+// copying: the returned bytes alias b.
+func readStringBytes(b []byte) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || l > uint64(len(b)-n) {
+		return nil, nil, fmt.Errorf("%w: bad string length", ErrMalformed)
+	}
+	return b[n : n+int(l)], b[n+int(l):], nil
+}
+
+// aliasString views b as a string without copying. The result is only as
+// immutable as b: it must never escape the frame buffer's lifetime, which
+// is exactly the borrowed-event contract enforced by Event.Retain. This is
+// the single unsafe seam of the zero-copy path, confined to the transport
+// layer — kernel through engine ban unsafe outright (internal/arch).
+func aliasString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// ReadEvent consumes the wire form of an event, copying every string out
+// of b: the result owns its storage. Use ReadEventAlias on hot reader
+// loops and Retain what outlives the frame.
 func ReadEvent(b []byte) (event.Event, []byte, error) {
+	return readEvent(b, false)
+}
+
+// ReadEventAlias consumes the wire form of an event in zero-copy mode:
+// string values and unknown attribute names in the result alias b. The
+// event is borrowed — Event.Borrowed reports true — and must be Retained
+// before b is reused or the event is shared across goroutines. Attribute
+// names already in the intern table resolve to their canonical owned
+// strings and cost nothing; in the steady state (known names, no string
+// values kept) decode is one allocation per event.
+func ReadEventAlias(b []byte) (event.Event, []byte, error) {
+	return readEvent(b, true)
+}
+
+func readEvent(b []byte, alias bool) (event.Event, []byte, error) {
 	if len(b) < 2 {
 		return event.Event{}, nil, fmt.Errorf("%w: short event header", ErrMalformed)
 	}
 	n := int(binary.BigEndian.Uint16(b))
 	b = b[2:]
-	ev := event.New()
+	// Every attribute costs at least three bytes (one-byte name length,
+	// kind tag, one value byte), so a count the payload cannot hold is
+	// rejected before it sizes any allocation.
+	if n*3 > len(b) {
+		return event.Event{}, nil, fmt.Errorf("%w: attribute count %d exceeds payload", ErrMalformed, n)
+	}
+	var attrs []event.Attr
+	if n > 0 {
+		attrs = make([]event.Attr, 0, n)
+	}
 	for i := 0; i < n; i++ {
-		var attr string
+		var nb []byte
 		var err error
-		attr, b, err = ReadString(b)
+		nb, b, err = readStringBytes(b)
 		if err != nil {
 			return event.Event{}, nil, err
+		}
+		// Lookup only — remote names never grow the symbol table. A hit
+		// yields the table's canonical owned string, so known names cost
+		// no copy in either mode.
+		var name string
+		sym, known := intern.LookupBytes(nb)
+		switch {
+		case known:
+			name = intern.Name(sym)
+		case alias:
+			name = aliasString(nb)
+		default:
+			name = string(nb)
 		}
 		if len(b) < 1 {
 			return event.Event{}, nil, fmt.Errorf("%w: missing value kind", ErrMalformed)
 		}
 		kind := b[0]
 		b = b[1:]
+		var val value.Value
 		switch kind {
 		case kindInt:
 			v, vn := binary.Varint(b)
@@ -412,30 +529,38 @@ func ReadEvent(b []byte) (event.Event, []byte, error) {
 				return event.Event{}, nil, fmt.Errorf("%w: bad int", ErrMalformed)
 			}
 			b = b[vn:]
-			ev = ev.Set(attr, v)
+			val = value.OfInt(v)
 		case kindFloat:
 			if len(b) < 8 {
 				return event.Event{}, nil, fmt.Errorf("%w: short float", ErrMalformed)
 			}
-			ev = ev.Set(attr, math.Float64frombits(binary.BigEndian.Uint64(b)))
+			val = value.OfFloat(math.Float64frombits(binary.BigEndian.Uint64(b)))
 			b = b[8:]
 		case kindString:
-			var s string
+			var sb []byte
 			var err error
-			s, b, err = ReadString(b)
+			sb, b, err = readStringBytes(b)
 			if err != nil {
 				return event.Event{}, nil, err
 			}
-			ev = ev.Set(attr, s)
+			if alias {
+				val = value.OfString(aliasString(sb))
+			} else {
+				val = value.OfString(string(sb))
+			}
 		case kindBool:
 			if len(b) < 1 {
 				return event.Event{}, nil, fmt.Errorf("%w: short bool", ErrMalformed)
 			}
-			ev = ev.Set(attr, b[0] != 0)
+			val = value.OfBool(b[0] != 0)
 			b = b[1:]
 		default:
 			return event.Event{}, nil, fmt.Errorf("%w: unknown value kind 0x%02x", ErrMalformed, kind)
 		}
+		attrs = append(attrs, event.Attr{Name: name, Sym: sym, Val: val})
 	}
-	return ev, b, nil
+	if alias {
+		return event.FromBorrowedAttrs(attrs), b, nil
+	}
+	return event.FromAttrs(attrs), b, nil
 }
